@@ -1,0 +1,179 @@
+// Benchmarks regenerating the paper's evaluation (§5). One benchmark per
+// figure/table — see DESIGN.md §4 for the experiment index and
+// EXPERIMENTS.md for recorded paper-vs-measured results. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The flbench command runs the same experiments at larger scales and
+// prints the full series.
+package fluodb_test
+
+import (
+	"testing"
+
+	"fluodb"
+	"fluodb/internal/bench"
+	"fluodb/workloads"
+)
+
+// benchCfg keeps `go test -bench=.` minutes-scale on one core; use
+// flbench -rows 1000000 for the full-size runs recorded in
+// EXPERIMENTS.md.
+var benchCfg = bench.Config{Rows: 20000, Batches: 10, Trials: 40, Seed: 1}
+
+// BenchmarkFigure3a regenerates Figure 3(a): the RSD-vs-time refinement
+// curve of TPC-H Q17 under G-OLA against the batch engine bar.
+func BenchmarkFigure3a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Figure3a(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.FirstAnswerPct, "firstAnswer_%ofBatch")
+		b.ReportMetric(r.OverheadPct, "overhead_%")
+		if r.SpeedupAt2PctRSD > 0 {
+			b.ReportMetric(r.SpeedupAt2PctRSD, "speedup@2%RSD_x")
+		}
+	}
+}
+
+// BenchmarkFigure3b regenerates Figure 3(b): per-batch CDM/G-OLA time
+// ratios for C1, C2, C3, Q11, Q17, Q18, Q20.
+func BenchmarkFigure3b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := bench.Figure3b(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the last-batch ratio averaged over queries (the paper's
+		// claim: grows linearly with the batch index).
+		var first, last float64
+		for _, s := range series {
+			first += s.Ratio[0]
+			last += s.Ratio[len(s.Ratio)-1]
+		}
+		n := float64(len(series))
+		b.ReportMetric(first/n, "ratio@batch1")
+		b.ReportMetric(last/n, "ratio@batch10")
+	}
+}
+
+// BenchmarkTable1 regenerates the §5 prose claims around Figure 3(a):
+// first-answer latency, refresh cadence, total overhead, speedup.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Table1(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MeanRefreshMS, "refresh_ms")
+		b.ReportMetric(r.FinalRSDPct, "finalRSD_%")
+	}
+}
+
+// BenchmarkTable2 regenerates the "uncertain sets are very small in
+// practice" claim (§3.2/§5) across all eight evaluation queries.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table2(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var maxPct float64
+		for _, r := range rows {
+			if r.MaxPctOfSeen > maxPct {
+				maxPct = r.MaxPctOfSeen
+			}
+		}
+		b.ReportMetric(maxPct, "maxUncertain_%ofSeen")
+	}
+}
+
+// BenchmarkAblationEpsilon regenerates ablation A1: the ε slack trade
+// between recomputation count and uncertain-set size (§3.2).
+func BenchmarkAblationEpsilon(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.AblationEpsilon(benchCfg, []float64{0.05, 1.0, 4.0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(pts[0].Recomputes), "recomputes@0.05σ")
+		b.ReportMetric(float64(pts[2].Recomputes), "recomputes@4σ")
+		b.ReportMetric(float64(pts[2].MaxUncertain), "uncertain@4σ")
+	}
+}
+
+// BenchmarkAblationBootstrap regenerates ablation A2: bootstrap trial
+// count versus overhead (§2.2).
+func BenchmarkAblationBootstrap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.AblationBootstrap(benchCfg, []int{20, 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[1].TotalMS/pts[0].TotalMS, "cost_100vs20_x")
+	}
+}
+
+// BenchmarkAblationBatches regenerates ablation A3: mini-batch
+// granularity versus refresh cadence and total overhead (§2.1).
+func BenchmarkAblationBatches(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.AblationBatches(benchCfg, []int{5, 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[0].TotalMS, "total_ms_k5")
+		b.ReportMetric(pts[1].TotalMS, "total_ms_k20")
+	}
+}
+
+// --- engine micro-benchmarks ---
+
+// BenchmarkBatchEngineSBI measures the exact batch engine on the SBI
+// query (the per-iteration unit of the Figure 3 comparisons).
+func BenchmarkBatchEngineSBI(b *testing.B) {
+	db := fluodb.Open()
+	workloads.AttachConviva(db, 20000, 2)
+	sbi, _ := workloads.ByName("SBI")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(sbi.SQL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOnlineStepSBI measures one G-OLA mini-batch step (fold +
+// delta maintenance + bootstrap + snapshot) on SBI.
+func BenchmarkOnlineStepSBI(b *testing.B) {
+	db := fluodb.Open()
+	workloads.AttachConviva(db, 20000, 3)
+	sbi, _ := workloads.ByName("SBI")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		oq, err := db.QueryOnline(sbi.SQL, fluodb.OnlineOptions{Batches: 10, Trials: 40, Seed: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := oq.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParseAndPlan measures SQL frontend latency on the most
+// complex suite query.
+func BenchmarkParseAndPlan(b *testing.B) {
+	db := fluodb.Open()
+	workloads.AttachTPCH(db, 100, 10, 5)
+	q18, _ := workloads.ByName("Q18")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Explain(q18.SQL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

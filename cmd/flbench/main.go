@@ -1,0 +1,185 @@
+// Command flbench regenerates the paper's evaluation figures and
+// tables (see DESIGN.md §4 for the experiment index):
+//
+//	flbench -experiment fig3a   # Figure 3(a): RSD vs time, TPC-H Q17
+//	flbench -experiment fig3b   # Figure 3(b): CDM/G-OLA per-batch ratio
+//	flbench -experiment t1      # headline latency metrics (§5 prose)
+//	flbench -experiment t2      # uncertain-set sizes (§3.2/§5 prose)
+//	flbench -experiment eps     # ablation: ε slack sweep
+//	flbench -experiment boots   # ablation: bootstrap trial count sweep
+//	flbench -experiment k       # ablation: mini-batch granularity sweep
+//	flbench -experiment all     # everything
+//
+// Scale with -rows, -batches, -trials; fix randomness with -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fluodb/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "fig3a|fig3b|t1|t2|eps|boots|k|all")
+		rows       = flag.Int("rows", 100000, "fact-table rows per dataset")
+		parts      = flag.Int("parts", 0, "distinct parts (default rows/150)")
+		batches    = flag.Int("batches", 10, "mini-batches (k)")
+		trials     = flag.Int("trials", 100, "bootstrap trials (B)")
+		seed       = flag.Uint64("seed", 0, "RNG seed (default: fixed)")
+		format     = flag.String("format", "table", "table|csv (csv: plot-ready series for fig3a/fig3b)")
+	)
+	flag.Parse()
+	cfg := bench.Config{
+		Rows: *rows, Parts: *parts, Batches: *batches, Trials: *trials, Seed: *seed,
+	}
+	if *format == "csv" {
+		if err := runCSV(*experiment, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "flbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*experiment, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "flbench:", err)
+		os.Exit(1)
+	}
+}
+
+// runCSV emits plot-ready series.
+func runCSV(experiment string, cfg bench.Config) error {
+	switch experiment {
+	case "fig3a":
+		r, err := bench.Figure3a(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("batch,elapsed_ms,rsd_pct,fraction_pct,uncertain,batch_engine_ms")
+		for _, p := range r.Points {
+			fmt.Printf("%d,%.3f,%.5f,%.2f,%d,%.3f\n",
+				p.Batch, p.ElapsedMS, p.RSDPercent, p.FractionPct, p.Uncertain, r.BatchEngineMS)
+		}
+		return nil
+	case "fig3b":
+		series, err := bench.Figure3b(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print("batch")
+		for _, s := range series {
+			fmt.Printf(",%s", s.Query)
+		}
+		fmt.Println()
+		if len(series) == 0 {
+			return nil
+		}
+		for i := range series[0].Ratio {
+			fmt.Print(i + 1)
+			for _, s := range series {
+				fmt.Printf(",%.4f", s.Ratio[i])
+			}
+			fmt.Println()
+		}
+		return nil
+	default:
+		return fmt.Errorf("-format csv supports fig3a and fig3b only")
+	}
+}
+
+func run(experiment string, cfg bench.Config) error {
+	all := experiment == "all"
+	did := false
+	if all || experiment == "fig3a" {
+		did = true
+		r, err := bench.Figure3a(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatFig3a(r))
+		fmt.Println()
+		fmt.Print(bench.AsciiChart(r, 72, 14))
+		fmt.Println()
+	}
+	if all || experiment == "fig3b" {
+		did = true
+		s, err := bench.Figure3b(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatFig3b(s))
+		fmt.Println()
+	}
+	if all || experiment == "t1" {
+		did = true
+		r, err := bench.Table1(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("T1: headline metrics (Q17)")
+		fmt.Printf("  first answer:        %.1f ms (%.1f%% of batch time)\n",
+			r.Fig3a.FirstAnswerMS, r.Fig3a.FirstAnswerPct)
+		fmt.Printf("  mean refresh cadence: %.1f ms\n", r.MeanRefreshMS)
+		fmt.Printf("  total overhead:      %.0f%% vs batch engine\n", r.Fig3a.OverheadPct)
+		if r.Fig3a.TimeTo2PctMS >= 0 {
+			fmt.Printf("  stop at 2%% RSD:      %.1f ms (%.1fx faster than batch)\n",
+				r.Fig3a.TimeTo2PctMS, r.Fig3a.SpeedupAt2PctRSD)
+		}
+		fmt.Printf("  final RSD:           %.3f%%\n", r.FinalRSDPct)
+		fmt.Println()
+	}
+	if all || experiment == "t2" {
+		did = true
+		rows, err := bench.Table2(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatT2(rows))
+		fmt.Println()
+	}
+	if all || experiment == "eps" {
+		did = true
+		pts, err := bench.AblationEpsilon(cfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println("A1: epsilon slack sweep (SBI + Q17)")
+		fmt.Printf("%6s %10s %12s %14s %10s\n", "query", "eps (σ)", "recomputes", "max uncertain", "total ms")
+		for _, p := range pts {
+			fmt.Printf("%6s %10.2f %12d %14d %10.1f\n",
+				p.Query, p.EpsilonSigma, p.Recomputes, p.MaxUncertain, p.TotalMS)
+		}
+		fmt.Println()
+	}
+	if all || experiment == "boots" {
+		did = true
+		pts, err := bench.AblationBootstrap(cfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println("A2: bootstrap trial count sweep (SBI)")
+		fmt.Printf("%8s %10s %14s %14s\n", "trials", "total ms", "first RSD %", "last RSD %")
+		for _, p := range pts {
+			fmt.Printf("%8d %10.1f %14.3f %14.3f\n", p.Trials, p.TotalMS, p.FirstRSDPct, p.LastRSDPct)
+		}
+		fmt.Println()
+	}
+	if all || experiment == "k" {
+		did = true
+		pts, err := bench.AblationBatches(cfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println("A3: mini-batch granularity sweep (Q17)")
+		fmt.Printf("%8s %12s %16s %14s\n", "k", "total ms", "first answer ms", "refresh ms")
+		for _, p := range pts {
+			fmt.Printf("%8d %12.1f %16.1f %14.1f\n", p.Batches, p.TotalMS, p.FirstAnswerMS, p.MeanRefreshMS)
+		}
+		fmt.Println()
+	}
+	if !did {
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+	return nil
+}

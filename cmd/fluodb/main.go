@@ -1,0 +1,22 @@
+// Command fluodb is an interactive SQL console over the FluoDB engine —
+// the query-console experience of the paper's demo (§6, Figure 4).
+//
+// Queries run in G-OLA online mode by default: every mini-batch prints a
+// refined approximate answer with ±95% confidence intervals. Type \help
+// for the meta commands (\gen, \load, \explain, \batch, \suite, ...).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"fluodb/internal/repl"
+)
+
+func main() {
+	c := repl.New(os.Stdout)
+	if err := c.Run(os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "fluodb:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,73 @@
+package fluodb_test
+
+import (
+	"fmt"
+
+	"fluodb"
+)
+
+// sessionsDB builds a deterministic six-row sessions table.
+func sessionsDB() *fluodb.DB {
+	db := fluodb.Open()
+	t := db.CreateTable("sessions", fluodb.NewSchema(
+		"buffer_time", fluodb.KindFloat,
+		"play_time", fluodb.KindFloat,
+	))
+	for i := 1; i <= 6; i++ {
+		_ = t.Append(fluodb.Row{
+			fluodb.Float(float64(10 * i)),
+			fluodb.Float(float64(100 * i)),
+		})
+	}
+	return db
+}
+
+// The exact batch engine answers any supported query over the full data.
+func ExampleDB_Query() {
+	db := sessionsDB()
+	res, _ := db.Query(`
+		SELECT AVG(play_time) FROM sessions
+		WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)`)
+	fmt.Println(res.Rows[0][0])
+	// Output: 500
+}
+
+// Online execution streams random mini-batches and refines the answer;
+// running to completion yields the exact result.
+func ExampleDB_QueryOnline() {
+	db := sessionsDB()
+	oq, _ := db.QueryOnline(`SELECT AVG(play_time) FROM sessions`,
+		fluodb.OnlineOptions{Batches: 3, Trials: 10, Seed: 1})
+	last, _ := oq.Run(nil)
+	fmt.Printf("%.0f after %d batches\n",
+		mustF(last.Rows[0][0].Value), last.Batch)
+	// Output: 350 after 3 batches
+}
+
+// Exec handles DDL and DML alongside SELECT.
+func ExampleDB_Exec() {
+	db := fluodb.Open()
+	_, _ = db.Exec(`CREATE TABLE points (x INT, y DOUBLE)`)
+	r, _ := db.Exec(`INSERT INTO points VALUES (1, 2.5), (2, 4.5)`)
+	fmt.Println("inserted:", r.RowsAffected)
+	res, _ := db.Exec(`SELECT SUM(y) FROM points`)
+	fmt.Println("sum:", res.Result.Rows[0][0])
+	// Output:
+	// inserted: 2
+	// sum: 7
+}
+
+// Explain shows the lineage-block decomposition G-OLA executes.
+func ExampleDB_Explain() {
+	db := sessionsDB()
+	out, _ := db.Explain(`
+		SELECT AVG(play_time) FROM sessions
+		WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)`)
+	fmt.Println(out[:16])
+	// Output: block 0 (scalar)
+}
+
+func mustF(v fluodb.Value) float64 {
+	f, _ := v.AsFloat()
+	return f
+}

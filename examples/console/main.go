@@ -1,0 +1,41 @@
+// Web console (§6 / Figure 4 of the paper): a browser dashboard that
+// lets you type arbitrary SQL aggregate queries and watch the answer
+// refine live, with error bars, exactly like the demo's MyTube consoles.
+//
+//	go run ./examples/console
+//	open http://localhost:8080
+//
+// Each query streams Server-Sent Events: one JSON snapshot per
+// mini-batch, carrying point estimates, confidence intervals, the
+// uncertain-set size and the fraction of data processed. The Stop
+// button abandons the query at the current accuracy — the OLA knob.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"fluodb/internal/core"
+	"fluodb/internal/dashboard"
+	"fluodb/internal/workload"
+)
+
+var (
+	addr = flag.String("addr", "localhost:8080", "listen address")
+	rows = flag.Int("rows", 200_000, "synthetic rows per dataset")
+)
+
+func main() {
+	flag.Parse()
+	log.Printf("generating %d rows per dataset...", *rows)
+	cat := workload.ConvivaCatalog(*rows, 99)
+	tpch := workload.TPCHCatalog(*rows, *rows/150+10, 100)
+	for _, name := range tpch.Names() {
+		t, _ := tpch.Get(name)
+		cat.Put(t)
+	}
+	srv := dashboard.New(cat, core.Options{Batches: 25})
+	log.Printf("FluoDB console on http://%s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -1,0 +1,151 @@
+// User-defined aggregates online (§2 of the paper: G-OLA handles
+// "user-defined functions and aggregates" — UDAFs participate in online
+// execution exactly like built-ins, bootstrap error bars included).
+//
+// This example registers GINI, a Gini-coefficient aggregate (a measure
+// of inequality, here of watch-time concentration across sessions), and
+// runs it online inside a nested query: "how unequal is engagement among
+// sessions with above-average buffering?"
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"fluodb"
+	"fluodb/workloads"
+)
+
+// giniState approximates the Gini coefficient over a bounded reservoir
+// of weighted observations. It implements fluodb.AggState: the weights
+// carry both multiset multiplicities and poissonized bootstrap
+// resamples, so the same state serves the point estimate and every
+// bootstrap replica.
+type giniState struct {
+	vals []float64
+	wts  []float64
+	n    int
+	rng  uint64
+}
+
+const giniReservoir = 4096
+
+func newGini() *giniState { return &giniState{rng: 0x9E3779B97F4A7C15} }
+
+func (g *giniState) rand() uint64 {
+	g.rng ^= g.rng << 13
+	g.rng ^= g.rng >> 7
+	g.rng ^= g.rng << 17
+	return g.rng
+}
+
+// Add implements fluodb.AggState.
+func (g *giniState) Add(v fluodb.Value, w float64) {
+	f, ok := v.AsFloat()
+	if !ok || w <= 0 || f < 0 {
+		return
+	}
+	g.n++
+	if len(g.vals) < giniReservoir {
+		g.vals = append(g.vals, f)
+		g.wts = append(g.wts, w)
+		return
+	}
+	if j := int(g.rand() % uint64(g.n)); j < giniReservoir {
+		g.vals[j] = f
+		g.wts[j] = w
+	}
+}
+
+// Merge implements fluodb.AggState.
+func (g *giniState) Merge(o fluodb.AggState) {
+	og := o.(*giniState)
+	for i := range og.vals {
+		g.Add(fluodb.Float(og.vals[i]), og.wts[i])
+	}
+}
+
+// Result implements fluodb.AggState: the weighted Gini coefficient.
+func (g *giniState) Result(scale float64) fluodb.Value {
+	if len(g.vals) == 0 {
+		return fluodb.Null
+	}
+	idx := make([]int, len(g.vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return g.vals[idx[a]] < g.vals[idx[b]] })
+	var totW, totV float64
+	for i := range g.vals {
+		totW += g.wts[i]
+		totV += g.wts[i] * g.vals[i]
+	}
+	if totV == 0 {
+		return fluodb.Float(0)
+	}
+	// Gini = 1 - 2 * area under the Lorenz curve.
+	var cumV, area float64
+	for _, i := range idx {
+		prev := cumV
+		cumV += g.wts[i] * g.vals[i]
+		area += (prev + cumV) / 2 * (g.wts[i] / totW)
+	}
+	gini := 1 - 2*area/totV
+	if math.IsNaN(gini) {
+		return fluodb.Null
+	}
+	return fluodb.Float(gini)
+}
+
+// Clone implements fluodb.AggState.
+func (g *giniState) Clone() fluodb.AggState {
+	c := &giniState{n: g.n, rng: g.rng}
+	c.vals = append([]float64(nil), g.vals...)
+	c.wts = append([]float64(nil), g.wts...)
+	return c
+}
+
+func main() {
+	fluodb.RegisterAggregate("GINI", func(params []fluodb.Value) (fluodb.AggState, error) {
+		return newGini(), nil
+	})
+
+	db := fluodb.Open()
+	workloads.AttachConviva(db, 150_000, 77)
+
+	const q = `
+		SELECT GINI(play_time), AVG(play_time), COUNT(*)
+		FROM sessions
+		WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)`
+
+	oq, err := db.QueryOnline(q, fluodb.OnlineOptions{Batches: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("watch-time inequality among slow-buffering sessions (refining):")
+	_, err = oq.Run(func(s *fluodb.Snapshot) bool {
+		row := s.Rows[0]
+		fmt.Printf("  %3.0f%% of data: GINI = %.4f [%.4f, %.4f]   AVG = %.1f   n ≈ %.0f\n",
+			s.FractionProcessed*100,
+			f(row[0].Value), row[0].CI.Lo, row[0].CI.Hi,
+			f(row[1].Value), f(row[2].Value))
+		return true
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	exact, err := db.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full scan (same reservoir approximation, different sample): GINI = %.4f\n",
+		f(exact.Rows[0][0]))
+}
+
+func f(v fluodb.Value) float64 {
+	x, _ := v.AsFloat()
+	return x
+}

@@ -1,0 +1,57 @@
+package fluodb
+
+import (
+	"fluodb/internal/exec"
+	"fluodb/internal/plan"
+	"fluodb/internal/sqlparser"
+)
+
+// ExecResult is the outcome of Exec.
+type ExecResult struct {
+	// RowsAffected is the number of rows inserted (INSERT), or 0.
+	RowsAffected int
+	// Result is non-nil iff the statement was a SELECT.
+	Result *Result
+}
+
+// Exec parses and executes any supported SQL statement: SELECT (returned
+// like Query), CREATE TABLE, INSERT INTO ... VALUES, or DROP TABLE. A
+// trailing semicolon is accepted.
+func (db *DB) Exec(sql string) (*ExecResult, error) {
+	stmt, err := sqlparser.ParseStatement(sql)
+	if err != nil {
+		return nil, err
+	}
+	if sel, ok := stmt.(*sqlparser.SelectStmt); ok {
+		q, err := plan.CompileStmt(sel, sql, db.cat)
+		if err != nil {
+			return nil, err
+		}
+		res, err := exec.Run(q, db.cat)
+		if err != nil {
+			return nil, err
+		}
+		return &ExecResult{Result: &Result{Schema: res.Schema, Rows: res.Rows}}, nil
+	}
+	n, err := exec.ExecStatement(stmt, db.cat)
+	if err != nil {
+		return nil, err
+	}
+	return &ExecResult{RowsAffected: n}, nil
+}
+
+// ExecScript executes a multi-statement SQL script (statements separated
+// by semicolons; line comments and string literals are respected). It
+// stops at the first error and returns the results of the statements
+// that ran.
+func (db *DB) ExecScript(script string) ([]*ExecResult, error) {
+	var out []*ExecResult
+	for _, stmt := range sqlparser.SplitStatements(script) {
+		r, err := db.Exec(stmt)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,3 @@
+module fluodb
+
+go 1.22

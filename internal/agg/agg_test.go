@@ -1,0 +1,386 @@
+package agg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fluodb/internal/types"
+)
+
+func mkState(t *testing.T, name string, params ...types.Value) State {
+	t.Helper()
+	f, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("Lookup(%s) failed", name)
+	}
+	s, err := f.NewState(params)
+	if err != nil {
+		t.Fatalf("NewState(%s): %v", name, err)
+	}
+	return s
+}
+
+func addAll(s State, vals ...float64) {
+	for _, v := range vals {
+		s.Add(types.NewFloat(v), 1)
+	}
+}
+
+func resF(t *testing.T, s State, scale float64) float64 {
+	t.Helper()
+	v := s.Result(scale)
+	f, ok := v.AsFloat()
+	if !ok {
+		t.Fatalf("Result = %v, want numeric", v)
+	}
+	return f
+}
+
+func TestCount(t *testing.T) {
+	s := mkState(t, "COUNT")
+	addAll(s, 1, 2, 3)
+	s.Add(types.Null, 1) // NULLs don't count
+	if got := resF(t, s, 1); got != 3 {
+		t.Errorf("count = %v", got)
+	}
+	// extensive scaling: m = k/i
+	if got := resF(t, s, 4); got != 12 {
+		t.Errorf("scaled count = %v", got)
+	}
+}
+
+func TestSumAvg(t *testing.T) {
+	s := mkState(t, "SUM")
+	addAll(s, 1, 2, 3.5)
+	if got := resF(t, s, 1); got != 6.5 {
+		t.Errorf("sum = %v", got)
+	}
+	if got := resF(t, s, 2); got != 13 {
+		t.Errorf("scaled sum = %v", got)
+	}
+	a := mkState(t, "AVG")
+	addAll(a, 1, 2, 3)
+	if got := resF(t, a, 1); got != 2 {
+		t.Errorf("avg = %v", got)
+	}
+	// AVG is intensive: scale must not change it.
+	if got := resF(t, a, 10); got != 2 {
+		t.Errorf("scaled avg = %v", got)
+	}
+}
+
+func TestEmptyStatesAreNull(t *testing.T) {
+	for _, name := range []string{"SUM", "AVG", "MIN", "MAX", "STDDEV", "MEDIAN"} {
+		s := mkState(t, name)
+		if !s.Result(1).IsNull() {
+			t.Errorf("%s of empty input should be NULL, got %v", name, s.Result(1))
+		}
+	}
+	c := mkState(t, "COUNT")
+	if got := resF(t, c, 1); got != 0 {
+		t.Errorf("COUNT of empty input = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	mn, mx := mkState(t, "MIN"), mkState(t, "MAX")
+	for _, v := range []float64{5, -2, 9, 3} {
+		mn.Add(types.NewFloat(v), 1)
+		mx.Add(types.NewFloat(v), 1)
+	}
+	if got := resF(t, mn, 1); got != -2 {
+		t.Errorf("min = %v", got)
+	}
+	if got := resF(t, mx, 1); got != 9 {
+		t.Errorf("max = %v", got)
+	}
+	// weight 0 = not sampled in this bootstrap trial
+	mn.Add(types.NewFloat(-100), 0)
+	if got := resF(t, mn, 1); got != -2 {
+		t.Errorf("weight-0 add changed min: %v", got)
+	}
+}
+
+func TestStddevMatchesTwoPass(t *testing.T) {
+	vals := []float64{4, 8, 15, 16, 23, 42}
+	s := mkState(t, "STDDEV")
+	addAll(s, vals...)
+	mean := 0.0
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	var ss float64
+	for _, v := range vals {
+		ss += (v - mean) * (v - mean)
+	}
+	want := math.Sqrt(ss / float64(len(vals)-1))
+	if got := resF(t, s, 1); math.Abs(got-want) > 1e-9 {
+		t.Errorf("stddev = %v, want %v", got, want)
+	}
+	v := mkState(t, "VARIANCE")
+	addAll(v, vals...)
+	if got := resF(t, v, 1); math.Abs(got-want*want) > 1e-6 {
+		t.Errorf("variance = %v, want %v", got, want*want)
+	}
+}
+
+func TestStddevSingleValueNull(t *testing.T) {
+	s := mkState(t, "STDDEV")
+	addAll(s, 42)
+	if !s.Result(1).IsNull() {
+		t.Error("sample stddev of one value should be NULL")
+	}
+	p := mkState(t, "STDDEV_POP")
+	addAll(p, 42)
+	if got := resF(t, p, 1); got != 0 {
+		t.Errorf("population stddev of one value = %v, want 0", got)
+	}
+}
+
+func TestWeightedMoments(t *testing.T) {
+	// Adding x with weight 3 must equal adding it 3 times.
+	a := mkState(t, "AVG")
+	a.Add(types.NewFloat(10), 3)
+	a.Add(types.NewFloat(2), 1)
+	b := mkState(t, "AVG")
+	addAll(b, 10, 10, 10, 2)
+	if resF(t, a, 1) != resF(t, b, 1) {
+		t.Error("weighted AVG mismatch")
+	}
+}
+
+func TestMedianAndQuantile(t *testing.T) {
+	m := mkState(t, "MEDIAN")
+	addAll(m, 9, 1, 5, 3, 7)
+	if got := resF(t, m, 1); got != 5 {
+		t.Errorf("median = %v", got)
+	}
+	q := mkState(t, "QUANTILE", types.NewFloat(0.9))
+	for i := 1; i <= 100; i++ {
+		q.Add(types.NewFloat(float64(i)), 1)
+	}
+	got := resF(t, q, 1)
+	if got < 88 || got > 92 {
+		t.Errorf("p90 of 1..100 = %v", got)
+	}
+	p := mkState(t, "PERCENTILE", types.NewFloat(50))
+	addAll(p, 1, 2, 3)
+	if got := resF(t, p, 1); got != 2 {
+		t.Errorf("PERCENTILE(50) = %v", got)
+	}
+}
+
+func TestQuantileParamValidation(t *testing.T) {
+	f, _ := Lookup("QUANTILE")
+	if _, err := f.NewState([]types.Value{types.NewFloat(1.5)}); err == nil {
+		t.Error("q=1.5 should be rejected")
+	}
+	if _, err := f.NewState(nil); err == nil {
+		t.Error("missing q should be rejected")
+	}
+	c, _ := Lookup("COUNT")
+	if _, err := c.NewState([]types.Value{types.NewFloat(1)}); err == nil {
+		t.Error("COUNT with params should be rejected")
+	}
+}
+
+func TestMergeEquivalence(t *testing.T) {
+	for _, name := range []string{"COUNT", "SUM", "AVG", "MIN", "MAX", "STDDEV"} {
+		whole := mkState(t, name)
+		a := mkState(t, name)
+		b := mkState(t, name)
+		vals := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+		for i, v := range vals {
+			whole.Add(types.NewFloat(v), 1)
+			if i%2 == 0 {
+				a.Add(types.NewFloat(v), 1)
+			} else {
+				b.Add(types.NewFloat(v), 1)
+			}
+		}
+		a.Merge(b)
+		w, _ := whole.Result(1).AsFloat()
+		m, _ := a.Result(1).AsFloat()
+		if math.Abs(w-m) > 1e-9 {
+			t.Errorf("%s: merge %v != whole %v", name, m, w)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	for _, name := range []string{"COUNT", "SUM", "AVG", "MIN", "MAX", "STDDEV", "MEDIAN"} {
+		s := mkState(t, name)
+		addAll(s, 1, 2, 3)
+		before, _ := s.Result(1).AsFloat()
+		c := s.Clone()
+		addAll(c, 1000)
+		after, _ := s.Result(1).AsFloat()
+		if before != after {
+			t.Errorf("%s: Clone aliases original", name)
+		}
+	}
+}
+
+func TestSumMergeAssociativeQuick(t *testing.T) {
+	f := func(xs []float64) bool {
+		whole := &sumState{}
+		a, b := &sumState{}, &sumState{}
+		var absSum float64
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			// Bound magnitudes so the tolerance isn't dominated by
+			// catastrophic cancellation between ±1e308 values.
+			x = math.Mod(x, 1e9)
+			absSum += math.Abs(x)
+			whole.Add(types.NewFloat(x), 1)
+			if i%3 == 0 {
+				a.Add(types.NewFloat(x), 1)
+			} else {
+				b.Add(types.NewFloat(x), 1)
+			}
+		}
+		a.Merge(b)
+		if len(xs) == 0 {
+			return a.Result(1).IsNull() == whole.Result(1).IsNull()
+		}
+		wa, _ := a.Result(1).AsFloat()
+		ww, _ := whole.Result(1).AsFloat()
+		diff := math.Abs(wa - ww)
+		tol := 1e-9 * (1 + absSum)
+		return diff <= tol
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAvgScaleInvariantQuick(t *testing.T) {
+	// Property: AVG(scale) == AVG(1) for any positive scale — the intensive
+	// aggregates are invariant under the multiplicity annotation m = k/i.
+	f := func(xs []float64, scaleSeed uint8) bool {
+		s := &avgState{}
+		any := false
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			s.Add(types.NewFloat(x), 1)
+			any = true
+		}
+		if !any {
+			return true
+		}
+		scale := 1 + float64(scaleSeed)
+		a, _ := s.Result(1).AsFloat()
+		b, _ := s.Result(scale).AsFloat()
+		return a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistinctCount(t *testing.T) {
+	inner := mkState(t, "COUNT")
+	d := NewDistinct(inner)
+	for _, v := range []int64{1, 2, 2, 3, 3, 3} {
+		d.Add(types.NewInt(v), 1)
+	}
+	d.Add(types.Null, 1)
+	if got, _ := d.Result(1).AsFloat(); got != 3 {
+		t.Errorf("count distinct = %v", got)
+	}
+	// DISTINCT never scales.
+	if got, _ := d.Result(100).AsFloat(); got != 3 {
+		t.Errorf("scaled count distinct = %v", got)
+	}
+	c := d.Clone()
+	c.Add(types.NewInt(99), 1)
+	if got, _ := d.Result(1).AsFloat(); got != 3 {
+		t.Error("Clone aliases distinct set")
+	}
+}
+
+func TestDistinctSum(t *testing.T) {
+	d := NewDistinct(mkState(t, "SUM"))
+	for _, v := range []int64{5, 5, 7} {
+		d.Add(types.NewInt(v), 1)
+	}
+	if got, _ := d.Result(1).AsFloat(); got != 12 {
+		t.Errorf("sum distinct = %v", got)
+	}
+}
+
+func TestRegisterUDAF(t *testing.T) {
+	// GEOMEAN as a user-defined aggregate.
+	Register(NewFunc("GEOMEAN", func(p []types.Value) (State, error) {
+		return &geoMean{}, nil
+	}))
+	if !IsAggregate("geomean") {
+		t.Fatal("UDAF not visible")
+	}
+	s := mkState(t, "GEOMEAN")
+	addAll(s, 1, 100)
+	if got := resF(t, s, 1); math.Abs(got-10) > 1e-9 {
+		t.Errorf("geomean = %v", got)
+	}
+}
+
+type geoMean struct{ logSum, w float64 }
+
+func (g *geoMean) Add(v types.Value, w float64) {
+	f, ok := v.AsFloat()
+	if !ok || f <= 0 {
+		return
+	}
+	g.logSum += math.Log(f) * w
+	g.w += w
+}
+func (g *geoMean) Merge(o State) {
+	og := o.(*geoMean)
+	g.logSum += og.logSum
+	g.w += og.w
+}
+func (g *geoMean) Result(scale float64) types.Value {
+	if g.w == 0 {
+		return types.Null
+	}
+	return types.NewFloat(math.Exp(g.logSum / g.w))
+}
+func (g *geoMean) Clone() State { c := *g; return &c }
+
+func TestLookupIsCaseInsensitive(t *testing.T) {
+	if _, ok := Lookup("avg"); !ok {
+		t.Error("lower-case lookup failed")
+	}
+	if IsAggregate("NOT_AN_AGG") {
+		t.Error("unknown name reported as aggregate")
+	}
+}
+
+func TestStdevAliasFromPaper(t *testing.T) {
+	// §2 lists STDEV among the standard aggregates.
+	if !IsAggregate("STDEV") {
+		t.Error("STDEV alias missing")
+	}
+}
+
+func BenchmarkAvgAdd(b *testing.B) {
+	s := &avgState{}
+	v := types.NewFloat(3.5)
+	for i := 0; i < b.N; i++ {
+		s.Add(v, 1)
+	}
+}
+
+func BenchmarkQuantileAdd(b *testing.B) {
+	s := newTDigestState(0.5)
+	v := types.NewFloat(3.5)
+	for i := 0; i < b.N; i++ {
+		s.Add(v, 1)
+	}
+}

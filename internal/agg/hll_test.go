@@ -1,0 +1,112 @@
+package agg
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"fluodb/internal/types"
+)
+
+func TestHLLAccuracySweep(t *testing.T) {
+	for _, n := range []int{100, 1000, 10000, 200000} {
+		h := newHLL()
+		for i := 0; i < n; i++ {
+			h.add(types.NewInt(int64(i)))
+		}
+		got := h.estimate()
+		relErr := math.Abs(got-float64(n)) / float64(n)
+		// 2^12 registers → σ ≈ 1.6%; allow 4σ plus small-range noise
+		if relErr > 0.07 {
+			t.Errorf("n=%d: estimate %.0f (rel err %.3f)", n, got, relErr)
+		}
+	}
+}
+
+func TestHLLDuplicatesDoNotInflate(t *testing.T) {
+	h := newHLL()
+	for pass := 0; pass < 10; pass++ {
+		for i := 0; i < 5000; i++ {
+			h.add(types.NewInt(int64(i)))
+		}
+	}
+	got := h.estimate()
+	if math.Abs(got-5000)/5000 > 0.07 {
+		t.Errorf("estimate with duplicates = %.0f", got)
+	}
+}
+
+func TestHLLStrings(t *testing.T) {
+	h := newHLL()
+	for i := 0; i < 20000; i++ {
+		h.add(types.NewString(fmt.Sprintf("user-%d@example.com", i)))
+	}
+	got := h.estimate()
+	if math.Abs(got-20000)/20000 > 0.07 {
+		t.Errorf("string cardinality = %.0f", got)
+	}
+}
+
+func TestHLLMergeEqualsUnion(t *testing.T) {
+	a, b := newHLL(), newHLL()
+	for i := 0; i < 8000; i++ {
+		a.add(types.NewInt(int64(i)))
+	}
+	for i := 4000; i < 12000; i++ {
+		b.add(types.NewInt(int64(i)))
+	}
+	a.merge(b)
+	got := a.estimate()
+	if math.Abs(got-12000)/12000 > 0.07 {
+		t.Errorf("union estimate = %.0f, want ≈12000", got)
+	}
+}
+
+func TestApproxCountDistinctState(t *testing.T) {
+	s := mkState(t, "APPROX_COUNT_DISTINCT")
+	if got := resF(t, s, 1); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	for i := 0; i < 3000; i++ {
+		s.Add(types.NewInt(int64(i%1000)), 1)
+	}
+	s.Add(types.Null, 1)      // NULL ignored
+	s.Add(types.NewInt(5), 0) // weight 0 skipped
+	got := resF(t, s, 1)
+	if math.Abs(got-1000)/1000 > 0.07 {
+		t.Errorf("distinct ≈ %v, want ≈1000", got)
+	}
+	// scale-invariant like COUNT(DISTINCT)
+	if got2 := resF(t, s, 10); got2 != got {
+		t.Error("scale must not change distinct estimates")
+	}
+	// clone independence
+	c := s.Clone()
+	for i := 0; i < 5000; i++ {
+		c.Add(types.NewInt(int64(10000+i)), 1)
+	}
+	if got3 := resF(t, s, 1); got3 != got {
+		t.Error("Clone aliases sketch")
+	}
+	// merge
+	o := mkState(t, "APPROX_COUNT_DISTINCT")
+	for i := 1000; i < 2000; i++ {
+		o.Add(types.NewInt(int64(i)), 1)
+	}
+	s.Merge(o)
+	if got4 := resF(t, s, 1); math.Abs(got4-2000)/2000 > 0.07 {
+		t.Errorf("merged ≈ %v, want ≈2000", got4)
+	}
+	if _, err := mustLookup(t, "APPROX_COUNT_DISTINCT").NewState([]types.Value{types.NewInt(1)}); err == nil {
+		t.Error("params should be rejected")
+	}
+}
+
+func mustLookup(t *testing.T, name string) Func {
+	t.Helper()
+	f, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("missing %s", name)
+	}
+	return f
+}

@@ -1,0 +1,221 @@
+package agg
+
+import (
+	"math"
+	"sort"
+
+	"fluodb/internal/types"
+)
+
+// tdigest is a merging t-digest (Dunning & Ertl): a bounded-size sketch
+// of a distribution whose accuracy concentrates at the tails, replacing
+// the naive uniform reservoir for QUANTILE/MEDIAN/PERCENTILE. It is
+// weighted (weights carry multiset multiplicities and poissonized
+// bootstrap resamples), mergeable, and cloneable, so it slots directly
+// into the online engine's state model.
+type tdigest struct {
+	compression float64
+	// processed centroids, sorted by mean
+	means   []float64
+	weights []float64
+	// unprocessed buffer
+	bufMeans   []float64
+	bufWeights []float64
+	totalW     float64
+	min, max   float64
+	seen       bool
+}
+
+// tdigestCompression trades size for accuracy; 100 gives ~0.5–1%
+// relative quantile error with ≤ ~200 centroids.
+const tdigestCompression = 100
+
+func newTDigest() *tdigest {
+	return &tdigest{
+		compression: tdigestCompression,
+		min:         math.Inf(1),
+		max:         math.Inf(-1),
+	}
+}
+
+// add buffers one observation; the buffer is folded into the digest
+// when it outgrows the compression budget.
+func (t *tdigest) add(x, w float64) {
+	if w <= 0 {
+		return
+	}
+	t.bufMeans = append(t.bufMeans, x)
+	t.bufWeights = append(t.bufWeights, w)
+	t.totalW += w
+	if x < t.min {
+		t.min = x
+	}
+	if x > t.max {
+		t.max = x
+	}
+	t.seen = true
+	if len(t.bufMeans) >= int(4*t.compression) {
+		t.process()
+	}
+}
+
+// process merges the buffer into the centroid list, then compresses
+// using the k1 scale function's size bound per centroid.
+func (t *tdigest) process() {
+	if len(t.bufMeans) == 0 {
+		return
+	}
+	means := append(t.means, t.bufMeans...)
+	weights := append(t.weights, t.bufWeights...)
+	t.bufMeans = t.bufMeans[:0]
+	t.bufWeights = t.bufWeights[:0]
+
+	idx := make([]int, len(means))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return means[idx[a]] < means[idx[b]] })
+
+	var outM, outW []float64
+	var cumW float64
+	i := 0
+	for i < len(idx) {
+		m, w := means[idx[i]], weights[idx[i]]
+		i++
+		// absorb following centroids while the k1-scale span of the
+		// merged centroid stays within one unit (Dunning & Ertl)
+		limit := t.k1(cumW/t.totalW) + 1
+		for i < len(idx) {
+			qRight := (cumW + w + weights[idx[i]]) / t.totalW
+			if t.k1(qRight) > limit {
+				break
+			}
+			nw := w + weights[idx[i]]
+			m = m + (means[idx[i]]-m)*(weights[idx[i]]/nw)
+			w = nw
+			i++
+		}
+		outM = append(outM, m)
+		outW = append(outW, w)
+		cumW += w
+	}
+	t.means = outM
+	t.weights = outW
+}
+
+// k1 is the tail-concentrating scale function of the merging t-digest.
+func (t *tdigest) k1(q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	return t.compression / (2 * math.Pi) * math.Asin(2*q-1)
+}
+
+// quantile returns the q-quantile estimate.
+func (t *tdigest) quantile(q float64) (float64, bool) {
+	t.process()
+	if !t.seen || len(t.means) == 0 {
+		return 0, false
+	}
+	if q <= 0 {
+		return t.min, true
+	}
+	if q >= 1 {
+		return t.max, true
+	}
+	target := q * t.totalW
+	var cum float64
+	for i := range t.means {
+		w := t.weights[i]
+		if cum+w >= target {
+			// interpolate inside the centroid toward its neighbors
+			var lo, hi float64
+			if i == 0 {
+				lo = t.min
+			} else {
+				lo = (t.means[i-1] + t.means[i]) / 2
+			}
+			if i == len(t.means)-1 {
+				hi = t.max
+			} else {
+				hi = (t.means[i] + t.means[i+1]) / 2
+			}
+			if w <= 0 {
+				return t.means[i], true
+			}
+			frac := (target - cum) / w
+			return lo + (hi-lo)*frac, true
+		}
+		cum += w
+	}
+	return t.max, true
+}
+
+// merge folds another digest into this one.
+func (t *tdigest) merge(o *tdigest) {
+	o.process()
+	for i := range o.means {
+		t.add(o.means[i], o.weights[i])
+	}
+	for i := range o.bufMeans {
+		t.add(o.bufMeans[i], o.bufWeights[i])
+	}
+}
+
+// clone deep-copies the digest.
+func (t *tdigest) clone() *tdigest {
+	c := &tdigest{
+		compression: t.compression,
+		totalW:      t.totalW,
+		min:         t.min,
+		max:         t.max,
+		seen:        t.seen,
+	}
+	c.means = append([]float64(nil), t.means...)
+	c.weights = append([]float64(nil), t.weights...)
+	c.bufMeans = append([]float64(nil), t.bufMeans...)
+	c.bufWeights = append([]float64(nil), t.bufWeights...)
+	return c
+}
+
+// tdigestState adapts tdigest to the aggregate State interface for
+// QUANTILE/MEDIAN/PERCENTILE.
+type tdigestState struct {
+	q float64
+	d *tdigest
+}
+
+func newTDigestState(q float64) *tdigestState {
+	return &tdigestState{q: q, d: newTDigest()}
+}
+
+// Add implements State.
+func (s *tdigestState) Add(v types.Value, w float64) {
+	f, ok := v.AsFloat()
+	if !ok {
+		return
+	}
+	s.d.add(f, w)
+}
+
+// Merge implements State.
+func (s *tdigestState) Merge(o State) {
+	s.d.merge(o.(*tdigestState).d)
+}
+
+// Result implements State. Quantiles are intensive: scale is a no-op.
+func (s *tdigestState) Result(scale float64) types.Value {
+	v, ok := s.d.quantile(s.q)
+	if !ok {
+		return types.Null
+	}
+	return types.NewFloat(v)
+}
+
+// Clone implements State.
+func (s *tdigestState) Clone() State {
+	return &tdigestState{q: s.q, d: s.d.clone()}
+}

@@ -1,0 +1,208 @@
+package agg
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"fluodb/internal/types"
+)
+
+// xorshift for test data
+type tRand struct{ s uint64 }
+
+func (r *tRand) next() float64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return float64(r.s>>11) / (1 << 53)
+}
+
+func exactQuantile(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[int(q*float64(len(sorted)))]
+}
+
+func TestTDigestAccuracyUniform(t *testing.T) {
+	r := &tRand{s: 7}
+	d := newTDigest()
+	var vals []float64
+	for i := 0; i < 100000; i++ {
+		x := r.next() * 1000
+		vals = append(vals, x)
+		d.add(x, 1)
+	}
+	sort.Float64s(vals)
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		got, ok := d.quantile(q)
+		if !ok {
+			t.Fatalf("q=%v: no estimate", q)
+		}
+		want := exactQuantile(vals, q)
+		// absolute rank error: find got's rank
+		rank := float64(sort.SearchFloat64s(vals, got)) / float64(len(vals))
+		if math.Abs(rank-q) > 0.01 {
+			t.Errorf("q=%v: estimate %v (rank %.4f), exact %v", q, got, rank, want)
+		}
+	}
+	// extreme quantiles are exact min/max
+	if got, _ := d.quantile(0); got != vals[0] {
+		t.Errorf("q=0: %v vs %v", got, vals[0])
+	}
+	if got, _ := d.quantile(1); got != vals[len(vals)-1] {
+		t.Errorf("q=1: %v vs %v", got, vals[len(vals)-1])
+	}
+}
+
+func TestTDigestAccuracySkewed(t *testing.T) {
+	// log-normal-ish heavy tail: tails are where t-digest shines
+	r := &tRand{s: 9}
+	d := newTDigest()
+	var vals []float64
+	for i := 0; i < 50000; i++ {
+		u := r.next()
+		if u < 1e-12 {
+			u = 1e-12
+		}
+		x := math.Exp(3 + 1.2*math.Sqrt(-2*math.Log(u))*math.Cos(2*math.Pi*r.next()))
+		vals = append(vals, x)
+		d.add(x, 1)
+	}
+	sort.Float64s(vals)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got, _ := d.quantile(q)
+		rank := float64(sort.SearchFloat64s(vals, got)) / float64(len(vals))
+		if math.Abs(rank-q) > 0.012 {
+			t.Errorf("q=%v: rank error %.4f", q, math.Abs(rank-q))
+		}
+	}
+}
+
+func TestTDigestBoundedSize(t *testing.T) {
+	d := newTDigest()
+	for i := 0; i < 500000; i++ {
+		d.add(float64(i%99991), 1)
+	}
+	d.process()
+	if len(d.means) > 3*int(d.compression) {
+		t.Errorf("digest grew to %d centroids", len(d.means))
+	}
+}
+
+func TestTDigestWeighted(t *testing.T) {
+	// weight w must equal w repeated unit additions
+	a, b := newTDigest(), newTDigest()
+	r := &tRand{s: 3}
+	for i := 0; i < 2000; i++ {
+		x := r.next() * 100
+		a.add(x, 3)
+		b.add(x, 1)
+		b.add(x, 1)
+		b.add(x, 1)
+	}
+	for _, q := range []float64{0.25, 0.5, 0.75} {
+		av, _ := a.quantile(q)
+		bv, _ := b.quantile(q)
+		if math.Abs(av-bv) > 2.0 {
+			t.Errorf("q=%v: weighted %v vs repeated %v", q, av, bv)
+		}
+	}
+}
+
+func TestTDigestMergeEquivalentAccuracy(t *testing.T) {
+	r := &tRand{s: 11}
+	whole := newTDigest()
+	parts := []*tdigest{newTDigest(), newTDigest(), newTDigest()}
+	var vals []float64
+	for i := 0; i < 30000; i++ {
+		x := r.next() * 500
+		vals = append(vals, x)
+		whole.add(x, 1)
+		parts[i%3].add(x, 1)
+	}
+	merged := newTDigest()
+	for _, p := range parts {
+		merged.merge(p)
+	}
+	sort.Float64s(vals)
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		mv, _ := merged.quantile(q)
+		rank := float64(sort.SearchFloat64s(vals, mv)) / float64(len(vals))
+		if math.Abs(rank-q) > 0.02 {
+			t.Errorf("merged q=%v: rank error %.4f", q, math.Abs(rank-q))
+		}
+	}
+}
+
+func TestTDigestCloneIndependent(t *testing.T) {
+	d := newTDigest()
+	for i := 0; i < 1000; i++ {
+		d.add(float64(i), 1)
+	}
+	before, _ := d.quantile(0.5)
+	c := d.clone()
+	for i := 0; i < 1000; i++ {
+		c.add(1e6, 1)
+	}
+	after, _ := d.quantile(0.5)
+	if before != after {
+		t.Error("clone aliases original")
+	}
+	cm, _ := c.quantile(0.9)
+	if cm < 1000 {
+		t.Errorf("clone median after skew = %v", cm)
+	}
+}
+
+func TestTDigestStateInterface(t *testing.T) {
+	s := newTDigestState(0.5)
+	if !s.Result(1).IsNull() {
+		t.Error("empty digest should be NULL")
+	}
+	for i := 1; i <= 101; i++ {
+		s.Add(types.NewFloat(float64(i)), 1)
+	}
+	s.Add(types.NewString("skip"), 1) // non-numeric ignored
+	got, _ := s.Result(1).AsFloat()
+	if got < 48 || got > 54 {
+		t.Errorf("median of 1..101 = %v", got)
+	}
+	// intensive: scale no-op
+	got2, _ := s.Result(7).AsFloat()
+	if got != got2 {
+		t.Error("scale must not affect quantiles")
+	}
+	c := s.Clone()
+	c.Add(types.NewFloat(1e9), 100)
+	got3, _ := s.Result(1).AsFloat()
+	if got3 != got {
+		t.Error("Clone aliases state")
+	}
+	other := newTDigestState(0.5)
+	for i := 0; i < 50; i++ {
+		other.Add(types.NewFloat(1000), 1)
+	}
+	s.Merge(other)
+	got4, _ := s.Result(1).AsFloat()
+	if got4 <= got {
+		t.Error("merge should shift the median up")
+	}
+}
+
+func BenchmarkTDigestAdd(b *testing.B) {
+	d := newTDigest()
+	r := &tRand{s: 5}
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = r.next() * 1000
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.add(xs[i%len(xs)], 1)
+	}
+}

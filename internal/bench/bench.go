@@ -1,0 +1,582 @@
+// Package bench regenerates every figure and quantitative claim of the
+// paper's evaluation (§5). Each experiment returns a structured result
+// whose fields correspond to the series/rows the paper reports; the
+// flbench command renders them as tables, and bench_test.go exposes them
+// as testing.B benchmarks. See DESIGN.md §4 for the experiment index.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"fluodb/internal/baseline"
+	"fluodb/internal/core"
+	"fluodb/internal/exec"
+	"fluodb/internal/plan"
+	"fluodb/internal/storage"
+	"fluodb/internal/workload"
+)
+
+// Config scales the experiments. The defaults target a laptop: the
+// paper ran 100 GB per dataset on a 100-node cluster; shapes (who wins,
+// growth trends, crossovers) are preserved at this scale, absolute
+// seconds are not.
+type Config struct {
+	Rows    int // fact-table rows
+	Parts   int // distinct parts for the TPC-H-style data
+	Batches int // k
+	Trials  int // B bootstrap trials
+	Seed    uint64
+}
+
+// WithDefaults fills unset fields.
+func (c Config) WithDefaults() Config {
+	if c.Rows <= 0 {
+		c.Rows = 100000
+	}
+	if c.Parts <= 0 {
+		c.Parts = c.Rows/150 + 10
+	}
+	if c.Batches <= 0 {
+		c.Batches = 10
+	}
+	if c.Trials <= 0 {
+		c.Trials = 100
+	}
+	if c.Seed == 0 {
+		c.Seed = 20150531 // SIGMOD'15 opening day
+	}
+	return c
+}
+
+// catalogFor builds the dataset a suite query needs.
+func catalogFor(q workload.Query, cfg Config) *storage.Catalog {
+	if q.Dataset == "conviva" {
+		return workload.ConvivaCatalog(cfg.Rows, cfg.Seed)
+	}
+	return workload.TPCHCatalog(cfg.Rows, cfg.Parts, cfg.Seed)
+}
+
+// ---------------------------------------------------------------------
+// Figure 3(a): relative standard deviation vs. query time for TPC-H Q17
+// under G-OLA, with the batch engine's completion time as reference.
+// ---------------------------------------------------------------------
+
+// Fig3aPoint is one point of the refinement curve.
+type Fig3aPoint struct {
+	Batch       int
+	ElapsedMS   float64 // cumulative G-OLA time when the snapshot appeared
+	RSDPercent  float64
+	Uncertain   int
+	FractionPct float64
+}
+
+// Fig3aResult is the full Figure 3(a) data.
+type Fig3aResult struct {
+	Query            string
+	Points           []Fig3aPoint
+	BatchEngineMS    float64 // the vertical bar
+	FirstAnswerMS    float64
+	FirstAnswerPct   float64 // first answer as % of batch time (paper: ~1.6%)
+	TotalOnlineMS    float64
+	OverheadPct      float64 // G-OLA total vs batch (paper: ~+60%)
+	TimeTo2PctMS     float64 // time until RSD ≤ 2% (paper: ~10× faster), -1 if never
+	SpeedupAt2PctRSD float64
+}
+
+// Figure3a runs the experiment.
+func Figure3a(cfg Config) (*Fig3aResult, error) {
+	cfg = cfg.WithDefaults()
+	wq, _ := workload.ByName("Q17")
+	cat := catalogFor(wq, cfg)
+
+	// Batch engine reference (the vertical bar in the plot).
+	qb, err := plan.Compile(wq.SQL, cat)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	if _, err := exec.Run(qb, cat); err != nil {
+		return nil, err
+	}
+	batchMS := ms(time.Since(t0))
+
+	qo, err := plan.Compile(wq.SQL, cat)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.New(qo, cat, core.Options{
+		Batches: cfg.Batches, Trials: cfg.Trials, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig3aResult{Query: wq.Name, BatchEngineMS: batchMS, TimeTo2PctMS: -1}
+	var cum float64
+	start := time.Now()
+	for !eng.Done() {
+		s, err := eng.Step()
+		if err != nil {
+			return nil, err
+		}
+		cum = ms(time.Since(start))
+		p := Fig3aPoint{
+			Batch:       s.Batch,
+			ElapsedMS:   cum,
+			RSDPercent:  s.RSD() * 100,
+			Uncertain:   s.UncertainRows,
+			FractionPct: s.FractionProcessed * 100,
+		}
+		res.Points = append(res.Points, p)
+		if res.FirstAnswerMS == 0 {
+			res.FirstAnswerMS = cum
+		}
+		if res.TimeTo2PctMS < 0 && p.RSDPercent <= 2 {
+			res.TimeTo2PctMS = cum
+		}
+	}
+	res.TotalOnlineMS = cum
+	if batchMS > 0 {
+		res.FirstAnswerPct = res.FirstAnswerMS / batchMS * 100
+		res.OverheadPct = (res.TotalOnlineMS - batchMS) / batchMS * 100
+		if res.TimeTo2PctMS > 0 {
+			res.SpeedupAt2PctRSD = batchMS / res.TimeTo2PctMS
+		}
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------
+// Figure 3(b): per-batch query-time ratio CDM / G-OLA over the first 10
+// mini-batches for C1, C2, C3, Q11, Q17, Q18, Q20.
+// ---------------------------------------------------------------------
+
+// Fig3bSeries is one query's curve.
+type Fig3bSeries struct {
+	Query  string
+	GolaMS []float64
+	CdmMS  []float64
+	Ratio  []float64
+}
+
+// Fig3bQueries lists the queries Figure 3(b) plots.
+var Fig3bQueries = []string{"C1", "C2", "C3", "Q11", "Q17", "Q18", "Q20"}
+
+// Figure3b runs the experiment. Like the paper, it measures the first
+// cfg.Batches mini-batches of a much longer run (the paper uses 1 GB
+// batches over 100 GB, i.e. a window of 10 out of k = 100), so
+// completion effects never enter the window.
+func Figure3b(cfg Config) ([]Fig3bSeries, error) {
+	cfg = cfg.WithDefaults()
+	window := cfg.Batches
+	total := window * 5 // the window covers the first 20% of the data
+	var out []Fig3bSeries
+	for _, name := range Fig3bQueries {
+		wq, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown query %s", name)
+		}
+		cat := catalogFor(wq, cfg)
+		s := Fig3bSeries{Query: name}
+
+		qg, err := plan.Compile(wq.SQL, cat)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", name, err)
+		}
+		eng, err := core.New(qg, cat, core.Options{
+			Batches: total, Trials: cfg.Trials, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < window; i++ {
+			t0 := time.Now()
+			if _, err := eng.Step(); err != nil {
+				return nil, err
+			}
+			s.GolaMS = append(s.GolaMS, ms(time.Since(t0)))
+		}
+
+		qc, err := plan.Compile(wq.SQL, cat)
+		if err != nil {
+			return nil, err
+		}
+		cdm, err := baseline.NewCDM(qc, cat, total)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < window; i++ {
+			t0 := time.Now()
+			if _, err := cdm.Step(); err != nil {
+				return nil, err
+			}
+			s.CdmMS = append(s.CdmMS, ms(time.Since(t0)))
+		}
+
+		for i := range s.GolaMS {
+			g := s.GolaMS[i]
+			if g <= 0 {
+				g = 0.001
+			}
+			s.Ratio = append(s.Ratio, s.CdmMS[i]/g)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// T1 (§5 prose): headline latency metrics for Q17.
+// ---------------------------------------------------------------------
+
+// T1Result captures the prose claims around Figure 3(a).
+type T1Result struct {
+	Fig3a          *Fig3aResult
+	MeanRefreshMS  float64 // the paper's "refined every ~2.5 s" cadence
+	FinalRSDPct    float64
+	FinalUncertain int
+}
+
+// Table1 runs the experiment.
+func Table1(cfg Config) (*T1Result, error) {
+	f, err := Figure3a(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := &T1Result{Fig3a: f}
+	if n := len(f.Points); n > 0 {
+		r.MeanRefreshMS = f.TotalOnlineMS / float64(n)
+		r.FinalRSDPct = f.Points[n-1].RSDPercent
+		r.FinalUncertain = f.Points[n-1].Uncertain
+	}
+	return r, nil
+}
+
+// ---------------------------------------------------------------------
+// T2 (§3.2/§5 prose): uncertain sets are very small in practice.
+// ---------------------------------------------------------------------
+
+// T2Row is one query's uncertain-set profile.
+type T2Row struct {
+	Query        string
+	PerBatch     []int
+	MaxUncertain int
+	MaxPctOfSeen float64
+	Final        int
+	Recomputes   int
+}
+
+// Table2 profiles the uncertain sets of every suite query.
+func Table2(cfg Config) ([]T2Row, error) {
+	cfg = cfg.WithDefaults()
+	var out []T2Row
+	for _, wq := range workload.Suite() {
+		cat := catalogFor(wq, cfg)
+		q, err := plan.Compile(wq.SQL, cat)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := core.New(q, cat, core.Options{
+			Batches: cfg.Batches, Trials: cfg.Trials, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := T2Row{Query: wq.Name}
+		rowsPerBatch := cfg.Rows / cfg.Batches
+		for !eng.Done() {
+			s, err := eng.Step()
+			if err != nil {
+				return nil, err
+			}
+			row.PerBatch = append(row.PerBatch, s.UncertainRows)
+			if s.UncertainRows > row.MaxUncertain {
+				row.MaxUncertain = s.UncertainRows
+			}
+			seen := rowsPerBatch * s.Batch
+			if seen > 0 {
+				pct := float64(s.UncertainRows) / float64(seen) * 100
+				if pct > row.MaxPctOfSeen {
+					row.MaxPctOfSeen = pct
+				}
+			}
+			row.Final = s.UncertainRows
+			row.Recomputes = s.Recomputes
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// A1 (ablation, §3.2): the ε slack trades recomputation probability
+// against uncertain-set size.
+// ---------------------------------------------------------------------
+
+// EpsPoint is one (query, ε) setting's outcome.
+type EpsPoint struct {
+	Query        string
+	EpsilonSigma float64
+	Recomputes   int
+	MaxUncertain int
+	TotalMS      float64
+}
+
+// AblationEpsilon sweeps ε over SBI (a stable global threshold, showing
+// the uncertain-set growth) and Q17 (fragile per-group ranges, showing
+// the recomputation side of the trade).
+func AblationEpsilon(cfg Config, epsilons []float64) ([]EpsPoint, error) {
+	cfg = cfg.WithDefaults()
+	if len(epsilons) == 0 {
+		epsilons = []float64{0.05, 0.25, 0.5, 1.0, 2.0, 4.0}
+	}
+	var out []EpsPoint
+	for _, name := range []string{"SBI", "Q17"} {
+		wq, _ := workload.ByName(name)
+		cat := catalogFor(wq, cfg)
+		for _, eps := range epsilons {
+			q, err := plan.Compile(wq.SQL, cat)
+			if err != nil {
+				return nil, err
+			}
+			eng, err := core.New(q, cat, core.Options{
+				Batches: cfg.Batches, Trials: cfg.Trials, Seed: cfg.Seed, EpsilonSigma: eps,
+			})
+			if err != nil {
+				return nil, err
+			}
+			p := EpsPoint{Query: name, EpsilonSigma: eps}
+			t0 := time.Now()
+			for !eng.Done() {
+				s, err := eng.Step()
+				if err != nil {
+					return nil, err
+				}
+				if s.UncertainRows > p.MaxUncertain {
+					p.MaxUncertain = s.UncertainRows
+				}
+			}
+			p.TotalMS = ms(time.Since(t0))
+			p.Recomputes = eng.Metrics().Recomputes
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// A2 (ablation, §2.2): bootstrap trial count vs. CI quality/overhead.
+// ---------------------------------------------------------------------
+
+// TrialPoint is one B setting's outcome.
+type TrialPoint struct {
+	Trials      int
+	TotalMS     float64
+	FirstRSDPct float64
+	LastRSDPct  float64
+}
+
+// AblationBootstrap sweeps the trial count over SBI.
+func AblationBootstrap(cfg Config, trialCounts []int) ([]TrialPoint, error) {
+	cfg = cfg.WithDefaults()
+	if len(trialCounts) == 0 {
+		trialCounts = []int{20, 50, 100, 200}
+	}
+	wq, _ := workload.ByName("SBI")
+	cat := catalogFor(wq, cfg)
+	var out []TrialPoint
+	for _, b := range trialCounts {
+		q, err := plan.Compile(wq.SQL, cat)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := core.New(q, cat, core.Options{
+			Batches: cfg.Batches, Trials: b, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p := TrialPoint{Trials: b}
+		t0 := time.Now()
+		first := true
+		for !eng.Done() {
+			s, err := eng.Step()
+			if err != nil {
+				return nil, err
+			}
+			if first {
+				p.FirstRSDPct = s.RSD() * 100
+				first = false
+			}
+			p.LastRSDPct = s.RSD() * 100
+		}
+		p.TotalMS = ms(time.Since(t0))
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// A3 (ablation, §2.1): mini-batch granularity vs. cadence and overhead.
+// ---------------------------------------------------------------------
+
+// BatchPoint is one k setting's outcome.
+type BatchPoint struct {
+	Batches       int
+	TotalMS       float64
+	MeanRefreshMS float64
+	FirstAnswerMS float64
+}
+
+// AblationBatches sweeps k over Q17.
+func AblationBatches(cfg Config, ks []int) ([]BatchPoint, error) {
+	cfg = cfg.WithDefaults()
+	if len(ks) == 0 {
+		ks = []int{5, 10, 20, 50}
+	}
+	wq, _ := workload.ByName("Q17")
+	cat := catalogFor(wq, cfg)
+	var out []BatchPoint
+	for _, k := range ks {
+		q, err := plan.Compile(wq.SQL, cat)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := core.New(q, cat, core.Options{
+			Batches: k, Trials: cfg.Trials, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p := BatchPoint{Batches: k}
+		t0 := time.Now()
+		for !eng.Done() {
+			if _, err := eng.Step(); err != nil {
+				return nil, err
+			}
+			if p.FirstAnswerMS == 0 {
+				p.FirstAnswerMS = ms(time.Since(t0))
+			}
+		}
+		p.TotalMS = ms(time.Since(t0))
+		p.MeanRefreshMS = p.TotalMS / float64(k)
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// ---------------------------------------------------------------------
+// Rendering helpers shared by flbench.
+// ---------------------------------------------------------------------
+
+// FormatFig3a renders the Figure 3(a) series as an aligned text table.
+func FormatFig3a(r *Fig3aResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3(a): RSD vs time, %s (batch engine: %.1f ms)\n", r.Query, r.BatchEngineMS)
+	fmt.Fprintf(&b, "%6s %12s %10s %12s %10s\n", "batch", "elapsed ms", "rsd %", "fraction %", "uncertain")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%6d %12.1f %10.3f %12.1f %10d\n",
+			p.Batch, p.ElapsedMS, p.RSDPercent, p.FractionPct, p.Uncertain)
+	}
+	fmt.Fprintf(&b, "first answer: %.1f ms (%.1f%% of batch time)\n", r.FirstAnswerMS, r.FirstAnswerPct)
+	fmt.Fprintf(&b, "total online: %.1f ms (overhead %.0f%% vs batch)\n", r.TotalOnlineMS, r.OverheadPct)
+	if r.TimeTo2PctMS >= 0 {
+		fmt.Fprintf(&b, "time to 2%% RSD: %.1f ms (%.1fx faster than batch)\n",
+			r.TimeTo2PctMS, r.SpeedupAt2PctRSD)
+	} else {
+		fmt.Fprintf(&b, "2%% RSD not reached within %d batches\n", len(r.Points))
+	}
+	return b.String()
+}
+
+// FormatFig3b renders the Figure 3(b) ratios.
+func FormatFig3b(series []Fig3bSeries) string {
+	var b strings.Builder
+	b.WriteString("Figure 3(b): per-batch time ratio CDM / G-OLA\n")
+	fmt.Fprintf(&b, "%6s", "batch")
+	for _, s := range series {
+		fmt.Fprintf(&b, " %8s", s.Query)
+	}
+	b.WriteString("\n")
+	n := 0
+	for _, s := range series {
+		if len(s.Ratio) > n {
+			n = len(s.Ratio)
+		}
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%6d", i+1)
+		for _, s := range series {
+			if i < len(s.Ratio) {
+				fmt.Fprintf(&b, " %8.2f", s.Ratio[i])
+			} else {
+				fmt.Fprintf(&b, " %8s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FormatT2 renders the uncertain-set profile.
+func FormatT2(rows []T2Row) string {
+	var b strings.Builder
+	b.WriteString("T2: uncertain-set sizes per query\n")
+	fmt.Fprintf(&b, "%6s %12s %14s %8s %10s\n", "query", "max", "max % seen", "final", "recomputes")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6s %12d %14.2f %8d %10d\n",
+			r.Query, r.MaxUncertain, r.MaxPctOfSeen, r.Final, r.Recomputes)
+	}
+	return b.String()
+}
+
+// AsciiChart renders the Figure 3(a) refinement curve as a terminal
+// plot (RSD% on the y axis, elapsed time on the x axis), echoing the
+// dashboards of the paper's demo.
+func AsciiChart(r *Fig3aResult, width, height int) string {
+	if len(r.Points) == 0 || width < 16 || height < 4 {
+		return ""
+	}
+	maxRSD := 0.0
+	maxT := r.Points[len(r.Points)-1].ElapsedMS
+	for _, p := range r.Points {
+		if p.RSDPercent > maxRSD {
+			maxRSD = p.RSDPercent
+		}
+	}
+	if maxRSD == 0 || maxT == 0 {
+		return ""
+	}
+	grid := make([][]byte, height)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", width))
+	}
+	for _, p := range r.Points {
+		x := int(p.ElapsedMS / maxT * float64(width-1))
+		y := height - 1 - int(p.RSDPercent/maxRSD*float64(height-1))
+		if x >= 0 && x < width && y >= 0 && y < height {
+			grid[y][x] = '*'
+		}
+	}
+	// vertical bar where the batch engine finishes (if on-scale)
+	if r.BatchEngineMS <= maxT {
+		x := int(r.BatchEngineMS / maxT * float64(width-1))
+		for y := range grid {
+			if grid[y][x] == ' ' {
+				grid[y][x] = '|'
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "RSD%% (max %.2f)\n", maxRSD)
+	for _, row := range grid {
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "0%s%.0f ms ('|' = batch engine done)\n",
+		strings.Repeat(" ", width-18), maxT)
+	return b.String()
+}

@@ -1,0 +1,236 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny keeps unit tests fast; shapes are asserted, not absolute times.
+var tiny = Config{Rows: 4000, Parts: 30, Batches: 5, Trials: 15, Seed: 3}
+
+func TestFigure3aShape(t *testing.T) {
+	r, err := Figure3a(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != tiny.Batches {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	if r.FirstAnswerMS <= 0 || r.BatchEngineMS <= 0 {
+		t.Error("timings missing")
+	}
+	// The first approximate answer must arrive well before the batch
+	// engine finishes (the paper's headline property).
+	if r.FirstAnswerMS >= r.BatchEngineMS {
+		t.Errorf("first answer %.2fms not before batch %.2fms", r.FirstAnswerMS, r.BatchEngineMS)
+	}
+	// RSD is non-increasing in trend: last ≤ first.
+	if r.Points[len(r.Points)-1].RSDPercent > r.Points[0].RSDPercent {
+		t.Errorf("RSD grew: first %.3f last %.3f",
+			r.Points[0].RSDPercent, r.Points[len(r.Points)-1].RSDPercent)
+	}
+	out := FormatFig3a(r)
+	if !strings.Contains(out, "first answer") {
+		t.Error("format")
+	}
+}
+
+func TestFigure3bShape(t *testing.T) {
+	series, err := Figure3b(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != len(Fig3bQueries) {
+		t.Fatalf("series = %d", len(series))
+	}
+	var first, last float64
+	for _, s := range series {
+		if len(s.Ratio) != tiny.Batches {
+			t.Fatalf("%s: ratios = %d", s.Query, len(s.Ratio))
+		}
+		first += s.Ratio[0]
+		last += s.Ratio[len(s.Ratio)-1]
+	}
+	// Wall-clock ratios at this tiny scale are too noisy to assert on a
+	// shared machine; the growth trend is asserted at medium scale in
+	// TestHeadlineShapesMediumScale and recorded at full scale in
+	// EXPERIMENTS.md. Here we only log it.
+	t.Logf("mean CDM/G-OLA ratio: batch 1 = %.3f, batch %d = %.3f", first, tiny.Batches, last)
+	out := FormatFig3b(series)
+	if !strings.Contains(out, "Q17") {
+		t.Error("format")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	r, err := Table1(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MeanRefreshMS <= 0 {
+		t.Error("refresh cadence missing")
+	}
+}
+
+func TestTable2AllQueries(t *testing.T) {
+	rows, err := Table2(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.PerBatch) != tiny.Batches {
+			t.Errorf("%s: per-batch = %d", r.Query, len(r.PerBatch))
+		}
+		// uncertain sets drain once all data is processed
+		if r.Final != 0 {
+			t.Errorf("%s: final uncertain = %d", r.Query, r.Final)
+		}
+	}
+	if out := FormatT2(rows); !strings.Contains(out, "SBI") {
+		t.Error("format")
+	}
+}
+
+func TestAblationEpsilonTrend(t *testing.T) {
+	pts, err := AblationEpsilon(tiny, []float64{0.05, 4.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 { // 2 ε settings × {SBI, Q17}
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 0; i < len(pts); i += 2 {
+		small, large := pts[i], pts[i+1]
+		if small.Query != large.Query {
+			t.Fatalf("pairing broken: %s vs %s", small.Query, large.Query)
+		}
+		// Larger ε ⇒ no more recomputes than tiny ε (usually fewer) and
+		// at least as many uncertain tuples.
+		if large.Recomputes > small.Recomputes {
+			t.Errorf("%s recomputes: eps=4 → %d > eps=0.05 → %d",
+				small.Query, large.Recomputes, small.Recomputes)
+		}
+		if large.MaxUncertain < small.MaxUncertain {
+			t.Errorf("%s uncertain: eps=4 → %d < eps=0.05 → %d",
+				small.Query, large.MaxUncertain, small.MaxUncertain)
+		}
+	}
+}
+
+func TestAblationBootstrap(t *testing.T) {
+	pts, err := AblationBootstrap(tiny, []int{10, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].TotalMS <= 0 {
+		t.Fatal("points")
+	}
+}
+
+func TestAblationBatches(t *testing.T) {
+	pts, err := AblationBatches(tiny, []int{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatal("points")
+	}
+	// More batches ⇒ earlier first answer.
+	if pts[1].FirstAnswerMS >= pts[0].FirstAnswerMS {
+		t.Logf("note: first answer k=8 (%.2fms) not earlier than k=2 (%.2fms) at tiny scale",
+			pts[1].FirstAnswerMS, pts[0].FirstAnswerMS)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.Rows == 0 || c.Parts == 0 || c.Batches == 0 || c.Trials == 0 || c.Seed == 0 {
+		t.Errorf("defaults = %+v", c)
+	}
+}
+
+// TestHeadlineShapesMediumScale pins the paper's headline shapes at a
+// scale big enough to be meaningful but small enough for CI. Skipped
+// under -short.
+func TestHeadlineShapesMediumScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-scale shape regression")
+	}
+	cfg := Config{Rows: 60000, Batches: 10, Trials: 50, Seed: 20150531}
+
+	// Figure 3(a): first answer arrives well before the batch engine,
+	// and the RSD decays monotonically in trend.
+	fa, err := Figure3a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa.FirstAnswerMS >= fa.BatchEngineMS {
+		t.Errorf("first answer %.1fms not before batch %.1fms", fa.FirstAnswerMS, fa.BatchEngineMS)
+	}
+	if last, first := fa.Points[len(fa.Points)-1].RSDPercent, fa.Points[0].RSDPercent; last > first {
+		t.Errorf("RSD grew: %.3f → %.3f", first, last)
+	}
+
+	// Figure 3(b): averaged over the suite, CDM/G-OLA grows through the
+	// window (CDM re-reads the prefix; G-OLA touches ΔD + uncertain).
+	fb, err := Figure3b(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first, second float64
+	for _, s := range fb {
+		half := len(s.Ratio) / 2
+		for i, r := range s.Ratio {
+			if i < half {
+				first += r
+			} else {
+				second += r
+			}
+		}
+	}
+	if second <= first {
+		t.Errorf("mean ratio did not grow: first half %.2f, second half %.2f", first, second)
+	}
+
+	// T2: the Conviva-style queries keep tiny uncertain sets (the
+	// paper's "very small in practice"), and every query drains to zero.
+	t2, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range t2 {
+		if row.Final != 0 {
+			t.Errorf("%s: final uncertain = %d", row.Query, row.Final)
+		}
+		switch row.Query {
+		case "SBI", "C1", "C2", "C3":
+			if row.MaxPctOfSeen > 6 {
+				t.Errorf("%s: uncertain peak %.2f%% of seen (want ≤ 6%%)", row.Query, row.MaxPctOfSeen)
+			}
+		case "Q11":
+			if row.MaxUncertain != 0 {
+				t.Errorf("Q11: uncertain = %d (HAVING-only uncertainty caches nothing)", row.MaxUncertain)
+			}
+		}
+	}
+}
+
+func TestAsciiChart(t *testing.T) {
+	r, err := Figure3a(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart := AsciiChart(r, 60, 10)
+	if !strings.Contains(chart, "*") || !strings.Contains(chart, "RSD%") {
+		t.Errorf("chart = %q", chart)
+	}
+	if AsciiChart(r, 4, 2) != "" {
+		t.Error("degenerate dimensions should yield empty chart")
+	}
+	if AsciiChart(&Fig3aResult{}, 60, 10) != "" {
+		t.Error("empty result should yield empty chart")
+	}
+}

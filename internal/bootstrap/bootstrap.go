@@ -1,0 +1,244 @@
+// Package bootstrap implements the statistics layer of FluoDB: a fast
+// deterministic RNG, Poisson(1) multiplicities for poissonized bootstrap
+// resampling (the BlinkDB-style estimator the paper builds on, §2.2),
+// percentile confidence intervals, relative standard deviation, and the
+// variation ranges R(u) = [min(û)−ε, max(û)+ε] that drive G-OLA's
+// uncertain/deterministic tuple classification (§3.2).
+package bootstrap
+
+import (
+	"math"
+	"sort"
+)
+
+// RNG is a small, fast xorshift128+ generator. It is deterministic for a
+// given seed, which makes every experiment in this repository exactly
+// reproducible.
+type RNG struct {
+	s0, s1 uint64
+}
+
+// NewRNG seeds a generator. Seed 0 is remapped to a fixed constant.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	// splitmix64 to fill the state from the seed
+	r := &RNG{}
+	z := seed
+	next := func() uint64 {
+		z += 0x9E3779B97F4A7C15
+		x := z
+		x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+		x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+		return x ^ (x >> 31)
+	}
+	r.s0 = next()
+	r.s1 = next()
+	return r
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	x, y := r.s0, r.s1
+	r.s0 = y
+	x ^= x << 23
+	r.s1 = x ^ y ^ (x >> 17) ^ (y >> 26)
+	return r.s1 + y
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics for n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("bootstrap: Intn requires n > 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Fork derives an independent generator (for per-trial or per-worker
+// streams) without sharing state.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Uint64() ^ 0xD1B54A32D192ED03)
+}
+
+// poisson1Thresholds holds cumulative P(X<=k) for X ~ Poisson(1), scaled
+// to 64-bit fixed point, so a multiplicity costs one RNG draw plus a tiny
+// scan. P(X<=7) > 1 - 1e-7; the tail falls through to k=8.
+var poisson1Thresholds = func() []uint64 {
+	probs := []float64{}
+	p := math.Exp(-1)
+	cum := 0.0
+	fact := 1.0
+	for k := 0; k <= 7; k++ {
+		if k > 0 {
+			fact *= float64(k)
+		}
+		cum += p / fact
+		probs = append(probs, cum)
+	}
+	out := make([]uint64, len(probs))
+	for i, c := range probs {
+		if c > 1 {
+			c = 1
+		}
+		out[i] = uint64(c * float64(math.MaxUint64))
+	}
+	return out
+}()
+
+// Poisson1 draws a Poisson(1)-distributed multiplicity.
+func (r *RNG) Poisson1() int {
+	return poissonFromBits(r.Uint64())
+}
+
+func poissonFromBits(u uint64) int {
+	for k, th := range poisson1Thresholds {
+		if u <= th {
+			return k
+		}
+	}
+	return len(poisson1Thresholds)
+}
+
+// Mix64 is a splitmix64-style finalizer: a counter-based hash usable as
+// a stateless RNG. Identical inputs always produce identical outputs,
+// which G-OLA's failure-recovery replay relies on to regenerate the
+// exact per-(tuple, trial) bootstrap multiplicities.
+func Mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// PoissonAt derives the Poisson(1) multiplicity for a given counter key
+// (deterministic; see Mix64).
+func PoissonAt(key uint64) int {
+	return poissonFromBits(Mix64(key))
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (0 for n < 2).
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// RSD is the relative standard deviation stddev/|mean| (the y-axis of
+// Figure 3(a)); it returns +Inf when the mean is zero but spread is not,
+// and 0 when both are zero.
+func RSD(xs []float64) float64 {
+	m := Mean(xs)
+	s := StdDev(xs)
+	if m == 0 {
+		if s == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return s / math.Abs(m)
+}
+
+// Interval is a confidence interval.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Width returns Hi - Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// Contains reports whether x lies in [Lo, Hi].
+func (iv Interval) Contains(x float64) bool { return x >= iv.Lo && x <= iv.Hi }
+
+// PercentileCI computes a percentile-method bootstrap confidence interval
+// at the given confidence level (e.g. 0.95) from replica estimates. The
+// input slice is not modified. For empty input it returns a degenerate
+// zero interval.
+func PercentileCI(replicas []float64, confidence float64) Interval {
+	if len(replicas) == 0 {
+		return Interval{}
+	}
+	if confidence <= 0 || confidence >= 1 {
+		confidence = 0.95
+	}
+	s := append([]float64(nil), replicas...)
+	sort.Float64s(s)
+	alpha := (1 - confidence) / 2
+	lo := quantileSorted(s, alpha)
+	hi := quantileSorted(s, 1-alpha)
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// quantileSorted returns the q-quantile of a sorted slice with linear
+// interpolation.
+func quantileSorted(s []float64, q float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	i := int(math.Floor(pos))
+	frac := pos - float64(i)
+	if i+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[i]*(1-frac) + s[i+1]*frac
+}
+
+// Range is a variation range: the set of values an uncertain aggregate
+// may take across the remaining mini-batches (§3.2 of the paper).
+type Range struct {
+	Lo, Hi float64
+}
+
+// VariationRange builds R(u) = [min(û)−ε, max(û)+ε] from the bootstrap
+// replica values û and the slack ε. The current point estimate is
+// included so the committed range always covers the running value.
+func VariationRange(point float64, replicas []float64, eps float64) Range {
+	lo, hi := point, point
+	for _, x := range replicas {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return Range{Lo: lo - eps, Hi: hi + eps}
+}
+
+// Contains reports whether x lies in the range.
+func (r Range) Contains(x float64) bool { return x >= r.Lo && x <= r.Hi }
+
+// Overlaps reports whether two ranges intersect (the uncertain-set test:
+// tuples whose operand ranges overlap may flip their predicate decision
+// in a later batch).
+func (r Range) Overlaps(o Range) bool { return r.Lo <= o.Hi && o.Lo <= r.Hi }
+
+// Point builds a degenerate range {x} (the variation range of a
+// deterministic value, as the paper defines R(d) = {d}).
+func Point(x float64) Range { return Range{Lo: x, Hi: x} }

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"fluodb/internal/plan"
+)
+
+// Component micro-benchmarks for the hot paths of one G-OLA mini-batch.
+
+func BenchmarkFeedTupleSBI(b *testing.B) {
+	cat := synthCatalog(20000, 50, 61)
+	q, _ := plan.Compile(`SELECT AVG(play_time) FROM sessions
+		WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)`, cat)
+	eng, err := New(q, cat, Options{Batches: 10, Trials: 100, Seed: 62})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One warm-up batch so ranges exist and classification is exercised.
+	if _, err := eng.Step(); err != nil {
+		b.Fatal(err)
+	}
+	r := eng.runners[len(eng.runners)-1]
+	ts := eng.tables["sessions"]
+	rows := ts.batches[1]
+	te := eng.triEnv()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fact := rows[i%len(rows)]
+		var weights []uint8
+		repW := 0.0
+		if eng.sampled(ts, i%len(rows)) {
+			weights = eng.weightsFor(ts, i%len(rows))
+			repW = ts.invP
+		}
+		r.feedTuple(fact, weights, repW, te)
+	}
+}
+
+func BenchmarkClassifyTuple(b *testing.B) {
+	cat := synthCatalog(20000, 50, 63)
+	q, _ := plan.Compile(`SELECT AVG(play_time) FROM sessions
+		WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)`, cat)
+	eng, _ := New(q, cat, Options{Batches: 10, Trials: 50, Seed: 64})
+	if _, err := eng.Step(); err != nil {
+		b.Fatal(err)
+	}
+	r := eng.runners[len(eng.runners)-1]
+	te := eng.triEnv()
+	row := eng.tables["sessions"].batches[1][0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		te.evalTri(r.uncertainWhere, row)
+	}
+}
+
+func BenchmarkSnapshotGlobalAgg(b *testing.B) {
+	cat := synthCatalog(20000, 50, 65)
+	q, _ := plan.Compile(`SELECT AVG(play_time) FROM sessions
+		WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)`, cat)
+	eng, _ := New(q, cat, Options{Batches: 10, Trials: 100, Seed: 66})
+	if _, err := eng.Step(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.snapshot(0)
+	}
+}
+
+func BenchmarkWeightsFor(b *testing.B) {
+	cat := synthCatalog(1000, 10, 67)
+	q, _ := plan.Compile(`SELECT COUNT(*) FROM sessions`, cat)
+	eng, _ := New(q, cat, Options{Batches: 2, Trials: 100, Seed: 68})
+	ts := eng.tables["sessions"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.weightsFor(ts, i)
+	}
+}

@@ -1,0 +1,426 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"fluodb/internal/bootstrap"
+	"fluodb/internal/expr"
+	"fluodb/internal/types"
+)
+
+// scalarBinding is the online value of an uncorrelated scalar subquery.
+type scalarBinding struct {
+	point types.Value
+	reps  []types.Value // one per bootstrap trial
+	rng   paramRange
+	// committed is the intersection of every variation range published
+	// so far; escaping it is a range failure (§3.2).
+	committed    bootstrap.Range
+	hasCommitted bool
+	epsBoost     float64 // widened after each failure to guarantee progress
+}
+
+// groupBinding is the online value of a correlated (per-group) scalar
+// subquery. Replica vectors are materialized lazily through repFn: with
+// closed-form CLT ranges, per-trial group estimates are only needed for
+// the (few) groups actually probed during snapshot error estimation.
+type groupBinding struct {
+	point     map[string]types.Value
+	reps      map[string][]types.Value
+	repFn     func(key string) []types.Value
+	rng       map[string]paramRange
+	committed map[string]bootstrap.Range
+	complete  bool
+	epsBoost  float64
+}
+
+// repsFor returns the (possibly lazily computed) replica vector of a
+// group, or nil when the group is unknown.
+func (g *groupBinding) repsFor(key string) []types.Value {
+	if vs, ok := g.reps[key]; ok {
+		return vs
+	}
+	if g.repFn == nil {
+		return nil
+	}
+	vs := g.repFn(key)
+	g.reps[key] = vs
+	return vs
+}
+
+// setBinding is the online membership of an IN-subquery. Per-trial
+// membership vectors are materialized lazily through repFn (only the
+// keys probed during snapshot error estimation pay for per-trial
+// evaluation).
+type setBinding struct {
+	point     map[string]bool
+	reps      map[string][]bool
+	repFn     func(key string) []bool
+	tri       map[string]tri
+	committed map[string]bool // key → committed det membership
+	complete  bool
+	epsBoost  float64 // widened after each failure to guarantee progress
+}
+
+// repsFor returns the (possibly lazily computed) per-trial membership of
+// a key, or nil when unknown.
+func (s *setBinding) repsFor(key string) []bool {
+	if ms, ok := s.reps[key]; ok {
+		return ms
+	}
+	if s.repFn == nil {
+		return nil
+	}
+	ms := s.repFn(key)
+	s.reps[key] = ms
+	return ms
+}
+
+// bindings is the full parameter environment of a query during online
+// execution.
+type bindings struct {
+	trials  int
+	scalars []*scalarBinding
+	groups  []*groupBinding
+	sets    []*setBinding
+	// noCommit disables deterministic classification entirely: ranges
+	// publish as unknown and no decisions are committed. It is the
+	// guaranteed-termination fallback when repeated range failures keep
+	// recurring (every tuple stays uncertain; results remain correct,
+	// delta maintenance just degrades to snapshot-time evaluation).
+	noCommit bool
+}
+
+func newBindings(nScalar, nGroup, nSet, trials int) *bindings {
+	b := &bindings{
+		trials:  trials,
+		scalars: make([]*scalarBinding, nScalar),
+		groups:  make([]*groupBinding, nGroup),
+		sets:    make([]*setBinding, nSet),
+	}
+	for i := range b.scalars {
+		b.scalars[i] = &scalarBinding{
+			point:    types.Null,
+			reps:     nullValues(trials),
+			rng:      paramRange{status: rsUnknown},
+			epsBoost: 1,
+		}
+	}
+	for i := range b.groups {
+		b.groups[i] = &groupBinding{
+			point:     map[string]types.Value{},
+			reps:      map[string][]types.Value{},
+			rng:       map[string]paramRange{},
+			committed: map[string]bootstrap.Range{},
+			epsBoost:  1,
+		}
+	}
+	for i := range b.sets {
+		b.sets[i] = &setBinding{
+			point:     map[string]bool{},
+			reps:      map[string][]bool{},
+			tri:       map[string]tri{},
+			committed: map[string]bool{},
+			epsBoost:  1,
+		}
+	}
+	return b
+}
+
+func nullValues(n int) []types.Value {
+	out := make([]types.Value, n)
+	for i := range out {
+		out[i] = types.Null
+	}
+	return out
+}
+
+// reset clears estimates but preserves the epsBoost widening factors
+// (replay after a failure must use wider ranges or it would fail again
+// at the same batch).
+func (b *bindings) reset() {
+	for i, s := range b.scalars {
+		boost := s.epsBoost
+		b.scalars[i] = &scalarBinding{
+			point: types.Null, reps: nullValues(b.trials),
+			rng: paramRange{status: rsUnknown}, epsBoost: boost,
+		}
+	}
+	for i, g := range b.groups {
+		boost := g.epsBoost
+		b.groups[i] = &groupBinding{
+			point: map[string]types.Value{}, reps: map[string][]types.Value{},
+			rng: map[string]paramRange{}, committed: map[string]bootstrap.Range{},
+			epsBoost: boost,
+		}
+	}
+	for i, s := range b.sets {
+		boost := s.epsBoost
+		b.sets[i] = &setBinding{
+			point: map[string]bool{}, reps: map[string][]bool{},
+			tri: map[string]tri{}, committed: map[string]bool{},
+			epsBoost: boost,
+		}
+	}
+}
+
+// pointCtx builds the point-estimate expression context for a row.
+func (b *bindings) pointCtx(row types.Row) *expr.Ctx {
+	ctx := &expr.Ctx{Row: row}
+	ctx.Scalars = make([]types.Value, len(b.scalars))
+	for i, s := range b.scalars {
+		ctx.Scalars[i] = s.point
+	}
+	ctx.Groups = make([]func(string) (types.Value, bool), len(b.groups))
+	for i := range b.groups {
+		g := b.groups[i]
+		ctx.Groups[i] = func(key string) (types.Value, bool) {
+			v, ok := g.point[key]
+			return v, ok
+		}
+	}
+	ctx.SetsFns = make([]expr.SetLookup, len(b.sets))
+	for i := range b.sets {
+		s := b.sets[i]
+		ctx.SetsFns[i] = func(key string) bool { return s.point[key] }
+	}
+	return ctx
+}
+
+// trialCtx builds the expression context of bootstrap trial j.
+func (b *bindings) trialCtx(row types.Row, j int) *expr.Ctx {
+	ctx := &expr.Ctx{Row: row}
+	ctx.Scalars = make([]types.Value, len(b.scalars))
+	for i, s := range b.scalars {
+		ctx.Scalars[i] = s.reps[j]
+	}
+	ctx.Groups = make([]func(string) (types.Value, bool), len(b.groups))
+	for i := range b.groups {
+		g := b.groups[i]
+		ctx.Groups[i] = func(key string) (types.Value, bool) {
+			vs := g.repsFor(key)
+			if vs == nil {
+				return types.Null, false
+			}
+			return vs[j], true
+		}
+	}
+	ctx.SetsFns = make([]expr.SetLookup, len(b.sets))
+	for i := range b.sets {
+		s := b.sets[i]
+		ctx.SetsFns[i] = func(key string) bool {
+			ms := s.repsFor(key)
+			return ms != nil && ms[j]
+		}
+	}
+	return ctx
+}
+
+// triEnv builds the interval-semantics environment for tuple
+// classification.
+func (b *bindings) triEnv() *triEnv {
+	te := &triEnv{pointCtx: b.pointCtx(nil)}
+	te.scalarRanges = make([]paramRange, len(b.scalars))
+	for i, s := range b.scalars {
+		te.scalarRanges[i] = s.rng
+	}
+	te.groupRanges = make([]func(string) paramRange, len(b.groups))
+	for i := range b.groups {
+		g := b.groups[i]
+		te.groupRanges[i] = func(key string) paramRange {
+			if r, ok := g.rng[key]; ok {
+				return r
+			}
+			if g.complete {
+				// Missing group on a fully-consumed table: the nested
+				// aggregate is NULL for this key, so predicates fail.
+				return paramRange{status: rsNull}
+			}
+			return paramRange{status: rsUnknown}
+		}
+	}
+	te.setTri = make([]func(string) tri, len(b.sets))
+	for i := range b.sets {
+		s := b.sets[i]
+		te.setTri[i] = func(key string) tri {
+			if t, ok := s.tri[key]; ok {
+				return t
+			}
+			if s.complete {
+				return triFalse
+			}
+			return triUnknown
+		}
+	}
+	return te
+}
+
+// updateScalar installs a fresh estimate and variation range for scalar
+// param idx; it reports whether a committed-range failure was detected.
+func (b *bindings) updateScalar(idx int, point types.Value, reps []types.Value, rng paramRange) bool {
+	s := b.scalars[idx]
+	s.point = point
+	s.reps = reps
+	if b.noCommit {
+		s.rng = paramRange{status: rsUnknown}
+		return false
+	}
+	s.rng = rng
+	if s.rng.status != rsOK {
+		return false
+	}
+	if !s.hasCommitted {
+		s.committed = s.rng.r
+		s.hasCommitted = true
+		return false
+	}
+	if escapes(s.committed, point) {
+		s.epsBoost *= 2
+		return true
+	}
+	s.committed = intersect(s.committed, s.rng.r)
+	return false
+}
+
+// updateGroupEntry installs a fresh estimate and variation range for one
+// group of group param idx; it reports whether a committed-range failure
+// was detected. When commit is false (group below the minimum support),
+// the range publishes as unknown so downstream tuples stay uncertain and
+// no decision is committed.
+func (b *bindings) updateGroupEntry(idx int, key string, point types.Value, rng paramRange, commit bool) bool {
+	g := b.groups[idx]
+	g.point[key] = point
+	if b.noCommit {
+		g.rng[key] = paramRange{status: rsUnknown}
+		return false
+	}
+	if !commit {
+		g.rng[key] = paramRange{status: rsUnknown}
+		// An earlier committed range may still be violated (possible
+		// only through replay; in the forward path support is
+		// monotone), so check it if present.
+		if committed, ok := g.committed[key]; ok && escapes(committed, point) {
+			return true
+		}
+		return false
+	}
+	g.rng[key] = rng
+	if rng.status != rsOK {
+		return false
+	}
+	committed, ok := g.committed[key]
+	if !ok {
+		g.committed[key] = rng.r
+		return false
+	}
+	if escapes(committed, point) {
+		if debugFailures {
+			fmt.Printf("core: group range failure key=%q committed=[%g,%g] point=%v boost=%g\n",
+				key, committed.Lo, committed.Hi, point, g.epsBoost)
+		}
+		return true
+	}
+	g.committed[key] = intersect(committed, rng.r)
+	return false
+}
+
+// debugFailures enables failure-path tracing (tests only).
+var debugFailures = false
+
+// updateSetEntry installs a fresh membership classification for one key
+// of set param idx; it reports whether a committed membership decision
+// was contradicted.
+func (b *bindings) updateSetEntry(idx int, key string, point bool, t tri) bool {
+	s := b.sets[idx]
+	s.point[key] = point
+	if b.noCommit {
+		s.tri[key] = triUnknown
+		return false
+	}
+	s.tri[key] = t
+	if committed, ok := s.committed[key]; ok {
+		if point != committed {
+			delete(s.committed, key)
+			return true
+		}
+		return false
+	}
+	if t != triUnknown {
+		s.committed[key] = t == triTrue
+	}
+	return false
+}
+
+// buildRange derives the variation range of an uncertain numeric value
+// from its point estimate and bootstrap replicas, with slack
+// ε = epsSigma · stddev(replicas) (§3.2: ε equal to one standard
+// deviation balances recomputation probability against uncertain-set
+// size).
+func buildRange(point types.Value, reps []types.Value, epsSigma float64) paramRange {
+	p, ok := point.AsFloat()
+	if !ok {
+		if point.IsNull() {
+			return paramRange{status: rsNull}
+		}
+		return paramRange{status: rsUnknown}
+	}
+	vals := make([]float64, 0, len(reps))
+	for _, r := range reps {
+		if f, ok := r.AsFloat(); ok {
+			vals = append(vals, f)
+		}
+	}
+	// Without enough replica evidence (e.g. a group whose rows fall
+	// outside the bootstrap subsample) no range can be trusted: stay
+	// uncertain rather than committing against a degenerate interval.
+	if len(vals) < minReplicaObs(len(reps)) {
+		return paramRange{status: rsUnknown}
+	}
+	sd := bootstrap.StdDev(vals)
+	// (Near-)zero replica variance before completion means the
+	// bootstrap has no dispersion information — e.g. every replica of
+	// an AVG over a single sampled tuple equals that tuple, up to
+	// floating-point noise. Such hairline ranges must never commit
+	// deterministic decisions: the epsilon boost multiplies the (tiny)
+	// variance and could not recover from a wrong commit. The
+	// threshold is relative to the value magnitude.
+	if sd <= 1e-9*(1+math.Abs(p)) {
+		return paramRange{status: rsUnknown}
+	}
+	return okRange(bootstrap.VariationRange(p, vals, epsSigma*sd))
+}
+
+// minReplicaObs is the minimum number of replica observations required
+// to trust a variation range.
+func minReplicaObs(trials int) int {
+	m := trials / 4
+	if m < 3 {
+		m = 3
+	}
+	return m
+}
+
+// escapes reports whether the running point estimate left the committed
+// range — the paper's failure condition. (Bootstrap replicas are not
+// checked: with subsampled replicas their extremes are noisy, and the
+// point estimate is what converges to the value the committed decisions
+// must hold for; a wrong decision is caught when the point crosses.)
+func escapes(committed bootstrap.Range, point types.Value) bool {
+	f, ok := point.AsFloat()
+	return ok && !committed.Contains(f)
+}
+
+func intersect(a, b bootstrap.Range) bootstrap.Range {
+	lo, hi := a.Lo, a.Hi
+	if b.Lo > lo {
+		lo = b.Lo
+	}
+	if b.Hi < hi {
+		hi = b.Hi
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return bootstrap.Range{Lo: lo, Hi: hi}
+}

@@ -1,0 +1,26 @@
+// Debug helpers: intentionally exported so reproduction scripts and
+// benchmarks can introspect a running engine; not part of the stable
+// query API.
+package core
+
+// DebugFailures toggles failure-path tracing (used by debugging mains).
+func DebugFailures(on bool) { debugFailures = on }
+
+// DebugGroupRangeStatus counts the published range statuses of group
+// param idx (debugging aid).
+func (e *Engine) DebugGroupRangeStatus(idx int) (ok, unknown, null int) {
+	if idx >= len(e.bind.groups) {
+		return
+	}
+	for _, r := range e.bind.groups[idx].rng {
+		switch r.status {
+		case rsOK:
+			ok++
+		case rsNull:
+			null++
+		default:
+			unknown++
+		}
+	}
+	return
+}

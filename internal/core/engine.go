@@ -1,0 +1,850 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"fluodb/internal/bootstrap"
+	"fluodb/internal/exec"
+	"fluodb/internal/expr"
+	"fluodb/internal/plan"
+	"fluodb/internal/storage"
+	"fluodb/internal/types"
+)
+
+// Options configure a G-OLA execution.
+type Options struct {
+	// Batches is k, the number of uniform mini-batches (§2.1). The batch
+	// granularity controls how often the user sees a refined result.
+	Batches int
+	// Trials is B, the number of poissonized bootstrap trials used for
+	// error estimation and variation ranges (§2.2).
+	Trials int
+	// Confidence is the CI level (default 0.95).
+	Confidence float64
+	// EpsilonSigma is the variation-range slack ε expressed in replica
+	// standard deviations (§3.2; the paper recommends 1.0).
+	EpsilonSigma float64
+	// MinGroupSupport is the minimum number of folded tuples a group of
+	// a correlated or IN-subquery needs before its variation range may
+	// commit deterministic decisions. Below it the group stays
+	// uncertain: tiny samples make bootstrap ranges unreliable for
+	// extensive aggregates, which would cause recomputation storms.
+	MinGroupSupport int
+	// BootstrapSampleCap bounds the number of rows (per streamed table)
+	// that feed the bootstrap replica states. Error estimation is the
+	// dominant online-processing overhead (§5 attributes FluoDB's ~60%
+	// overhead to it); maintaining B replica aggregates over every
+	// tuple would multiply work by B. Instead replicas are maintained
+	// over a deterministic Bernoulli subsample of m = cap rows, and
+	// replica deviations are rescaled by √(m/n) (the m-out-of-n
+	// bootstrap correction) so confidence intervals and variation
+	// ranges keep the dispersion of the full prefix.
+	// 0 = auto (max(2000, rows/(2·Trials)), keeping replica work ≈ half
+	// the main work); negative = unbounded (replicas over all rows).
+	BootstrapSampleCap int
+	// FullTables lists tables to read in their entirety on the first
+	// mini-batch instead of streaming (§2: the user can specify that
+	// only a subset of the input relations is processed online — e.g.
+	// stream the big fact table while small inputs load up front).
+	// Dimension tables of joins are always read fully regardless.
+	FullTables []string
+	// SnapshotEvalBudget caps the per-snapshot error-estimation work:
+	// confidence intervals are computed from roughly
+	// budget / output-groups bootstrap trials (at least 8, at most
+	// Trials). Grouped results with thousands of groups would otherwise
+	// pay groups×Trials expression evaluations per refresh.
+	// 0 = default (50000); negative = unlimited.
+	SnapshotEvalBudget int
+	// Parallelism is the number of worker goroutines folding each
+	// mini-batch (FluoDB is a parallel online execution framework, §1).
+	// 0 = GOMAXPROCS; 1 = serial. Results are identical up to group
+	// ordering; full run-to-run determinism requires a fixed value.
+	Parallelism int
+	// Seed makes the run deterministic.
+	Seed uint64
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.Batches <= 0 {
+		o.Batches = 10
+	}
+	if o.Trials <= 0 {
+		o.Trials = 100
+	}
+	if o.Confidence <= 0 || o.Confidence >= 1 {
+		o.Confidence = 0.95
+	}
+	if o.EpsilonSigma <= 0 {
+		o.EpsilonSigma = 1.0
+	}
+	if o.MinGroupSupport <= 0 {
+		o.MinGroupSupport = 2
+	}
+	if o.SnapshotEvalBudget == 0 {
+		o.SnapshotEvalBudget = 50000
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = defaultParallelism()
+	}
+	if o.Seed == 0 {
+		o.Seed = 0x60A11DB
+	}
+	return o
+}
+
+// Metrics aggregates execution statistics.
+type Metrics struct {
+	Batches            int
+	Recomputes         int
+	RowsProcessed      int64
+	DeterministicFolds int64
+	UncertainPerBatch  []int
+	BatchDurations     []time.Duration
+}
+
+// tableStream is one streamed fact table partitioned into mini-batches.
+type tableStream struct {
+	name       string
+	batches    [][]types.Row
+	starts     []int // global row index of each batch's first row
+	seen       int
+	total      int
+	weightBase uint64
+	sampleBase uint64
+	// Bootstrap subsampling (see Options.BootstrapSampleCap).
+	sampleP   float64
+	invP      float64
+	sampleCut uint64
+	sqrtP     float64
+}
+
+// Engine drives G-OLA execution of one query.
+type Engine struct {
+	q       *plan.Query
+	cat     *storage.Catalog
+	opt     Options
+	bind    *bindings
+	runners []*blockRunner
+	tables  map[string]*tableStream
+	batch   int
+	metrics Metrics
+	// Memoized per-node expression facts (plans are immutable).
+	hpCache  map[expr.Expr]bool
+	colCache map[expr.Expr]bool
+}
+
+// triEnv builds the classification environment with memoized
+// expression walks.
+func (e *Engine) triEnv() *triEnv {
+	te := e.bind.triEnv()
+	// The caches are fully populated at construction (warmExprCaches)
+	// and read-only afterwards, so worker goroutines may share them.
+	te.hp = func(x expr.Expr) bool {
+		if v, ok := e.hpCache[x]; ok {
+			return v
+		}
+		return expr.HasParams(x)
+	}
+	te.hc = func(x expr.Expr) bool {
+		if v, ok := e.colCache[x]; ok {
+			return v
+		}
+		return hasCols(x)
+	}
+	return te
+}
+
+// warmExprCaches precomputes the per-node expression facts for every
+// expression the engine will evaluate, so the memo maps are read-only
+// during (possibly parallel) execution.
+func (e *Engine) warmExprCaches() {
+	add := func(x expr.Expr) {
+		if x == nil {
+			return
+		}
+		expr.Walk(x, func(n expr.Expr) bool {
+			e.hpCache[n] = expr.HasParams(n)
+			e.colCache[n] = hasCols(n)
+			return true
+		})
+	}
+	for _, r := range e.runners {
+		b := r.b
+		add(r.certainWhere)
+		add(r.uncertainWhere)
+		add(b.Where)
+		add(b.Having)
+		for _, x := range b.Select {
+			add(x)
+		}
+		for _, g := range b.GroupBy {
+			add(g)
+		}
+		for i := range b.Aggs {
+			add(b.Aggs[i].Arg)
+		}
+		for _, d := range b.Dims {
+			add(d.LeftKey)
+			add(d.RightKey)
+		}
+	}
+}
+
+// ErrDone is returned by Step after the last mini-batch.
+var ErrDone = errors.New("core: all mini-batches processed")
+
+// New builds an engine for a compiled query.
+func New(q *plan.Query, cat *storage.Catalog, opt Options) (*Engine, error) {
+	opt = opt.withDefaults()
+	if !q.Root.Aggregating {
+		return nil, fmt.Errorf("core: online execution requires an aggregate query " +
+			"(projection-only queries have no converging result to refine)")
+	}
+	e := &Engine{q: q, cat: cat, opt: opt, tables: map[string]*tableStream{},
+		hpCache: map[expr.Expr]bool{}, colCache: map[expr.Expr]bool{}}
+	e.bind = newBindings(len(q.ScalarBlocks), len(q.GroupBlocks), len(q.SetBlocks), opt.Trials)
+	for _, b := range q.Blocks {
+		if _, ok := e.tables[b.Input.Fact]; ok {
+			continue
+		}
+		t, ok := cat.Get(b.Input.Fact)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown table %q", b.Input.Fact)
+		}
+		batches := t.MiniBatches(opt.Batches)
+		for _, full := range opt.FullTables {
+			if strings.EqualFold(full, b.Input.Fact) {
+				// Whole table arrives in the first mini-batch; later
+				// batches are empty and the stream completes early.
+				batches = make([][]types.Row, opt.Batches)
+				batches[0] = t.Rows()
+				break
+			}
+		}
+		ts := &tableStream{
+			name:       b.Input.Fact,
+			batches:    batches,
+			total:      t.NumRows(),
+			weightBase: bootstrap.Mix64(opt.Seed ^ hashString(b.Input.Fact)),
+			sampleBase: bootstrap.Mix64(opt.Seed ^ hashString(b.Input.Fact) ^ 0x5A3B1E),
+		}
+		pos := 0
+		for _, batch := range ts.batches {
+			ts.starts = append(ts.starts, pos)
+			pos += len(batch)
+		}
+		capRows := opt.BootstrapSampleCap
+		if capRows == 0 {
+			capRows = ts.total / (2 * opt.Trials)
+			if capRows < 2000 {
+				capRows = 2000
+			}
+		}
+		if capRows < 0 || capRows >= ts.total || ts.total == 0 {
+			ts.sampleP = 1
+		} else {
+			ts.sampleP = float64(capRows) / float64(ts.total)
+		}
+		ts.invP = 1 / ts.sampleP
+		ts.sqrtP = math.Sqrt(ts.sampleP)
+		if ts.sampleP >= 1 {
+			ts.sampleCut = ^uint64(0)
+		} else {
+			ts.sampleCut = uint64(ts.sampleP * float64(^uint64(0)))
+		}
+		e.tables[b.Input.Fact] = ts
+	}
+	for _, b := range q.Blocks {
+		r, err := newBlockRunner(b, e)
+		if err != nil {
+			return nil, err
+		}
+		e.runners = append(e.runners, r)
+	}
+	e.warmExprCaches()
+	return e, nil
+}
+
+func hashString(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Done reports whether every mini-batch has been processed.
+func (e *Engine) Done() bool { return e.batch >= e.opt.Batches }
+
+// Batch returns the number of mini-batches processed so far.
+func (e *Engine) Batch() int { return e.batch }
+
+// Metrics returns the accumulated execution statistics.
+func (e *Engine) Metrics() Metrics { return e.metrics }
+
+// Options returns the effective (defaulted) options.
+func (e *Engine) Options() Options { return e.opt }
+
+// weightsFor derives the per-trial Poisson(1) multiplicities of a tuple.
+// The derivation is a pure function of (seed, table, row index, trial),
+// so failure-recovery replay regenerates identical resamples.
+func (e *Engine) weightsFor(ts *tableStream, rowIdx int) []uint8 {
+	w := make([]uint8, e.opt.Trials)
+	base := ts.weightBase + uint64(rowIdx)*uint64(e.opt.Trials)
+	for j := range w {
+		p := bootstrap.PoissonAt(base + uint64(j))
+		if p > 255 {
+			p = 255
+		}
+		w[j] = uint8(p)
+	}
+	return w
+}
+
+// sampled reports whether a tuple is in the bootstrap subsample
+// (deterministic in the seed, so replay regenerates it).
+func (e *Engine) sampled(ts *tableStream, rowIdx int) bool {
+	if ts.sampleP >= 1 {
+		return true
+	}
+	return bootstrap.Mix64(ts.sampleBase+uint64(rowIdx)) <= ts.sampleCut
+}
+
+// adjustRep applies the m-out-of-n bootstrap correction: replicas are
+// computed over a subsample of fraction p, so their dispersion around
+// the point estimate is √(1/p) too large; shrink deviations by √p.
+func adjustRep(point, rep types.Value, sqrtP float64) types.Value {
+	if sqrtP >= 1 {
+		return rep
+	}
+	p, ok1 := point.AsFloat()
+	r, ok2 := rep.AsFloat()
+	if !ok1 || !ok2 {
+		return rep
+	}
+	return types.NewFloat(p + (r-p)*sqrtP)
+}
+
+// scaleFor is the multiset multiplicity m = k/i of §2.2 for a block's
+// fact table: total rows over rows seen.
+func (e *Engine) scaleFor(b *plan.Block) float64 {
+	ts := e.tables[b.Input.Fact]
+	if ts.seen == 0 || ts.total == 0 {
+		return 1
+	}
+	return float64(ts.total) / float64(ts.seen)
+}
+
+// Step processes the next mini-batch and returns a refined snapshot.
+func (e *Engine) Step() (*Snapshot, error) {
+	if e.Done() {
+		return nil, ErrDone
+	}
+	start := time.Now()
+	if !e.processBatch(e.batch) {
+		// Variation-range failure: recompute over all data seen so far
+		// with re-widened ranges (§3.2). The controller replays the
+		// processed prefix; per-tuple resamples are regenerated
+		// deterministically so the statistics are unchanged.
+		e.metrics.Recomputes++
+		e.replayUpTo(e.batch)
+	}
+	e.batch++
+	e.metrics.Batches = e.batch
+	dur := time.Since(start)
+	e.metrics.BatchDurations = append(e.metrics.BatchDurations, dur)
+	e.metrics.UncertainPerBatch = append(e.metrics.UncertainPerBatch, e.UncertainRows())
+	snap := e.snapshot(dur)
+	return snap, nil
+}
+
+// Run executes all remaining batches, invoking fn (if non-nil) per
+// snapshot; fn returning false stops early (the user is satisfied with
+// the accuracy — the OLA control knob).
+func (e *Engine) Run(fn func(*Snapshot) bool) (*Snapshot, error) {
+	var last *Snapshot
+	for !e.Done() {
+		s, err := e.Step()
+		if err != nil {
+			return last, err
+		}
+		last = s
+		if fn != nil && !fn(s) {
+			break
+		}
+	}
+	return last, nil
+}
+
+// UncertainRows is the total number of cached uncertain tuples across
+// all blocks.
+func (e *Engine) UncertainRows() int {
+	n := 0
+	for _, r := range e.runners {
+		n += len(r.uncertain)
+	}
+	return n
+}
+
+// processBatch feeds mini-batch bi through every block in dependency
+// order. It returns false if a committed variation range failed.
+func (e *Engine) processBatch(bi int) bool {
+	// Advance per-table progress first so estimates computed this batch
+	// use the correct multiplicity.
+	for _, ts := range e.tables {
+		if bi < len(ts.batches) {
+			ts.seen = ts.starts[bi] + len(ts.batches[bi])
+		}
+	}
+	for _, r := range e.runners {
+		te := e.triEnv()
+		r.reclassify(te)
+		ts := e.tables[r.b.Input.Fact]
+		if bi < len(ts.batches) {
+			rows := ts.batches[bi]
+			if r.b == e.q.Root {
+				e.metrics.RowsProcessed += int64(len(rows))
+			}
+			r.feedBatchParallel(rows, ts.starts[bi], ts, te)
+		}
+		if r.b.Kind != plan.RootBlock {
+			if failed := e.updateBinding(r); failed {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// replayUpTo resets all online state and reprocesses batches 0..upto.
+// Epsilon boosts persist across attempts, guaranteeing termination.
+func (e *Engine) replayUpTo(upto int) {
+	for attempt := 0; attempt < 16; attempt++ {
+		if attempt == 15 {
+			// Guaranteed termination: repeated failures mean the
+			// variation ranges cannot be trusted for this workload;
+			// disable deterministic classification (everything stays
+			// uncertain, results stay correct via snapshot-time
+			// evaluation).
+			e.bind.noCommit = true
+		}
+		e.bind.reset()
+		for _, r := range e.runners {
+			r.reset()
+		}
+		for _, ts := range e.tables {
+			ts.seen = 0
+		}
+		ok := true
+		for bi := 0; bi <= upto; bi++ {
+			if !e.processBatch(bi) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+		e.metrics.Recomputes++
+	}
+}
+
+// updateBinding recomputes a parameter block's estimate, replicas and
+// variation ranges after it consumed a batch; it reports range failure.
+func (e *Engine) updateBinding(r *blockRunner) bool {
+	scale := e.scaleFor(r.b)
+	complete := e.tables[r.b.Input.Fact].seen >= e.tables[r.b.Input.Fact].total
+	switch r.b.Kind {
+	case plan.ScalarBlock:
+		return e.updateScalarBinding(r, scale, complete)
+	case plan.GroupScalarBlock:
+		e.bind.groups[r.b.ParamIdx].complete = complete
+		return e.updateGroupBinding(r, scale, complete)
+	case plan.SetBlock:
+		e.bind.sets[r.b.ParamIdx].complete = complete
+		return e.updateSetBinding(r, scale, complete)
+	default:
+		return false
+	}
+}
+
+// pointOnlyRange collapses an exact value into its degenerate range.
+func pointOnlyRange(point types.Value) paramRange {
+	if f, ok := point.AsFloat(); ok {
+		return okRange(bootstrap.Point(f))
+	}
+	return paramRange{status: rsNull}
+}
+
+// paramRangeFor derives a parameter block's variation range for one
+// group: CLT slot ranges propagated through the select expression by
+// interval arithmetic where possible, bootstrap replicas otherwise.
+// te must have been built by e.triEnv(); its rowRanges are clobbered.
+func (e *Engine) paramRangeFor(te *triEnv, r *blockRunner, en *onlineEntry, post types.Row, point types.Value, repsFn func() []types.Value, scale float64, boost float64, scratch []paramRange) (paramRange, []paramRange) {
+	ts := e.tables[r.b.Input.Fact]
+	f := 0.0
+	if ts.total > 0 {
+		f = float64(ts.seen) / float64(ts.total)
+	}
+	z := (cltZBase + e.opt.EpsilonSigma) * boost
+	if en != nil && en.clt != nil {
+		scratch = e.cltRowRanges(r, en, post, scale, f, z, scratch)
+		te.rowRanges = scratch
+		pr := te.evalRange(r.b.Select[0], post)
+		te.rowRanges = nil
+		if pr.status == rsOK || pr.status == rsNull {
+			return pr, scratch
+		}
+	}
+	return buildRange(point, repsFn(), e.opt.EpsilonSigma*boost), scratch
+}
+
+func (e *Engine) updateScalarBinding(r *blockRunner, scale float64, complete bool) bool {
+	b := r.b
+	mainO := r.overlayFor(-1)
+	entry := soleEntry(b, mainO)
+	pctx := e.bind.pointCtx(nil)
+	post := exec.PostRow(b, entry, scale)
+	pctx.Row = post
+	point := b.Select[0].Eval(pctx)
+
+	sqrtP := e.tables[b.Input.Fact].sqrtP
+	reps := make([]types.Value, e.opt.Trials)
+	for j := 0; j < e.opt.Trials; j++ {
+		o := r.overlayFor(j)
+		en := soleEntry(b, o)
+		tctx := e.bind.trialCtx(nil, j)
+		tctx.Row = exec.PostRow(b, en, scale)
+		reps[j] = adjustRep(point, b.Select[0].Eval(tctx), sqrtP)
+	}
+	var rng paramRange
+	if complete {
+		rng = pointOnlyRange(point)
+	} else {
+		// The global group's base entry holds the CLT moments; the
+		// overlay may have folded uncertain rows, whose exclusion from
+		// the moments only widens the range (conservative).
+		var baseEn *onlineEntry
+		if len(r.tab.order) > 0 {
+			baseEn = r.tab.m[r.tab.order[0]]
+		}
+		te := e.triEnv()
+		boost := e.bind.scalars[b.ParamIdx].epsBoost
+		rng, _ = e.paramRangeFor(te, r, baseEn, post, point,
+			func() []types.Value { return reps }, scale, boost, nil)
+	}
+	return e.bind.updateScalar(b.ParamIdx, point, reps, rng)
+}
+
+// soleEntry fetches the single global-group entry of a scalar block
+// (creating an empty one when no rows qualified yet).
+func soleEntry(b *plan.Block, o *overlay) *exec.GroupEntry {
+	keys := o.keys()
+	if len(keys) == 0 {
+		return &exec.GroupEntry{States: newEntryStates(b)}
+	}
+	return o.entry(keys[0])
+}
+
+func (e *Engine) updateGroupBinding(r *blockRunner, scale float64, complete bool) bool {
+	b := r.b
+	mainO := r.overlayFor(-1)
+	pctx := e.bind.pointCtx(nil)
+	sqrtP := e.tables[b.Input.Fact].sqrtP
+	g := e.bind.groups[b.ParamIdx]
+	boost := g.epsBoost
+	// Replica vectors are provided lazily: only the groups probed by
+	// snapshot error estimation (or by a bootstrap range fallback) pay
+	// for per-trial evaluation.
+	g.reps = map[string][]types.Value{}
+	g.repFn = e.makeGroupRepFn(r, scale, sqrtP)
+	te := e.triEnv()
+	var postBuf types.Row
+	var rngScratch []paramRange
+	failed := false
+	for _, key := range mainO.keys() {
+		en := mainO.entry(key)
+		if en == nil {
+			continue
+		}
+		postBuf = exec.PostRowInto(b, en, scale, postBuf)
+		post := postBuf
+		pctx.Row = post
+		point := b.Select[0].Eval(pctx)
+		commit := e.groupSupport(r, key) >= e.opt.MinGroupSupport &&
+			(r.allCLT || e.groupSampledSupport(r, key) >= e.opt.MinGroupSupport)
+		var rng paramRange
+		switch {
+		case complete:
+			rng = pointOnlyRange(point)
+			commit = true // an exact value always classifies
+		case commit:
+			key := key
+			repsFn := func() []types.Value { return g.repsFor(key) }
+			rng, rngScratch = e.paramRangeFor(te, r, r.tab.m[key], post, point, repsFn, scale, boost, rngScratch)
+		}
+		if e.bind.updateGroupEntry(b.ParamIdx, key, point, rng, commit || complete) {
+			failed = true
+		}
+	}
+	if failed {
+		// One widening per failing batch scan: per-key doubling would
+		// overshoot the slack exponentially when many marginal groups
+		// fail together.
+		e.bind.groups[b.ParamIdx].epsBoost *= 2
+	}
+	return failed
+}
+
+// makeGroupRepFn builds the lazy per-group replica evaluator for the
+// current batch: trial overlays and contexts are materialized on first
+// use and shared across keys.
+func (e *Engine) makeGroupRepFn(r *blockRunner, scale, sqrtP float64) func(string) []types.Value {
+	b := r.b
+	var trialOs []*overlay
+	var tctxs []*expr.Ctx
+	g := e.bind.groups[b.ParamIdx]
+	return func(key string) []types.Value {
+		if trialOs == nil {
+			trialOs = make([]*overlay, e.opt.Trials)
+			tctxs = make([]*expr.Ctx, e.opt.Trials)
+			for j := range trialOs {
+				trialOs[j] = r.overlayFor(j)
+				tctxs[j] = e.bind.trialCtx(nil, j)
+			}
+		}
+		point := types.Null
+		if v, ok := g.point[key]; ok {
+			point = v
+		}
+		reps := make([]types.Value, e.opt.Trials)
+		var buf types.Row
+		for j := range reps {
+			reps[j] = types.Null
+			if en := trialOs[j].trialEntry(key); en != nil {
+				buf = exec.PostRowInto(b, en, scale, buf)
+				tctxs[j].Row = buf
+				reps[j] = adjustRep(point, b.Select[0].Eval(tctxs[j]), sqrtP)
+			}
+		}
+		return reps
+	}
+}
+
+// groupSupport is the number of tuples deterministically folded into a
+// group (uncertain-set folds excluded).
+func (e *Engine) groupSupport(r *blockRunner, key string) int {
+	if en, ok := r.tab.m[key]; ok {
+		return en.n
+	}
+	return 0
+}
+
+// groupSampledSupport is the number of bootstrap-subsampled tuples
+// folded into a group; ranges need at least two to carry dispersion.
+func (e *Engine) groupSampledSupport(r *blockRunner, key string) int {
+	if en, ok := r.tab.m[key]; ok {
+		return en.ns
+	}
+	return 0
+}
+
+func (e *Engine) updateSetBinding(r *blockRunner, scale float64, complete bool) bool {
+	b := r.b
+	mainO := r.overlayFor(-1)
+	pctx := e.bind.pointCtx(nil)
+	te := e.triEnv()
+	sb := e.bind.sets[b.ParamIdx]
+	// Per-trial membership is provided lazily: only the keys probed by
+	// snapshot error estimation pay for per-trial evaluation.
+	sb.reps = map[string][]bool{}
+	sb.repFn = e.makeSetRepFn(r, scale)
+	fracSeen := 0.0
+	if ts := e.tables[b.Input.Fact]; ts.total > 0 {
+		fracSeen = float64(ts.seen) / float64(ts.total)
+	}
+	var postBuf types.Row
+	failed := false
+	for _, key := range mainO.keys() {
+		en := mainO.entry(key)
+		if en == nil {
+			continue
+		}
+		postBuf = exec.PostRowInto(b, en, scale, postBuf)
+		post := postBuf
+		// Point membership.
+		pctx.Row = post
+		member := b.Having == nil || b.Having.Eval(pctx).Truthy()
+		// Tri-state membership via row ranges on the post-agg layout.
+		// Groups below the minimum support never classify
+		// deterministically (their bootstrap ranges are unreliable);
+		// once the table is fully consumed the point answer is exact.
+		t := triTrue // no HAVING: membership is monotone (key present → member)
+		if b.Having != nil {
+			switch {
+			case complete:
+				t = triFromBool(member)
+			case e.groupSupport(r, key) < e.opt.MinGroupSupport ||
+				(!r.allCLT && e.groupSampledSupport(r, key) < e.opt.MinGroupSupport):
+				t = triUnknown
+			default:
+				boost := sb.epsBoost
+				z := (cltZBase + e.opt.EpsilonSigma) * boost
+				te.rowRanges = e.setRowRanges(r, key, post, scale, fracSeen, z, boost, te.rowRanges)
+				t = te.evalTri(b.Having, post)
+				te.rowRanges = nil
+			}
+		}
+		if e.bind.updateSetEntry(b.ParamIdx, key, member, t) {
+			failed = true
+		}
+	}
+	if failed {
+		e.bind.sets[b.ParamIdx].epsBoost *= 2
+	}
+	return failed
+}
+
+// setRowRanges builds the per-slot variation ranges for a set block's
+// group: exact points for key slots, CLT ranges for estimable
+// aggregates, bootstrap replica ranges as the fallback.
+func (e *Engine) setRowRanges(r *blockRunner, key string, post types.Row, scale, fracSeen, z, boost float64, out []paramRange) []paramRange {
+	b := r.b
+	out = out[:0]
+	baseEn := r.tab.m[key]
+	var repVals [][]float64 // built lazily only if a fallback is needed
+	for c := range post {
+		if c < len(b.GroupBy) {
+			if fv, ok := post[c].AsFloat(); ok {
+				out = append(out, okRange(bootstrap.Point(fv)))
+			} else {
+				out = append(out, paramRange{status: rsUnknown})
+			}
+			continue
+		}
+		var pr paramRange
+		pr.status = rsUnknown
+		ia := c - len(b.GroupBy)
+		if baseEn != nil && baseEn.clt != nil && r.cltKinds[ia] != cltNone {
+			pr = cltRange(r.cltKinds[ia], &baseEn.clt[ia], scale, fracSeen, z)
+		}
+		if pr.status == rsUnknown {
+			if repVals == nil {
+				repVals = e.setRepPostValues(r, key, post, scale)
+			}
+			pr = buildRangeFromFloats(post[c], repVals[c], e.opt.EpsilonSigma*boost, e.opt.Trials)
+		}
+		out = append(out, pr)
+	}
+	return out
+}
+
+// setRepPostValues evaluates a set-block group's adjusted per-trial
+// post-aggregate values (the bootstrap fallback for non-CLT slots).
+func (e *Engine) setRepPostValues(r *blockRunner, key string, post types.Row, scale float64) [][]float64 {
+	b := r.b
+	sqrtP := e.tables[b.Input.Fact].sqrtP
+	extensive := extensiveSlots(b)
+	repVals := make([][]float64, len(post))
+	var buf types.Row
+	for j := 0; j < e.opt.Trials; j++ {
+		ten := r.overlayFor(j).trialEntry(key)
+		if ten == nil {
+			continue
+		}
+		buf = exec.PostRowInto(b, ten, scale, buf)
+		for c := range buf {
+			v := buf[c]
+			if v.IsNull() && extensive[c] {
+				v = types.NewFloat(0)
+			}
+			v = adjustRep(post[c], v, sqrtP)
+			if f, ok := v.AsFloat(); ok {
+				repVals[c] = append(repVals[c], f)
+			}
+		}
+	}
+	return repVals
+}
+
+// extensiveSlots flags the post-aggregate slots holding SUM/COUNT: a
+// zero-weight resample of a group carries zero mass there, it is not
+// "unknown".
+func extensiveSlots(b *plan.Block) []bool {
+	width := b.PostAggWidth()
+	out := make([]bool, width)
+	for c := len(b.GroupBy); c < width; c++ {
+		name := b.Aggs[c-len(b.GroupBy)].Name
+		out[c] = name == "SUM" || name == "COUNT"
+	}
+	return out
+}
+
+// makeSetRepFn builds the lazy per-key, per-trial membership evaluator
+// for the current batch.
+func (e *Engine) makeSetRepFn(r *blockRunner, scale float64) func(string) []bool {
+	b := r.b
+	sqrtP := e.tables[b.Input.Fact].sqrtP
+	extensive := extensiveSlots(b)
+	var trialOs []*overlay
+	var tctxs []*expr.Ctx
+	return func(key string) []bool {
+		if trialOs == nil {
+			trialOs = make([]*overlay, e.opt.Trials)
+			tctxs = make([]*expr.Ctx, e.opt.Trials)
+			for j := range trialOs {
+				trialOs[j] = r.overlayFor(j)
+				tctxs[j] = e.bind.trialCtx(nil, j)
+			}
+		}
+		// Point post row of the key, for the m-out-of-n adjustment.
+		var post types.Row
+		mainO := r.overlayFor(-1)
+		if en := mainO.entry(key); en != nil {
+			post = exec.PostRow(b, en, scale)
+		}
+		reps := make([]bool, e.opt.Trials)
+		var buf types.Row
+		for j := range reps {
+			ten := trialOs[j].trialEntry(key)
+			if ten == nil {
+				continue
+			}
+			buf = exec.PostRowInto(b, ten, scale, buf)
+			for c := range buf {
+				if buf[c].IsNull() && extensive[c] {
+					buf[c] = types.NewFloat(0)
+				}
+				if post != nil {
+					buf[c] = adjustRep(post[c], buf[c], sqrtP)
+				}
+			}
+			tctxs[j].Row = buf
+			reps[j] = b.Having == nil || b.Having.Eval(tctxs[j]).Truthy()
+		}
+		return reps
+	}
+}
+
+// buildRangeFromFloats is buildRange over already-extracted replica
+// floats; trials is the configured trial count, against which replica
+// evidence is judged sufficient.
+func buildRangeFromFloats(point types.Value, reps []float64, epsSigma float64, trials int) paramRange {
+	if len(reps) < minReplicaObs(trials) {
+		return paramRange{status: rsUnknown}
+	}
+	vals := make([]types.Value, len(reps))
+	for i, f := range reps {
+		vals[i] = types.NewFloat(f)
+	}
+	return buildRange(point, vals, epsSigma)
+}
+
+// ctxHolder keeps a reusable per-trial expression context.
+type ctxHolder struct{ ctx *expr.Ctx }

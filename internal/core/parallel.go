@@ -1,0 +1,170 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"fluodb/internal/plan"
+	"fluodb/internal/types"
+)
+
+// Intra-batch parallelism. FluoDB is "a parallel online query execution
+// framework" (§1); here each mini-batch is sharded across workers, each
+// folding into a private aggregate table and uncertain buffer, merged
+// deterministically (worker 0..P−1) afterwards. All aggregate states
+// are mergeable by construction (internal/agg), the CLT moments merge
+// with the parallel-variance formula, and per-tuple resamples are
+// counter-based hashes, so the statistics are identical to a serial run
+// up to group insertion order.
+
+// parallelThreshold is the minimum shard size worth a goroutine.
+const parallelThreshold = 2048
+
+// merge folds another accumulator into a (Chan et al. parallel
+// variance).
+func (a *cltAcc) merge(b cltAcc) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = b
+		return
+	}
+	n := a.n + b.n
+	d := b.mean - a.mean
+	a.m2 += b.m2 + d*d*a.n*b.n/n
+	a.mean += d * b.n / n
+	a.n = n
+}
+
+// mergeEntry folds a worker's group entry into the main entry.
+func (e *onlineEntry) mergeEntry(o *onlineEntry) {
+	e.n += o.n
+	e.ns += o.ns
+	for i := range e.main {
+		e.main[i].Merge(o.main[i])
+	}
+	for j := range e.reps {
+		for i := range e.reps[j] {
+			e.reps[j][i].Merge(o.reps[j][i])
+		}
+	}
+	if e.clt != nil && o.clt != nil {
+		for i := range e.clt {
+			e.clt[i].merge(o.clt[i])
+		}
+	}
+}
+
+// merge folds a worker table into t, preserving t's insertion order for
+// existing groups and appending new groups in the worker's order.
+func (t *onlineTable) merge(o *onlineTable, b *plan.Block) {
+	for _, key := range o.order {
+		oe := o.m[key]
+		e, ok := t.m[key]
+		if !ok {
+			t.m[key] = oe
+			t.order = append(t.order, key)
+			continue
+		}
+		e.mergeEntry(oe)
+	}
+}
+
+// feedShard folds rows[lo:hi) of a mini-batch into a private table and
+// uncertain buffer. te must be private to the worker.
+func (r *blockRunner) feedShard(rows []types.Row, baseIdx int, ts *tableStream, te *triEnv, tab *onlineTable, uncertain *[]uncertainRow, folds *int64) {
+	e := r.eng
+	for i, fact := range rows {
+		var weights []uint8
+		repW := 0.0
+		if e.sampled(ts, baseIdx+i) {
+			weights = e.weightsFor(ts, baseIdx+i)
+			repW = ts.invP
+		}
+		for _, row := range r.joiner.Join(fact) {
+			te.pointCtx.Row = row
+			if r.certainWhere != nil && !r.certainWhere.Eval(te.pointCtx).Truthy() {
+				continue
+			}
+			if r.uncertainWhere == nil {
+				tab.fold(r.b, te.pointCtx, weights, repW)
+				*folds++
+				continue
+			}
+			switch te.evalTri(r.uncertainWhere, row) {
+			case triTrue:
+				te.pointCtx.Row = row
+				tab.fold(r.b, te.pointCtx, weights, repW)
+				*folds++
+			case triFalse:
+				// dropped forever
+			default:
+				*uncertain = append(*uncertain, uncertainRow{row: row, weights: weights, repW: repW})
+			}
+		}
+	}
+}
+
+// feedBatchParallel shards one mini-batch across the engine's workers.
+// It falls back to serial feeding for small batches.
+func (r *blockRunner) feedBatchParallel(rows []types.Row, baseIdx int, ts *tableStream, te *triEnv) {
+	workers := r.eng.opt.Parallelism
+	if workers <= 1 || len(rows) < 2*parallelThreshold {
+		for i, fact := range rows {
+			var weights []uint8
+			repW := 0.0
+			if r.eng.sampled(ts, baseIdx+i) {
+				weights = r.eng.weightsFor(ts, baseIdx+i)
+				repW = ts.invP
+			}
+			r.feedTuple(fact, weights, repW, te)
+		}
+		return
+	}
+	if max := len(rows) / parallelThreshold; workers > max {
+		workers = max
+	}
+	type shardOut struct {
+		tab       *onlineTable
+		uncertain []uncertainRow
+		folds     int64
+	}
+	outs := make([]shardOut, workers)
+	// joiner shares dimension hash tables (read-only) but its one-row
+	// scratch is per-call state: give each worker a shallow copy.
+	var wg sync.WaitGroup
+	size := len(rows) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * size
+		hi := lo + size
+		if w == workers-1 {
+			hi = len(rows)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			wr := *r // shallow: shares joiner dims, block, engine
+			wr.joiner = r.joiner.CloneForWorker()
+			tab := newOnlineTable(r.eng.opt.Trials)
+			tab.cltKinds = r.cltKinds
+			wte := r.eng.triEnv()
+			var unc []uncertainRow
+			var folds int64
+			wr.feedShard(rows[lo:hi], baseIdx+lo, ts, wte, tab, &unc, &folds)
+			outs[w] = shardOut{tab: tab, uncertain: unc, folds: folds}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for w := range outs {
+		r.tab.merge(outs[w].tab, r.b)
+		r.uncertain = append(r.uncertain, outs[w].uncertain...)
+		r.eng.metrics.DeterministicFolds += outs[w].folds
+	}
+	if len(outs) > 0 {
+		r.sampledIdxValid = false
+	}
+}
+
+// defaultParallelism resolves Parallelism 0.
+func defaultParallelism() int { return runtime.GOMAXPROCS(0) }

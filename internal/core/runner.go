@@ -1,0 +1,432 @@
+package core
+
+import (
+	"fmt"
+
+	"fluodb/internal/agg"
+	"fluodb/internal/exec"
+	"fluodb/internal/expr"
+	"fluodb/internal/plan"
+	"fluodb/internal/sqlparser"
+	"fluodb/internal/types"
+)
+
+// andOp aliases the AND operator for conjunct reassembly.
+const andOp = sqlparser.OpAnd
+
+// onlineEntry is one group's incremental state: the main aggregate
+// states plus one state set per bootstrap trial.
+type onlineEntry struct {
+	key  types.Row
+	main []agg.State
+	reps [][]agg.State // [trial][agg]
+	// n counts deterministically folded tuples; groups below the
+	// minimum-support threshold never commit deterministic decisions
+	// (their bootstrap ranges are too unreliable).
+	n int
+	// ns counts folded tuples inside the bootstrap subsample. A group
+	// with ns == 0 has no replica evidence: its replica states are
+	// structurally present but empty, and must not be read as values.
+	ns int
+	// clt holds per-aggregate Welford moments for closed-form variation
+	// ranges (nil when the block has no CLT-estimable aggregate).
+	clt []cltAcc
+}
+
+// onlineTable maps group keys to online entries, preserving insertion
+// order for deterministic output.
+type onlineTable struct {
+	m        map[string]*onlineEntry
+	order    []string
+	trials   int
+	cltKinds []cltKind // per-aggregate CLT class (shared with the runner)
+	// scratch buffers for per-tuple group-key evaluation (the engine is
+	// single-threaded per query).
+	keyRow types.Row
+	cols   []int
+}
+
+func newOnlineTable(trials int) *onlineTable {
+	return &onlineTable{m: map[string]*onlineEntry{}, trials: trials}
+}
+
+func newEntryStates(b *plan.Block) []agg.State {
+	out := make([]agg.State, len(b.Aggs))
+	for i := range b.Aggs {
+		s, err := b.Aggs[i].NewState()
+		if err != nil {
+			panic(fmt.Sprintf("core: agg state: %v", err)) // validated at plan time
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func (t *onlineTable) newEntry(b *plan.Block, key types.Row) *onlineEntry {
+	e := &onlineEntry{key: key, main: newEntryStates(b)}
+	e.reps = make([][]agg.State, t.trials)
+	for j := range e.reps {
+		e.reps[j] = newEntryStates(b)
+	}
+	for _, k := range t.cltKinds {
+		if k != cltNone {
+			e.clt = make([]cltAcc, len(b.Aggs))
+			break
+		}
+	}
+	return e
+}
+
+// entry returns (creating if needed) the group entry for the row in ctx.
+func (t *onlineTable) entry(b *plan.Block, ctx *expr.Ctx) *onlineEntry {
+	var key string
+	if len(b.GroupBy) == 1 {
+		if t.keyRow == nil {
+			t.keyRow = make(types.Row, 1)
+		}
+		t.keyRow[0] = b.GroupBy[0].Eval(ctx)
+		key = types.KeyString1(t.keyRow[0])
+	} else {
+		if t.keyRow == nil {
+			t.keyRow = make(types.Row, len(b.GroupBy))
+			t.cols = make([]int, len(b.GroupBy))
+			for i := range t.cols {
+				t.cols[i] = i
+			}
+		}
+		for i, g := range b.GroupBy {
+			t.keyRow[i] = g.Eval(ctx)
+		}
+		key = t.keyRow.KeyString(t.cols)
+	}
+	e, ok := t.m[key]
+	if !ok {
+		e = t.newEntry(b, t.keyRow.Clone())
+		t.m[key] = e
+		t.order = append(t.order, key)
+	}
+	return e
+}
+
+// fold adds the row in ctx into the main state (weight 1) and — when the
+// tuple is in the bootstrap subsample (repW > 0, carrying the 1/p
+// inverse sampling weight) — into each replica with its Poisson(1)
+// multiplicity.
+func (t *onlineTable) fold(b *plan.Block, ctx *expr.Ctx, weights []uint8, repW float64) {
+	e := t.entry(b, ctx)
+	e.n++
+	if repW > 0 {
+		e.ns++
+	}
+	for i := range b.Aggs {
+		v := b.Aggs[i].Arg.Eval(ctx)
+		e.main[i].Add(v, 1)
+		if e.clt != nil && t.cltKinds[i] != cltNone && !v.IsNull() {
+			switch t.cltKinds[i] {
+			case cltCount:
+				e.clt[i].add(1)
+			default:
+				if f, ok := v.AsFloat(); ok {
+					e.clt[i].add(f)
+				}
+			}
+		}
+		if repW <= 0 {
+			continue
+		}
+		for j, w := range weights {
+			if w > 0 {
+				e.reps[j][i].Add(v, float64(w)*repW)
+			}
+		}
+	}
+}
+
+// uncertainRow is a cached tuple whose classification may still flip.
+// The joined row is its lineage within the block (§3.3): everything
+// needed to lazily re-evaluate the uncertain predicate and the block's
+// aggregate arguments.
+type uncertainRow struct {
+	row     types.Row
+	weights []uint8
+	repW    float64 // 0 when outside the bootstrap subsample, else 1/p
+}
+
+// blockRunner executes one lineage block online.
+type blockRunner struct {
+	b      *plan.Block
+	eng    *Engine
+	joiner *exec.Joiner
+
+	// WHERE split into certain conjuncts (no uncertain placeholders;
+	// evaluated exactly per tuple) and uncertain conjuncts (classified
+	// through variation ranges).
+	certainWhere   expr.Expr
+	uncertainWhere expr.Expr
+
+	tab       *onlineTable
+	uncertain []uncertainRow
+	// sampledIdx caches the indexes of uncertain rows inside the
+	// bootstrap subsample; trial overlays only visit those.
+	sampledIdx      []int
+	sampledIdxValid bool
+
+	// cltKinds classifies each aggregate for closed-form ranges;
+	// allCLT reports whether every aggregate in the block is estimable,
+	// in which case deterministic classification does not depend on
+	// bootstrap-subsample evidence at all.
+	cltKinds []cltKind
+	allCLT   bool
+}
+
+func newBlockRunner(b *plan.Block, eng *Engine) (*blockRunner, error) {
+	j, err := exec.NewJoiner(b, eng.cat)
+	if err != nil {
+		return nil, err
+	}
+	r := &blockRunner{b: b, eng: eng, joiner: j, tab: newOnlineTable(eng.opt.Trials)}
+	r.cltKinds = make([]cltKind, len(b.Aggs))
+	r.allCLT = len(b.Aggs) > 0
+	for i := range b.Aggs {
+		r.cltKinds[i] = cltKindOf(&b.Aggs[i])
+		if r.cltKinds[i] == cltNone {
+			r.allCLT = false
+		}
+	}
+	r.tab.cltKinds = r.cltKinds
+	var certain, unc []expr.Expr
+	for _, c := range expr.SplitConjuncts(b.Where) {
+		if expr.HasParams(c) {
+			unc = append(unc, c)
+		} else {
+			certain = append(certain, c)
+		}
+	}
+	r.certainWhere = andExprs(certain)
+	r.uncertainWhere = andExprs(unc)
+	return r, nil
+}
+
+func andExprs(es []expr.Expr) expr.Expr {
+	var out expr.Expr
+	for _, e := range es {
+		if out == nil {
+			out = e
+		} else {
+			out = &expr.Binary{Op: andOp, L: out, R: e}
+		}
+	}
+	return out
+}
+
+// reset clears all online state (used by failure-recovery replay).
+func (r *blockRunner) reset() {
+	r.tab = newOnlineTable(r.eng.opt.Trials)
+	r.tab.cltKinds = r.cltKinds
+	r.uncertain = nil
+	r.sampledIdxValid = false
+}
+
+// sampledUncertain returns the indexes of uncertain rows carrying
+// bootstrap weight, cached until the uncertain set next changes.
+func (r *blockRunner) sampledUncertain() []int {
+	if !r.sampledIdxValid {
+		r.sampledIdx = r.sampledIdx[:0]
+		for i := range r.uncertain {
+			if r.uncertain[i].repW > 0 {
+				r.sampledIdx = append(r.sampledIdx, i)
+			}
+		}
+		r.sampledIdxValid = true
+	}
+	return r.sampledIdx
+}
+
+// reclassify re-examines the cached uncertain set against the current
+// variation ranges: tuples that became deterministic are folded (or
+// dropped) permanently; the rest stay cached. This is the delta
+// maintenance step of §3.2 — only U_{i-1} and the new mini-batch are
+// touched, never the full prefix.
+func (r *blockRunner) reclassify(te *triEnv) {
+	if len(r.uncertain) == 0 {
+		return
+	}
+	kept := r.uncertain[:0]
+	for _, u := range r.uncertain {
+		switch te.evalTri(r.uncertainWhere, u.row) {
+		case triTrue:
+			te.pointCtx.Row = u.row
+			r.tab.fold(r.b, te.pointCtx, u.weights, u.repW)
+			r.eng.metrics.DeterministicFolds++
+		case triFalse:
+			// dropped forever
+		default:
+			kept = append(kept, u)
+		}
+	}
+	// Zero the tail so dropped rows are collectable.
+	for i := len(kept); i < len(r.uncertain); i++ {
+		r.uncertain[i] = uncertainRow{}
+	}
+	r.uncertain = kept
+	r.sampledIdxValid = false
+}
+
+// feedTuple pushes one fact tuple (with its per-trial bootstrap
+// multiplicities and subsample weight) through join → certain filter →
+// classification.
+func (r *blockRunner) feedTuple(fact types.Row, weights []uint8, repW float64, te *triEnv) {
+	for _, row := range r.joiner.Join(fact) {
+		te.pointCtx.Row = row
+		if r.certainWhere != nil && !r.certainWhere.Eval(te.pointCtx).Truthy() {
+			continue
+		}
+		if r.uncertainWhere == nil {
+			r.tab.fold(r.b, te.pointCtx, weights, repW)
+			r.eng.metrics.DeterministicFolds++
+			continue
+		}
+		switch te.evalTri(r.uncertainWhere, row) {
+		case triTrue:
+			te.pointCtx.Row = row
+			r.tab.fold(r.b, te.pointCtx, weights, repW)
+			r.eng.metrics.DeterministicFolds++
+		case triFalse:
+			// dropped forever
+		default:
+			r.uncertain = append(r.uncertain, uncertainRow{row: row, weights: weights, repW: repW})
+			r.sampledIdxValid = false
+		}
+	}
+}
+
+// overlay is a copy-on-write view of an onlineTable for one trial
+// (trial = -1 selects the main states). Snapshots fold the uncertain set
+// into the overlay without disturbing the deterministic base state.
+type overlay struct {
+	base    *onlineTable
+	trial   int
+	touched map[string]*exec.GroupEntry
+	extra   []string // keys created by uncertain rows, in order
+}
+
+func newOverlay(base *onlineTable, trial int) *overlay {
+	return &overlay{base: base, trial: trial, touched: map[string]*exec.GroupEntry{}}
+}
+
+// baseStates selects the right state set from a base entry.
+func (o *overlay) baseStates(e *onlineEntry) []agg.State {
+	if o.trial < 0 {
+		return e.main
+	}
+	return e.reps[o.trial]
+}
+
+// entryFor returns a mutable entry for the key, cloning from base on
+// first touch.
+func (o *overlay) entryFor(b *plan.Block, key string, keyRow types.Row) *exec.GroupEntry {
+	if e, ok := o.touched[key]; ok {
+		return e
+	}
+	var states []agg.State
+	if be, ok := o.base.m[key]; ok {
+		src := o.baseStates(be)
+		states = make([]agg.State, len(src))
+		for i, s := range src {
+			states[i] = s.Clone()
+		}
+	} else {
+		states = newEntryStates(b)
+		o.extra = append(o.extra, key)
+	}
+	e := &exec.GroupEntry{Key: keyRow, States: states}
+	o.touched[key] = e
+	return e
+}
+
+// fold adds one row into the overlay with the given weight.
+func (o *overlay) fold(b *plan.Block, ctx *expr.Ctx, w float64) {
+	keyRow := make(types.Row, len(b.GroupBy))
+	cols := make([]int, len(b.GroupBy))
+	for i, g := range b.GroupBy {
+		keyRow[i] = g.Eval(ctx)
+		cols[i] = i
+	}
+	key := keyRow.KeyString(cols)
+	e := o.entryFor(b, key, keyRow)
+	for i := range b.Aggs {
+		e.States[i].Add(b.Aggs[i].Arg.Eval(ctx), w)
+	}
+}
+
+// keys lists all group keys (base order, then overlay-only keys).
+func (o *overlay) keys() []string {
+	if len(o.extra) == 0 {
+		return o.base.order
+	}
+	out := make([]string, 0, len(o.base.order)+len(o.extra))
+	out = append(out, o.base.order...)
+	out = append(out, o.extra...)
+	return out
+}
+
+// entry returns the (possibly overlaid) group entry for a key, or nil.
+func (o *overlay) entry(key string) *exec.GroupEntry {
+	if e, ok := o.touched[key]; ok {
+		return e
+	}
+	if be, ok := o.base.m[key]; ok {
+		return &exec.GroupEntry{Key: be.key, States: o.baseStates(be)}
+	}
+	return nil
+}
+
+// trialEntry is entry restricted to groups with bootstrap evidence: for
+// trial overlays it returns nil when the group has no subsampled tuples
+// (neither deterministic nor uncertain), so empty replica states are
+// never misread as values.
+func (o *overlay) trialEntry(key string) *exec.GroupEntry {
+	if e, ok := o.touched[key]; ok {
+		return e // uncertain folds only happen for sampled tuples in trials
+	}
+	if be, ok := o.base.m[key]; ok && (o.trial < 0 || be.ns > 0) {
+		return &exec.GroupEntry{Key: be.key, States: o.baseStates(be)}
+	}
+	return nil
+}
+
+// overlayFor folds the runner's uncertain set (under the point bindings
+// for trial < 0, or trial j's bindings and Poisson weights otherwise)
+// into a copy-on-write view of its deterministic state.
+func (r *blockRunner) overlayFor(trial int) *overlay {
+	o := newOverlay(r.tab, trial)
+	var ctx *expr.Ctx
+	if trial < 0 {
+		ctx = r.eng.bind.pointCtx(nil)
+	} else {
+		ctx = r.eng.bind.trialCtx(nil, trial)
+	}
+	if trial < 0 {
+		for i := range r.uncertain {
+			u := &r.uncertain[i]
+			ctx.Row = u.row
+			if r.uncertainWhere != nil && !r.uncertainWhere.Eval(ctx).Truthy() {
+				continue
+			}
+			o.fold(r.b, ctx, 1)
+		}
+		return o
+	}
+	for _, i := range r.sampledUncertain() {
+		u := &r.uncertain[i]
+		if u.weights[trial] == 0 {
+			continue
+		}
+		ctx.Row = u.row
+		if r.uncertainWhere != nil && !r.uncertainWhere.Eval(ctx).Truthy() {
+			continue
+		}
+		o.fold(r.b, ctx, float64(u.weights[trial])*u.repW)
+	}
+	return o
+}

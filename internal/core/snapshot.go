@@ -1,0 +1,250 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"fluodb/internal/bootstrap"
+	"fluodb/internal/exec"
+	"fluodb/internal/expr"
+	"fluodb/internal/types"
+)
+
+// CellEstimate is one output cell: the point estimate computed as if the
+// query ran on all data seen so far (Q(Dᵢ, k/i) of §2.2), with a
+// bootstrap confidence interval for aggregated cells.
+type CellEstimate struct {
+	Value types.Value
+	CI    bootstrap.Interval
+	RSD   float64
+	HasCI bool
+}
+
+// BlockStat is one lineage block's online state at snapshot time.
+type BlockStat struct {
+	ID        int
+	Kind      string // "root", "scalar", "group-scalar", "set"
+	Label     string // the block's SQL
+	Table     string // streamed fact table
+	Groups    int    // live groups in the block's aggregate state
+	Uncertain int    // cached uncertain tuples
+}
+
+// Snapshot is the refined approximate answer after one mini-batch.
+type Snapshot struct {
+	Batch             int // 1-based index of the batch just processed
+	TotalBatches      int
+	FractionProcessed float64
+	Schema            types.Schema
+	Rows              [][]CellEstimate
+	UncertainRows     int           // cached uncertain tuples across all blocks
+	Recomputes        int           // cumulative range-failure recomputations
+	Elapsed           time.Duration // processing time of this batch
+	// Blocks profiles each lineage block (dependency order, root last) —
+	// the observability the paper's Query Controller exposes (§4).
+	Blocks []BlockStat
+}
+
+// RSD returns the mean relative standard deviation across all cells
+// that carry a confidence interval — the y-axis of the paper's
+// Figure 3(a).
+func (s *Snapshot) RSD() float64 {
+	var sum float64
+	var n int
+	for _, row := range s.Rows {
+		for _, c := range row {
+			if c.HasCI {
+				sum += c.RSD
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// ValueRows strips the estimates down to plain rows.
+func (s *Snapshot) ValueRows() []types.Row {
+	out := make([]types.Row, len(s.Rows))
+	for i, row := range s.Rows {
+		r := make(types.Row, len(row))
+		for j, c := range row {
+			r[j] = c.Value
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// columnIsAggregated reports whether a root select column depends on
+// aggregate slots or uncertain params (and therefore deserves a CI).
+func columnIsAggregated(e expr.Expr, groupWidth int) bool {
+	if expr.HasParams(e) {
+		return true
+	}
+	found := false
+	expr.Walk(e, func(x expr.Expr) bool {
+		if c, ok := x.(*expr.Col); ok && c.Idx >= groupWidth {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// snapshot materializes the current approximate result with error bars.
+func (e *Engine) snapshot(elapsed time.Duration) *Snapshot {
+	b := e.q.Root
+	rr := e.runners[len(e.runners)-1]
+	scale := e.scaleFor(b)
+	ts := e.tables[b.Input.Fact]
+
+	snap := &Snapshot{
+		Batch:         e.batch,
+		TotalBatches:  e.opt.Batches,
+		Schema:        b.OutSchema(),
+		UncertainRows: e.UncertainRows(),
+		Recomputes:    e.metrics.Recomputes,
+		Elapsed:       elapsed,
+	}
+	if ts.total > 0 {
+		snap.FractionProcessed = float64(ts.seen) / float64(ts.total)
+	}
+	for _, r := range e.runners {
+		snap.Blocks = append(snap.Blocks, BlockStat{
+			ID:        r.b.ID,
+			Kind:      r.b.Kind.String(),
+			Label:     r.b.Label,
+			Table:     r.b.Input.Fact,
+			Groups:    len(r.tab.order),
+			Uncertain: len(r.uncertain),
+		})
+	}
+
+	hasCI := make([]bool, len(b.Select))
+	for c, se := range b.Select {
+		hasCI[c] = columnIsAggregated(se, len(b.GroupBy))
+	}
+
+	mainO := rr.overlayFor(-1)
+	keys := mainO.keys()
+	// Bound the per-snapshot error-estimation work: with many output
+	// groups, compute the CIs from a prefix of the trials (trials are
+	// exchangeable, so any subset is a valid — coarser — bootstrap).
+	effTrials := e.opt.Trials
+	if e.opt.SnapshotEvalBudget > 0 {
+		groups := len(keys)
+		if groups < 1 {
+			groups = 1
+		}
+		effTrials = e.opt.SnapshotEvalBudget / groups
+		if effTrials < 8 {
+			effTrials = 8
+		}
+		if effTrials > e.opt.Trials {
+			effTrials = e.opt.Trials
+		}
+	}
+	trialOs := make([]*overlay, effTrials)
+	for j := range trialOs {
+		trialOs[j] = rr.overlayFor(j)
+	}
+	pctx := e.bind.pointCtx(nil)
+	tctxs := make([]*expr.Ctx, effTrials)
+	for j := range tctxs {
+		tctxs[j] = e.bind.trialCtx(nil, j)
+	}
+	global := len(b.GroupBy) == 0
+	type scored struct {
+		cells []CellEstimate
+		point types.Row
+	}
+	var rows []scored
+
+	emit := func(entry *exec.GroupEntry, trialEntry func(j int) *exec.GroupEntry) {
+		post := exec.PostRow(b, entry, scale)
+		pctx.Row = post
+		if b.Having != nil && !b.Having.Eval(pctx).Truthy() {
+			return
+		}
+		point := make(types.Row, len(b.Select))
+		for c, se := range b.Select {
+			pctx.Row = post
+			point[c] = se.Eval(pctx)
+		}
+		repVals := make([][]float64, len(b.Select))
+		for j := 0; j < effTrials; j++ {
+			ten := trialEntry(j)
+			if ten == nil {
+				continue
+			}
+			tpost := exec.PostRow(b, ten, scale)
+			for c, se := range b.Select {
+				if !hasCI[c] {
+					continue
+				}
+				tctxs[j].Row = tpost
+				v := adjustRep(point[c], se.Eval(tctxs[j]), ts.sqrtP)
+				if f, ok := v.AsFloat(); ok {
+					repVals[c] = append(repVals[c], f)
+				}
+			}
+		}
+		cells := make([]CellEstimate, len(b.Select))
+		for c := range cells {
+			cells[c].Value = point[c]
+			if hasCI[c] && len(repVals[c]) > 0 {
+				cells[c].CI = bootstrap.PercentileCI(repVals[c], e.opt.Confidence)
+				cells[c].RSD = bootstrap.RSD(repVals[c])
+				cells[c].HasCI = true
+			}
+		}
+		rows = append(rows, scored{cells: cells, point: point})
+	}
+
+	if global {
+		entry := soleEntry(b, mainO)
+		emit(entry, func(j int) *exec.GroupEntry { return soleEntry(b, trialOs[j]) })
+	} else {
+		for _, key := range keys {
+			entry := mainO.entry(key)
+			if entry == nil {
+				continue
+			}
+			k := key
+			emit(entry, func(j int) *exec.GroupEntry { return trialOs[j].trialEntry(k) })
+		}
+	}
+
+	if len(b.OrderBy) > 0 {
+		sort.SliceStable(rows, func(i, j int) bool {
+			for _, o := range b.OrderBy {
+				c := types.Compare(rows[i].point[o.Col], rows[j].point[o.Col])
+				if c != 0 {
+					if o.Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+	}
+	if b.Offset > 0 {
+		if b.Offset >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[b.Offset:]
+		}
+	}
+	if b.Limit >= 0 && len(rows) > b.Limit {
+		rows = rows[:b.Limit]
+	}
+	snap.Rows = make([][]CellEstimate, len(rows))
+	for i, r := range rows {
+		snap.Rows[i] = r.cells
+	}
+	return snap
+}

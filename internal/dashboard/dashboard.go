@@ -1,0 +1,214 @@
+// Package dashboard implements the web console of the paper's demo
+// (§6, Figure 4): an HTTP server that runs online SQL queries against a
+// fluodb-style engine and streams each refined snapshot to the browser
+// as a Server-Sent Event, so approximate answers with error bars appear
+// immediately and tighten live. Closing the request (the browser's Stop
+// button) cancels the query — the OLA accuracy/time control knob.
+package dashboard
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"fluodb/internal/core"
+	"fluodb/internal/plan"
+	"fluodb/internal/storage"
+)
+
+// Server serves the console UI and the SSE query endpoint.
+type Server struct {
+	cat *storage.Catalog
+	opt core.Options
+}
+
+// New builds a dashboard server over a catalog. opt configures the
+// online executions (zero values take engine defaults).
+func New(cat *storage.Catalog, opt core.Options) *Server {
+	return &Server{cat: cat, opt: opt}
+}
+
+// Handler returns the HTTP handler: "/" serves the console page,
+// "/query?sql=..." streams snapshots.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.home)
+	mux.HandleFunc("/query", s.Query)
+	return mux
+}
+
+func (s *Server) home(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, homeHTML)
+}
+
+// SnapshotJSON is the wire form of one refinement step.
+type SnapshotJSON struct {
+	Batch     int        `json:"batch"`
+	Total     int        `json:"total"`
+	Fraction  float64    `json:"fraction"`
+	RSD       float64    `json:"rsd"`
+	Uncertain int        `json:"uncertain"`
+	Columns   []string   `json:"columns"`
+	Rows      [][]CellJS `json:"rows"`
+	Blocks    []BlockJS  `json:"blocks,omitempty"`
+	Err       string     `json:"error,omitempty"`
+}
+
+// BlockJS profiles one lineage block on the wire.
+type BlockJS struct {
+	Kind      string `json:"kind"`
+	Table     string `json:"table"`
+	Groups    int    `json:"groups"`
+	Uncertain int    `json:"uncertain"`
+}
+
+// CellJS is one output cell on the wire.
+type CellJS struct {
+	V     string  `json:"v"`
+	Lo    float64 `json:"lo,omitempty"`
+	Hi    float64 `json:"hi,omitempty"`
+	HasCI bool    `json:"ci"`
+}
+
+// maxRowsPerEvent bounds the payload of one SSE event.
+const maxRowsPerEvent = 50
+
+// Query runs one online query, streaming snapshots as SSE events until
+// completion or client disconnect.
+func (s *Server) Query(w http.ResponseWriter, r *http.Request) {
+	sql := r.URL.Query().Get("sql")
+	if sql == "" {
+		http.Error(w, "missing ?sql=", http.StatusBadRequest)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+
+	send := func(v SnapshotJSON) {
+		data, _ := json.Marshal(v)
+		fmt.Fprintf(w, "data: %s\n\n", data)
+		flusher.Flush()
+	}
+
+	q, err := plan.Compile(sql, s.cat)
+	if err != nil {
+		send(SnapshotJSON{Err: err.Error()})
+		return
+	}
+	eng, err := core.New(q, s.cat, s.opt)
+	if err != nil {
+		send(SnapshotJSON{Err: err.Error()})
+		return
+	}
+	ctx := r.Context()
+	for !eng.Done() {
+		select {
+		case <-ctx.Done():
+			return // user stopped the query at the current accuracy
+		default:
+		}
+		snap, err := eng.Step()
+		if err != nil {
+			send(SnapshotJSON{Err: err.Error()})
+			return
+		}
+		send(EncodeSnapshot(snap))
+	}
+}
+
+// EncodeSnapshot converts an engine snapshot to its wire form.
+func EncodeSnapshot(snap *core.Snapshot) SnapshotJSON {
+	out := SnapshotJSON{
+		Batch:     snap.Batch,
+		Total:     snap.TotalBatches,
+		Fraction:  snap.FractionProcessed,
+		RSD:       snap.RSD(),
+		Uncertain: snap.UncertainRows,
+	}
+	for _, c := range snap.Schema {
+		out.Columns = append(out.Columns, c.Name)
+	}
+	for _, b := range snap.Blocks {
+		out.Blocks = append(out.Blocks, BlockJS{
+			Kind: b.Kind, Table: b.Table, Groups: b.Groups, Uncertain: b.Uncertain,
+		})
+	}
+	limit := len(snap.Rows)
+	if limit > maxRowsPerEvent {
+		limit = maxRowsPerEvent
+	}
+	for _, row := range snap.Rows[:limit] {
+		var cells []CellJS
+		for _, cell := range row {
+			cells = append(cells, CellJS{
+				V: cell.Value.String(), Lo: cell.CI.Lo, Hi: cell.CI.Hi, HasCI: cell.HasCI,
+			})
+		}
+		out.Rows = append(out.Rows, cells)
+	}
+	return out
+}
+
+const homeHTML = `<!DOCTYPE html>
+<html><head><title>FluoDB console</title><style>
+body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 960px; }
+textarea { width: 100%; height: 7rem; font-family: monospace; font-size: 14px; }
+table { border-collapse: collapse; margin-top: 1rem; width: 100%; }
+td, th { border: 1px solid #ccc; padding: 4px 8px; text-align: right; font-variant-numeric: tabular-nums; }
+th { background: #f4f4f4; }
+.ci { color: #888; font-size: 0.85em; }
+#status { margin-top: .5rem; color: #555; }
+progress { width: 100%; }
+</style></head><body>
+<h1>FluoDB — G-OLA online SQL console</h1>
+<p>Tables: <code>sessions</code> (Conviva-style) and <code>lineitem</code>/<code>partsupp</code>
+(TPC-H-style). Try the paper's SBI query:</p>
+<textarea id="sql">SELECT AVG(play_time) FROM sessions
+WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)</textarea><br>
+<button onclick="run()">Run online</button>
+<button onclick="stop()">Stop (accept current accuracy)</button>
+<div id="status"></div>
+<progress id="prog" value="0" max="1"></progress>
+<div id="out"></div>
+<script>
+let es = null;
+function stop() { if (es) { es.close(); es = null; } }
+function run() {
+  stop();
+  const sql = document.getElementById('sql').value;
+  es = new EventSource('/query?sql=' + encodeURIComponent(sql));
+  es.onmessage = (ev) => {
+    const s = JSON.parse(ev.data);
+    if (s.error) {
+      document.getElementById('status').textContent = 'error: ' + s.error;
+      stop(); return;
+    }
+    document.getElementById('prog').value = s.fraction;
+    document.getElementById('status').textContent =
+      'batch ' + s.batch + '/' + s.total + ' — ' + (100*s.fraction).toFixed(0) +
+      '% of data — rsd ' + (100*s.rsd).toFixed(3) + '% — uncertain tuples ' + s.uncertain;
+    let html = '<table><tr>';
+    for (const c of s.columns) html += '<th>' + c + '</th>';
+    html += '</tr>';
+    for (const row of s.rows) {
+      html += '<tr>';
+      for (const cell of row) {
+        html += '<td>' + (isNaN(+cell.v) ? cell.v : (+cell.v).toFixed(3));
+        if (cell.ci) html += ' <span class="ci">[' + cell.lo.toFixed(2) + ', ' + cell.hi.toFixed(2) + ']</span>';
+        html += '</td>';
+      }
+      html += '</tr>';
+    }
+    html += '</table>';
+    document.getElementById('out').innerHTML = html;
+    if (s.batch === s.total) stop();
+  };
+  es.onerror = () => stop();
+}
+</script></body></html>`

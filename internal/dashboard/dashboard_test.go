@@ -1,0 +1,198 @@
+package dashboard
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"fluodb/internal/core"
+	"fluodb/internal/workload"
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	cat := workload.ConvivaCatalog(2000, 9)
+	return New(cat, core.Options{Batches: 5, Trials: 10, Seed: 3})
+}
+
+func TestHomePageServed(t *testing.T) {
+	srv := httptest.NewServer(testServer(t).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	buf := make([]byte, 4096)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "FluoDB") {
+		t.Error("home page content")
+	}
+}
+
+func TestQueryStreamsSnapshots(t *testing.T) {
+	srv := httptest.NewServer(testServer(t).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/query?sql=" +
+		"SELECT+AVG(play_time)+FROM+sessions+WHERE+buffer_time+%3E+(SELECT+AVG(buffer_time)+FROM+sessions)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var snaps []SnapshotJSON
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var s SnapshotJSON
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &s); err != nil {
+			t.Fatalf("bad event %q: %v", line, err)
+		}
+		if s.Err != "" {
+			t.Fatalf("error event: %s", s.Err)
+		}
+		snaps = append(snaps, s)
+	}
+	if len(snaps) != 5 {
+		t.Fatalf("snapshots = %d, want 5", len(snaps))
+	}
+	last := snaps[len(snaps)-1]
+	if last.Fraction != 1 || last.Batch != 5 || last.Total != 5 {
+		t.Errorf("last snapshot: %+v", last)
+	}
+	if len(last.Columns) != 1 || len(last.Rows) != 1 {
+		t.Errorf("shape: cols=%v rows=%d", last.Columns, len(last.Rows))
+	}
+	if !last.Rows[0][0].HasCI {
+		t.Error("aggregate cell should carry a CI")
+	}
+	// RSD tightens from first to last snapshot.
+	if snaps[0].RSD < last.RSD {
+		t.Errorf("rsd grew: %v → %v", snaps[0].RSD, last.RSD)
+	}
+}
+
+func TestQueryErrorsAreEvents(t *testing.T) {
+	srv := httptest.NewServer(testServer(t).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/query?sql=SELECT+nope+FROM+sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	found := false
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "data: ") {
+			var s SnapshotJSON
+			_ = json.Unmarshal([]byte(strings.TrimPrefix(sc.Text(), "data: ")), &s)
+			if s.Err != "" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("compile error should arrive as an SSE event")
+	}
+}
+
+func TestQueryMissingSQLIs400(t *testing.T) {
+	srv := httptest.NewServer(testServer(t).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestClientDisconnectCancelsQuery(t *testing.T) {
+	srv := httptest.NewServer(testServer(t).Handler())
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL+
+		"/query?sql=SELECT+AVG(play_time)+FROM+sessions", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// read one event then hang up — the handler must return promptly
+	buf := make([]byte, 256)
+	_, _ = resp.Body.Read(buf)
+	cancel()
+	resp.Body.Close()
+	// nothing to assert beyond "no deadlock": give the handler a moment
+	time.Sleep(50 * time.Millisecond)
+}
+
+func TestEncodeSnapshotRowCap(t *testing.T) {
+	cat := workload.ConvivaCatalog(3000, 10)
+	s := New(cat, core.Options{Batches: 3, Trials: 8, Seed: 4})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	// user_id has hundreds of groups — events must cap at 50 rows
+	resp, err := http.Get(srv.URL + "/query?sql=" +
+		"SELECT+user_id,+COUNT(*)+FROM+sessions+GROUP+BY+user_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if !strings.HasPrefix(sc.Text(), "data: ") {
+			continue
+		}
+		var snap SnapshotJSON
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(sc.Text(), "data: ")), &snap); err != nil {
+			t.Fatal(err)
+		}
+		if len(snap.Rows) > maxRowsPerEvent {
+			t.Fatalf("event carries %d rows", len(snap.Rows))
+		}
+	}
+}
+
+func TestBlocksInPayload(t *testing.T) {
+	srv := httptest.NewServer(testServer(t).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/query?sql=" +
+		"SELECT+AVG(play_time)+FROM+sessions+WHERE+buffer_time+%3E+(SELECT+AVG(buffer_time)+FROM+sessions)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if !strings.HasPrefix(sc.Text(), "data: ") {
+			continue
+		}
+		var s SnapshotJSON
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(sc.Text(), "data: ")), &s); err != nil {
+			t.Fatal(err)
+		}
+		if len(s.Blocks) != 2 {
+			t.Fatalf("blocks = %d", len(s.Blocks))
+		}
+		if s.Blocks[0].Kind != "scalar" || s.Blocks[1].Kind != "root" {
+			t.Fatalf("block kinds = %+v", s.Blocks)
+		}
+		break
+	}
+}

@@ -1,0 +1,112 @@
+package exec
+
+import (
+	"fmt"
+
+	"fluodb/internal/plan"
+	"fluodb/internal/sqlparser"
+	"fluodb/internal/storage"
+	"fluodb/internal/types"
+)
+
+// ExecStatement executes a non-SELECT statement (CREATE TABLE, INSERT,
+// DROP TABLE) against the catalog; it returns the number of rows
+// inserted (0 for DDL). SELECT statements are the caller's job (they
+// need a choice of engine: batch or online).
+func ExecStatement(stmt sqlparser.Stmt, cat *storage.Catalog) (int, error) {
+	switch s := stmt.(type) {
+	case *sqlparser.CreateTableStmt:
+		if _, exists := cat.Get(s.Name); exists {
+			return 0, fmt.Errorf("exec: table %q already exists", s.Name)
+		}
+		cat.Put(storage.NewTable(s.Name, s.Schema))
+		return 0, nil
+	case *sqlparser.InsertStmt:
+		return execInsert(s, cat)
+	case *sqlparser.DropTableStmt:
+		if !cat.Drop(s.Name) {
+			return 0, fmt.Errorf("exec: unknown table %q", s.Name)
+		}
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("exec: unsupported statement %T", stmt)
+	}
+}
+
+func execInsert(s *sqlparser.InsertStmt, cat *storage.Catalog) (int, error) {
+	t, ok := cat.Get(s.Table)
+	if !ok {
+		return 0, fmt.Errorf("exec: unknown table %q", s.Table)
+	}
+	schema := t.Schema()
+	targets := make([]int, 0, len(schema))
+	if len(s.Columns) == 0 {
+		for i := range schema {
+			targets = append(targets, i)
+		}
+	} else {
+		for _, name := range s.Columns {
+			idx := schema.ColumnIndex(name)
+			if idx < 0 {
+				return 0, fmt.Errorf("exec: table %q has no column %q", s.Table, name)
+			}
+			targets = append(targets, idx)
+		}
+	}
+	inserted := 0
+	for _, exprRow := range s.Rows {
+		if len(exprRow) != len(targets) {
+			return inserted, fmt.Errorf(
+				"exec: INSERT row has %d values, expected %d", len(exprRow), len(targets))
+		}
+		row := make(types.Row, len(schema))
+		for i := range row {
+			row[i] = types.Null
+		}
+		for i, e := range exprRow {
+			v, err := plan.BindConst(e)
+			if err != nil {
+				return inserted, err
+			}
+			coerced, err := CoerceValue(v, schema[targets[i]].Type)
+			if err != nil {
+				return inserted, fmt.Errorf("exec: column %q: %w", schema[targets[i]].Name, err)
+			}
+			row[targets[i]] = coerced
+		}
+		if err := t.Append(row); err != nil {
+			return inserted, err
+		}
+		inserted++
+	}
+	return inserted, nil
+}
+
+// CoerceValue converts an inserted value to the column type, or errors
+// when no sensible conversion exists.
+func CoerceValue(v types.Value, kind types.Kind) (types.Value, error) {
+	if v.IsNull() || v.Kind() == kind {
+		return v, nil
+	}
+	switch kind {
+	case types.KindInt:
+		if v.Kind() != types.KindString {
+			if i, ok := v.AsInt(); ok {
+				return types.NewInt(i), nil
+			}
+		}
+	case types.KindFloat:
+		if v.Kind() != types.KindString {
+			if f, ok := v.AsFloat(); ok {
+				return types.NewFloat(f), nil
+			}
+		}
+	case types.KindString:
+		return types.NewString(v.String()), nil
+	case types.KindBool:
+		if v.Kind() == types.KindInt {
+			return types.NewBool(v.Int() != 0), nil
+		}
+	}
+	return types.Null, fmt.Errorf("cannot store %s value %s in a %s column", v.Kind(), v, kind)
+}

@@ -1,0 +1,390 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"fluodb/internal/plan"
+	"fluodb/internal/storage"
+	"fluodb/internal/types"
+)
+
+// testDB builds a small deterministic catalog:
+//
+//	sessions: 6 rows with buffer/play times (AVG(buffer_time) = 35)
+//	lineitem: 8 rows over 2 parts
+//	parts:    2 rows
+func testDB(t *testing.T) *storage.Catalog {
+	t.Helper()
+	cat := storage.NewCatalog()
+
+	s := storage.NewTable("sessions", types.NewSchema(
+		"session_id", types.KindInt,
+		"buffer_time", types.KindFloat,
+		"play_time", types.KindFloat,
+		"country", types.KindString,
+	))
+	rows := []struct {
+		id     int64
+		buf, p float64
+		c      string
+	}{
+		{1, 10, 100, "US"},
+		{2, 20, 200, "US"},
+		{3, 30, 300, "DE"},
+		{4, 40, 400, "DE"},
+		{5, 50, 500, "FR"},
+		{6, 60, 600, "FR"},
+	}
+	for _, r := range rows {
+		_ = s.Append(types.Row{
+			types.NewInt(r.id), types.NewFloat(r.buf), types.NewFloat(r.p), types.NewString(r.c)})
+	}
+	cat.Put(s)
+
+	li := storage.NewTable("lineitem", types.NewSchema(
+		"orderkey", types.KindInt,
+		"partkey", types.KindInt,
+		"quantity", types.KindFloat,
+		"extendedprice", types.KindFloat,
+	))
+	liRows := []struct {
+		ok, pk int64
+		q, ep  float64
+	}{
+		{100, 1, 1, 10},
+		{100, 1, 2, 20},
+		{101, 1, 3, 30},
+		{101, 2, 10, 100},
+		{102, 2, 20, 200},
+		{102, 2, 30, 300},
+		{103, 2, 40, 400},
+		{103, 1, 6, 60},
+	}
+	for _, r := range liRows {
+		_ = li.Append(types.Row{
+			types.NewInt(r.ok), types.NewInt(r.pk), types.NewFloat(r.q), types.NewFloat(r.ep)})
+	}
+	cat.Put(li)
+
+	p := storage.NewTable("parts", types.NewSchema(
+		"partkey", types.KindInt, "brand", types.KindString))
+	_ = p.Append(types.Row{types.NewInt(1), types.NewString("B1")})
+	_ = p.Append(types.Row{types.NewInt(2), types.NewString("B2")})
+	cat.Put(p)
+
+	return cat
+}
+
+func run(t *testing.T, cat *storage.Catalog, sql string) *Result {
+	t.Helper()
+	q, err := plan.Compile(sql, cat)
+	if err != nil {
+		t.Fatalf("Compile(%s): %v", sql, err)
+	}
+	res, err := Run(q, cat)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", sql, err)
+	}
+	return res
+}
+
+func wantFloat(t *testing.T, v types.Value, want float64) {
+	t.Helper()
+	got, ok := v.AsFloat()
+	if !ok || math.Abs(got-want) > 1e-9 {
+		t.Fatalf("value = %v, want %v", v, want)
+	}
+}
+
+func TestGlobalAggregates(t *testing.T) {
+	res := run(t, testDB(t), "SELECT COUNT(*), AVG(buffer_time), SUM(play_time), MIN(buffer_time), MAX(buffer_time) FROM sessions")
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	r := res.Rows[0]
+	wantFloat(t, r[0], 6)
+	wantFloat(t, r[1], 35)
+	wantFloat(t, r[2], 2100)
+	wantFloat(t, r[3], 10)
+	wantFloat(t, r[4], 60)
+}
+
+func TestWhereFilter(t *testing.T) {
+	res := run(t, testDB(t), "SELECT COUNT(*) FROM sessions WHERE country = 'US'")
+	wantFloat(t, res.Rows[0][0], 2)
+}
+
+func TestGroupByWithHavingAndOrder(t *testing.T) {
+	res := run(t, testDB(t), `SELECT country, COUNT(*) AS c, AVG(play_time) AS p
+		FROM sessions GROUP BY country HAVING COUNT(*) > 1 ORDER BY p DESC`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0][0].Str() != "FR" || res.Rows[2][0].Str() != "US" {
+		t.Errorf("order: %v", res.Rows)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	res := run(t, testDB(t), "SELECT country, COUNT(*) FROM sessions GROUP BY country ORDER BY country LIMIT 2")
+	if len(res.Rows) != 2 || res.Rows[0][0].Str() != "DE" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestProjectionQuery(t *testing.T) {
+	res := run(t, testDB(t), "SELECT session_id, play_time * 2 FROM sessions WHERE buffer_time >= 50 ORDER BY 1")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	wantFloat(t, res.Rows[0][1], 1000)
+}
+
+func TestSBIExact(t *testing.T) {
+	// AVG(buffer_time) = 35 → rows with buffer_time > 35: ids 4,5,6 →
+	// AVG(play_time) = (400+500+600)/3 = 500.
+	res := run(t, testDB(t), `SELECT AVG(play_time) FROM sessions
+		WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)`)
+	wantFloat(t, res.Rows[0][0], 500)
+}
+
+func TestCorrelatedQ17Exact(t *testing.T) {
+	// per-part AVG(quantity): part1 = (1+2+3+6)/4 = 3, part2 = 25.
+	// threshold 0.2*avg: part1 = 0.6, part2 = 5.
+	// rows with quantity < threshold: none for part1 (min q=1 > 0.6)...
+	// part1 rows q=1,2,3,6 → none < 0.6; part2 rows q=10..40 → none < 5.
+	res := run(t, testDB(t), `SELECT SUM(extendedprice) FROM lineitem l
+		WHERE quantity < (SELECT 0.2 * AVG(quantity) FROM lineitem i WHERE i.partkey = l.partkey)`)
+	if !res.Rows[0][0].IsNull() {
+		t.Fatalf("sum over empty = %v, want NULL", res.Rows[0][0])
+	}
+	// with a 2x threshold: part1 thr=6 → q in {1,2,3} (price 10+20+30);
+	// part2 thr=50 → all 4 rows qualify (100+200+300+400) ... q<50 all.
+	res2 := run(t, testDB(t), `SELECT SUM(extendedprice) FROM lineitem l
+		WHERE quantity < (SELECT 2.0 * AVG(quantity) FROM lineitem i WHERE i.partkey = l.partkey)`)
+	wantFloat(t, res2.Rows[0][0], 10+20+30+100+200+300+400)
+}
+
+func TestInSubqueryQ18Style(t *testing.T) {
+	// per-order SUM(quantity): 100→3, 101→13, 102→50, 103→46.
+	// orders with sum > 40: 102, 103.
+	res := run(t, testDB(t), `SELECT orderkey, SUM(quantity) FROM lineitem
+		WHERE orderkey IN (SELECT orderkey FROM lineitem GROUP BY orderkey HAVING SUM(quantity) > 40)
+		GROUP BY orderkey ORDER BY orderkey`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0].Int() != 102 || res.Rows[1][0].Int() != 103 {
+		t.Errorf("keys = %v", res.Rows)
+	}
+	wantFloat(t, res.Rows[0][1], 50)
+	wantFloat(t, res.Rows[1][1], 46)
+}
+
+func TestNotInSubquery(t *testing.T) {
+	res := run(t, testDB(t), `SELECT COUNT(*) FROM lineitem
+		WHERE orderkey NOT IN (SELECT orderkey FROM lineitem GROUP BY orderkey HAVING SUM(quantity) > 40)`)
+	// orders 100 (2 rows) and 101 (2 rows)
+	wantFloat(t, res.Rows[0][0], 4)
+}
+
+func TestUncertainHavingQ11Style(t *testing.T) {
+	// total SUM(extendedprice) = 1120; per-part: p1 = 120, p2 = 1000.
+	// threshold 0.5 * total = 560 → only part 2 passes.
+	res := run(t, testDB(t), `SELECT partkey, SUM(extendedprice) FROM lineitem GROUP BY partkey
+		HAVING SUM(extendedprice) > (SELECT SUM(extendedprice) * 0.5 FROM lineitem)`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	wantFloat(t, res.Rows[0][1], 1000)
+}
+
+func TestJoinAggregate(t *testing.T) {
+	res := run(t, testDB(t), `SELECT brand, SUM(quantity) FROM lineitem l
+		JOIN parts p ON l.partkey = p.partkey GROUP BY brand ORDER BY brand`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	wantFloat(t, res.Rows[0][1], 12)  // B1: 1+2+3+6
+	wantFloat(t, res.Rows[1][1], 100) // B2: 10+20+30+40
+}
+
+func TestLeftJoinNullExtension(t *testing.T) {
+	cat := testDB(t)
+	// add a lineitem row with a partkey that has no part
+	li, _ := cat.Get("lineitem")
+	_ = li.Append(types.Row{types.NewInt(999), types.NewInt(77), types.NewFloat(5), types.NewFloat(50)})
+	res := run(t, cat, `SELECT COUNT(*) FROM lineitem l LEFT JOIN parts p ON l.partkey = p.partkey WHERE brand IS NULL`)
+	wantFloat(t, res.Rows[0][0], 1)
+	// inner join drops it
+	res2 := run(t, cat, `SELECT COUNT(*) FROM lineitem l JOIN parts p ON l.partkey = p.partkey`)
+	wantFloat(t, res2.Rows[0][0], 8)
+}
+
+func TestNestedTwoLevelScalar(t *testing.T) {
+	// innermost: AVG(play_time) = 350 → middle: AVG(buffer_time) over
+	// play_time > 350 → rows 4,5,6 → (40+50+60)/3 = 50 →
+	// outer: AVG(play_time) where buffer_time > 50 → row 6 → 600.
+	res := run(t, testDB(t), `SELECT AVG(play_time) FROM sessions
+		WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions
+			WHERE play_time > (SELECT AVG(play_time) FROM sessions))`)
+	wantFloat(t, res.Rows[0][0], 600)
+}
+
+func TestEmptyInputGlobalAggregate(t *testing.T) {
+	cat := testDB(t)
+	res := run(t, cat, "SELECT COUNT(*), AVG(play_time) FROM sessions WHERE buffer_time > 1000")
+	wantFloat(t, res.Rows[0][0], 0)
+	if !res.Rows[0][1].IsNull() {
+		t.Errorf("AVG over empty = %v", res.Rows[0][1])
+	}
+}
+
+func TestGroupByExpression(t *testing.T) {
+	res := run(t, testDB(t), `SELECT FLOOR(buffer_time / 25), COUNT(*) FROM sessions GROUP BY 1 ORDER BY 1`)
+	// buckets: 10,20 → 0; 30,40 → 1; 50,60 → 2
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	for i, want := range []int64{0, 1, 2} {
+		if res.Rows[i][0].Int() != want {
+			t.Errorf("bucket %d = %v", i, res.Rows[i][0])
+		}
+		wantFloat(t, res.Rows[i][1], 2)
+	}
+}
+
+func TestCaseInSelect(t *testing.T) {
+	res := run(t, testDB(t), `SELECT SUM(CASE WHEN country = 'US' THEN 1 ELSE 0 END) FROM sessions`)
+	wantFloat(t, res.Rows[0][0], 2)
+}
+
+func TestStddevAndQuantiles(t *testing.T) {
+	res := run(t, testDB(t), `SELECT STDDEV(buffer_time), MEDIAN(buffer_time), QUANTILE(buffer_time, 0.0) FROM sessions`)
+	// stddev of 10..60 step 10: sqrt(350/... ) sample: mean 35, ss = 1750, var = 350, sd ≈ 18.708
+	wantFloat(t, res.Rows[0][0], math.Sqrt(350))
+	wantFloat(t, res.Rows[0][1], 35) // t-digest median of 10..60 interpolates to 35
+	wantFloat(t, res.Rows[0][2], 10)
+}
+
+func TestScaleAffectsExtensiveAggsOnly(t *testing.T) {
+	cat := testDB(t)
+	q, err := plan.Compile("SELECT COUNT(*), SUM(play_time), AVG(play_time) FROM sessions", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnv(q)
+	rows, err := EvalRootBlock(q.Root, cat, env, 3) // pretend only 1/3 of data seen
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFloat(t, rows[0][0], 18)   // scaled count
+	wantFloat(t, rows[0][1], 6300) // scaled sum
+	wantFloat(t, rows[0][2], 350)  // avg invariant
+}
+
+func TestCountDistinctExact(t *testing.T) {
+	res := run(t, testDB(t), "SELECT COUNT(DISTINCT country) FROM sessions")
+	wantFloat(t, res.Rows[0][0], 3)
+}
+
+func TestExistsRewriteRuns(t *testing.T) {
+	res := run(t, testDB(t), `SELECT COUNT(*) FROM sessions WHERE EXISTS (SELECT 1 FROM parts WHERE brand = 'B1')`)
+	wantFloat(t, res.Rows[0][0], 6)
+	res2 := run(t, testDB(t), `SELECT COUNT(*) FROM sessions WHERE EXISTS (SELECT 1 FROM parts WHERE brand = 'NOPE')`)
+	wantFloat(t, res2.Rows[0][0], 0)
+}
+
+func TestRunUnknownTableInDim(t *testing.T) {
+	cat := testDB(t)
+	q, err := plan.Compile(`SELECT COUNT(*) FROM lineitem l JOIN parts p ON l.partkey = p.partkey`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat.Drop("parts")
+	if _, err := Run(q, cat); err == nil {
+		t.Error("dropped dimension table should error at run time")
+	}
+}
+
+func TestSelectDistinctProjection(t *testing.T) {
+	res := run(t, testDB(t), "SELECT DISTINCT country FROM sessions ORDER BY country")
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0].Str() != "DE" || res.Rows[2][0].Str() != "US" {
+		t.Errorf("distinct values = %v", res.Rows)
+	}
+	// multi-column distinct
+	// combos: (US,f) (US,f) (DE,f) (DE,t) (FR,t) (FR,t) → 4 distinct
+	res2 := run(t, testDB(t), "SELECT DISTINCT country, session_id > 3 FROM sessions")
+	if len(res2.Rows) != 4 {
+		t.Fatalf("multi-col distinct rows = %v", res2.Rows)
+	}
+}
+
+func TestScalarSubqueryInSelectList(t *testing.T) {
+	// params may appear in the select list (applied post-aggregation)
+	res := run(t, testDB(t), `SELECT AVG(play_time) - (SELECT AVG(buffer_time) FROM sessions) FROM sessions`)
+	wantFloat(t, res.Rows[0][0], 350-35)
+}
+
+func TestSubqueryInHavingOnly(t *testing.T) {
+	res := run(t, testDB(t), `SELECT country, AVG(play_time) FROM sessions GROUP BY country
+		HAVING AVG(play_time) > (SELECT AVG(play_time) FROM sessions) ORDER BY country`)
+	// global avg = 350; per-country: US 150, DE 350, FR 550 → only FR
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "FR" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestLimitOffset(t *testing.T) {
+	res := run(t, testDB(t), "SELECT session_id FROM sessions ORDER BY session_id LIMIT 2 OFFSET 3")
+	if len(res.Rows) != 2 || res.Rows[0][0].Int() != 4 || res.Rows[1][0].Int() != 5 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// offset beyond the result set
+	res2 := run(t, testDB(t), "SELECT session_id FROM sessions LIMIT 5 OFFSET 100")
+	if len(res2.Rows) != 0 {
+		t.Fatalf("rows = %v", res2.Rows)
+	}
+	// grouped query with offset
+	res3 := run(t, testDB(t), "SELECT country, COUNT(*) FROM sessions GROUP BY country ORDER BY country LIMIT 10 OFFSET 1")
+	if len(res3.Rows) != 2 || res3.Rows[0][0].Str() != "FR" {
+		t.Fatalf("rows = %v", res3.Rows)
+	}
+}
+
+func TestJoinOnComputedKeys(t *testing.T) {
+	cat := testDB(t)
+	// buckets table keyed by FLOOR(quantity / 10)
+	b := storage.NewTable("buckets", types.NewSchema(
+		"bucket", types.KindInt, "label", types.KindString))
+	for i := int64(0); i <= 4; i++ {
+		_ = b.Append(types.Row{types.NewInt(i), types.NewString(fmt.Sprintf("B%d", i))})
+	}
+	cat.Put(b)
+	res := run(t, cat, `SELECT label, COUNT(*) FROM lineitem l
+		JOIN buckets bk ON FLOOR(l.quantity / 10) = bk.bucket
+		GROUP BY label ORDER BY label`)
+	// quantities: 1,2,3,10,20,30,40,6 → buckets 0(×4),1,2,3,4
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	wantFloat(t, res.Rows[0][1], 4) // B0
+}
+
+func TestDuplicateDimKeysExpandRows(t *testing.T) {
+	cat := testDB(t)
+	// a dim table with duplicate keys produces one output row per match
+	d := storage.NewTable("tags", types.NewSchema(
+		"partkey", types.KindInt, "tag", types.KindString))
+	_ = d.Append(types.Row{types.NewInt(1), types.NewString("x")})
+	_ = d.Append(types.Row{types.NewInt(1), types.NewString("y")})
+	cat.Put(d)
+	res := run(t, cat, `SELECT COUNT(*) FROM lineitem l JOIN tags t ON l.partkey = t.partkey`)
+	// part 1 has 4 lineitem rows × 2 tags = 8
+	wantFloat(t, res.Rows[0][0], 8)
+}

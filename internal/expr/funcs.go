@@ -1,0 +1,451 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"fluodb/internal/types"
+)
+
+// ScalarFunc is a scalar (per-row) function. UDFs implement this shape.
+type ScalarFunc struct {
+	Name string
+	// MinArgs/MaxArgs bound the arity; MaxArgs < 0 means variadic.
+	MinArgs, MaxArgs int
+	// Kind infers the result type from argument types (may be nil,
+	// defaulting to KindFloat).
+	KindFn func(args []types.Kind) types.Kind
+	// Eval computes the result. Args are already evaluated.
+	Eval func(args []types.Value) types.Value
+}
+
+var (
+	fnMu   sync.RWMutex
+	fnsReg = map[string]*ScalarFunc{}
+)
+
+// RegisterFunc adds a scalar function (or UDF), replacing any previous
+// function of the same case-insensitive name.
+func RegisterFunc(f *ScalarFunc) {
+	fnMu.Lock()
+	defer fnMu.Unlock()
+	fnsReg[strings.ToUpper(f.Name)] = f
+}
+
+// LookupFunc resolves a scalar function by name.
+func LookupFunc(name string) (*ScalarFunc, bool) {
+	fnMu.RLock()
+	defer fnMu.RUnlock()
+	f, ok := fnsReg[strings.ToUpper(name)]
+	return f, ok
+}
+
+// Call is a bound scalar function application.
+type Call struct {
+	Fn   *ScalarFunc
+	Args []Expr
+}
+
+// NewCall builds a Call after arity checking.
+func NewCall(fn *ScalarFunc, args []Expr) (*Call, error) {
+	if len(args) < fn.MinArgs || (fn.MaxArgs >= 0 && len(args) > fn.MaxArgs) {
+		return nil, fmt.Errorf("expr: %s expects %d..%d arguments, got %d",
+			fn.Name, fn.MinArgs, fn.MaxArgs, len(args))
+	}
+	return &Call{Fn: fn, Args: args}, nil
+}
+
+// Eval implements Expr.
+func (c *Call) Eval(ctx *Ctx) types.Value {
+	vals := make([]types.Value, len(c.Args))
+	for i, a := range c.Args {
+		vals[i] = a.Eval(ctx)
+	}
+	return c.Fn.Eval(vals)
+}
+
+// Kind implements Expr.
+func (c *Call) Kind() types.Kind {
+	if c.Fn.KindFn == nil {
+		return types.KindFloat
+	}
+	kinds := make([]types.Kind, len(c.Args))
+	for i, a := range c.Args {
+		kinds[i] = a.Kind()
+	}
+	return c.Fn.KindFn(kinds)
+}
+
+// String implements Expr.
+func (c *Call) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return c.Fn.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+func firstKind(args []types.Kind) types.Kind {
+	if len(args) > 0 {
+		return args[0]
+	}
+	return types.KindNull
+}
+
+func floatKind([]types.Kind) types.Kind  { return types.KindFloat }
+func intKind([]types.Kind) types.Kind    { return types.KindInt }
+func stringKind([]types.Kind) types.Kind { return types.KindString }
+
+// unaryMath registers a float→float builtin.
+func unaryMath(name string, f func(float64) float64) {
+	RegisterFunc(&ScalarFunc{
+		Name: name, MinArgs: 1, MaxArgs: 1, KindFn: floatKind,
+		Eval: func(args []types.Value) types.Value {
+			x, ok := args[0].AsFloat()
+			if !ok {
+				return types.Null
+			}
+			r := f(x)
+			if math.IsNaN(r) || math.IsInf(r, 0) {
+				return types.Null
+			}
+			return types.NewFloat(r)
+		},
+	})
+}
+
+func init() {
+	RegisterFunc(&ScalarFunc{
+		Name: "ABS", MinArgs: 1, MaxArgs: 1, KindFn: firstKind,
+		Eval: func(args []types.Value) types.Value {
+			switch args[0].Kind() {
+			case types.KindInt:
+				v := args[0].Int()
+				if v < 0 {
+					v = -v
+				}
+				return types.NewInt(v)
+			case types.KindFloat:
+				return types.NewFloat(math.Abs(args[0].Float()))
+			default:
+				return types.Null
+			}
+		},
+	})
+	RegisterFunc(&ScalarFunc{
+		Name: "FLOOR", MinArgs: 1, MaxArgs: 1, KindFn: intKind,
+		Eval: func(args []types.Value) types.Value {
+			x, ok := args[0].AsFloat()
+			if !ok {
+				return types.Null
+			}
+			return types.NewInt(int64(math.Floor(x)))
+		},
+	})
+	RegisterFunc(&ScalarFunc{
+		Name: "CEIL", MinArgs: 1, MaxArgs: 1, KindFn: intKind,
+		Eval: func(args []types.Value) types.Value {
+			x, ok := args[0].AsFloat()
+			if !ok {
+				return types.Null
+			}
+			return types.NewInt(int64(math.Ceil(x)))
+		},
+	})
+	RegisterFunc(&ScalarFunc{
+		Name: "ROUND", MinArgs: 1, MaxArgs: 2, KindFn: floatKind,
+		Eval: func(args []types.Value) types.Value {
+			x, ok := args[0].AsFloat()
+			if !ok {
+				return types.Null
+			}
+			digits := 0.0
+			if len(args) == 2 {
+				d, ok := args[1].AsFloat()
+				if !ok {
+					return types.Null
+				}
+				digits = d
+			}
+			p := math.Pow(10, digits)
+			return types.NewFloat(math.Round(x*p) / p)
+		},
+	})
+	unaryMath("SQRT", math.Sqrt)
+	unaryMath("LN", math.Log)
+	unaryMath("LOG", math.Log10)
+	unaryMath("LOG2", math.Log2)
+	unaryMath("EXP", math.Exp)
+	RegisterFunc(&ScalarFunc{
+		Name: "POW", MinArgs: 2, MaxArgs: 2, KindFn: floatKind,
+		Eval: func(args []types.Value) types.Value {
+			x, ok1 := args[0].AsFloat()
+			y, ok2 := args[1].AsFloat()
+			if !ok1 || !ok2 {
+				return types.Null
+			}
+			return types.NewFloat(math.Pow(x, y))
+		},
+	})
+	RegisterFunc(&ScalarFunc{
+		Name: "MOD", MinArgs: 2, MaxArgs: 2, KindFn: firstKind,
+		Eval: func(args []types.Value) types.Value {
+			a, ok1 := args[0].AsInt()
+			b, ok2 := args[1].AsInt()
+			if !ok1 || !ok2 || b == 0 {
+				return types.Null
+			}
+			return types.NewInt(a % b)
+		},
+	})
+	minmax := func(name string, min bool) {
+		RegisterFunc(&ScalarFunc{
+			Name: name, MinArgs: 1, MaxArgs: -1, KindFn: firstKind,
+			Eval: func(args []types.Value) types.Value {
+				best := types.Null
+				for _, a := range args {
+					if a.IsNull() {
+						return types.Null
+					}
+					if best.IsNull() {
+						best = a
+						continue
+					}
+					c := types.Compare(a, best)
+					if (min && c < 0) || (!min && c > 0) {
+						best = a
+					}
+				}
+				return best
+			},
+		})
+	}
+	minmax("LEAST", true)
+	minmax("GREATEST", false)
+	RegisterFunc(&ScalarFunc{
+		Name: "COALESCE", MinArgs: 1, MaxArgs: -1, KindFn: firstKind,
+		Eval: func(args []types.Value) types.Value {
+			for _, a := range args {
+				if !a.IsNull() {
+					return a
+				}
+			}
+			return types.Null
+		},
+	})
+	RegisterFunc(&ScalarFunc{
+		Name: "NULLIF", MinArgs: 2, MaxArgs: 2, KindFn: firstKind,
+		Eval: func(args []types.Value) types.Value {
+			if !args[0].IsNull() && !args[1].IsNull() && types.Equal(args[0], args[1]) {
+				return types.Null
+			}
+			return args[0]
+		},
+	})
+	RegisterFunc(&ScalarFunc{
+		Name: "IF", MinArgs: 3, MaxArgs: 3,
+		KindFn: func(args []types.Kind) types.Kind {
+			if len(args) == 3 {
+				return args[1]
+			}
+			return types.KindNull
+		},
+		Eval: func(args []types.Value) types.Value {
+			if args[0].Truthy() {
+				return args[1]
+			}
+			return args[2]
+		},
+	})
+	RegisterFunc(&ScalarFunc{
+		Name: "LENGTH", MinArgs: 1, MaxArgs: 1, KindFn: intKind,
+		Eval: func(args []types.Value) types.Value {
+			if args[0].Kind() != types.KindString {
+				return types.Null
+			}
+			return types.NewInt(int64(len(args[0].Str())))
+		},
+	})
+	RegisterFunc(&ScalarFunc{
+		Name: "UPPER", MinArgs: 1, MaxArgs: 1, KindFn: stringKind,
+		Eval: func(args []types.Value) types.Value {
+			if args[0].Kind() != types.KindString {
+				return types.Null
+			}
+			return types.NewString(strings.ToUpper(args[0].Str()))
+		},
+	})
+	RegisterFunc(&ScalarFunc{
+		Name: "LOWER", MinArgs: 1, MaxArgs: 1, KindFn: stringKind,
+		Eval: func(args []types.Value) types.Value {
+			if args[0].Kind() != types.KindString {
+				return types.Null
+			}
+			return types.NewString(strings.ToLower(args[0].Str()))
+		},
+	})
+	RegisterFunc(&ScalarFunc{
+		Name: "SUBSTR", MinArgs: 2, MaxArgs: 3, KindFn: stringKind,
+		Eval: func(args []types.Value) types.Value {
+			if args[0].Kind() != types.KindString {
+				return types.Null
+			}
+			s := args[0].Str()
+			start, ok := args[1].AsInt()
+			if !ok {
+				return types.Null
+			}
+			// SQL SUBSTR is 1-based.
+			if start < 1 {
+				start = 1
+			}
+			if int(start) > len(s) {
+				return types.NewString("")
+			}
+			out := s[start-1:]
+			if len(args) == 3 {
+				n, ok := args[2].AsInt()
+				if !ok || n < 0 {
+					return types.Null
+				}
+				if int(n) < len(out) {
+					out = out[:n]
+				}
+			}
+			return types.NewString(out)
+		},
+	})
+	RegisterFunc(&ScalarFunc{
+		Name: "CONCAT", MinArgs: 1, MaxArgs: -1, KindFn: stringKind,
+		Eval: func(args []types.Value) types.Value {
+			var b strings.Builder
+			for _, a := range args {
+				if a.IsNull() {
+					continue
+				}
+				b.WriteString(a.String())
+			}
+			return types.NewString(b.String())
+		},
+	})
+	RegisterFunc(&ScalarFunc{
+		Name: "SIGN", MinArgs: 1, MaxArgs: 1, KindFn: intKind,
+		Eval: func(args []types.Value) types.Value {
+			x, ok := args[0].AsFloat()
+			if !ok {
+				return types.Null
+			}
+			switch {
+			case x > 0:
+				return types.NewInt(1)
+			case x < 0:
+				return types.NewInt(-1)
+			default:
+				return types.NewInt(0)
+			}
+		},
+	})
+}
+
+func init() {
+	RegisterFunc(&ScalarFunc{
+		Name: "TRIM", MinArgs: 1, MaxArgs: 1, KindFn: stringKind,
+		Eval: func(args []types.Value) types.Value {
+			if args[0].Kind() != types.KindString {
+				return types.Null
+			}
+			return types.NewString(strings.TrimSpace(args[0].Str()))
+		},
+	})
+	RegisterFunc(&ScalarFunc{
+		Name: "REPLACE", MinArgs: 3, MaxArgs: 3, KindFn: stringKind,
+		Eval: func(args []types.Value) types.Value {
+			for _, a := range args {
+				if a.Kind() != types.KindString {
+					return types.Null
+				}
+			}
+			return types.NewString(strings.ReplaceAll(args[0].Str(), args[1].Str(), args[2].Str()))
+		},
+	})
+	RegisterFunc(&ScalarFunc{
+		Name: "STARTS_WITH", MinArgs: 2, MaxArgs: 2,
+		KindFn: func([]types.Kind) types.Kind { return types.KindBool },
+		Eval: func(args []types.Value) types.Value {
+			if args[0].Kind() != types.KindString || args[1].Kind() != types.KindString {
+				return types.Null
+			}
+			return types.NewBool(strings.HasPrefix(args[0].Str(), args[1].Str()))
+		},
+	})
+	RegisterFunc(&ScalarFunc{
+		Name: "CONTAINS", MinArgs: 2, MaxArgs: 2,
+		KindFn: func([]types.Kind) types.Kind { return types.KindBool },
+		Eval: func(args []types.Value) types.Value {
+			if args[0].Kind() != types.KindString || args[1].Kind() != types.KindString {
+				return types.Null
+			}
+			return types.NewBool(strings.Contains(args[0].Str(), args[1].Str()))
+		},
+	})
+	RegisterFunc(&ScalarFunc{
+		Name: "TRUNC", MinArgs: 1, MaxArgs: 1, KindFn: intKind,
+		Eval: func(args []types.Value) types.Value {
+			f, ok := args[0].AsFloat()
+			if !ok {
+				return types.Null
+			}
+			return types.NewInt(int64(math.Trunc(f)))
+		},
+	})
+}
+
+func init() {
+	RegisterFunc(&ScalarFunc{
+		Name: "TO_INT", MinArgs: 1, MaxArgs: 1, KindFn: intKind,
+		Eval: func(args []types.Value) types.Value {
+			switch args[0].Kind() {
+			case types.KindString:
+				v, err := types.ParseValue(strings.TrimSpace(args[0].Str()), types.KindInt)
+				if err != nil {
+					return types.Null
+				}
+				return v
+			default:
+				if i, ok := args[0].AsInt(); ok {
+					return types.NewInt(i)
+				}
+				return types.Null
+			}
+		},
+	})
+	RegisterFunc(&ScalarFunc{
+		Name: "TO_FLOAT", MinArgs: 1, MaxArgs: 1, KindFn: floatKind,
+		Eval: func(args []types.Value) types.Value {
+			switch args[0].Kind() {
+			case types.KindString:
+				v, err := types.ParseValue(strings.TrimSpace(args[0].Str()), types.KindFloat)
+				if err != nil {
+					return types.Null
+				}
+				return v
+			default:
+				if f, ok := args[0].AsFloat(); ok {
+					return types.NewFloat(f)
+				}
+				return types.Null
+			}
+		},
+	})
+	RegisterFunc(&ScalarFunc{
+		Name: "TO_STRING", MinArgs: 1, MaxArgs: 1, KindFn: stringKind,
+		Eval: func(args []types.Value) types.Value {
+			if args[0].IsNull() {
+				return types.Null
+			}
+			return types.NewString(args[0].String())
+		},
+	})
+}

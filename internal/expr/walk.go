@@ -1,0 +1,81 @@
+package expr
+
+import "fluodb/internal/sqlparser"
+
+// Children returns the direct sub-expressions of e (empty for leaves).
+func Children(e Expr) []Expr {
+	switch x := e.(type) {
+	case *Binary:
+		return []Expr{x.L, x.R}
+	case *Not:
+		return []Expr{x.X}
+	case *Neg:
+		return []Expr{x.X}
+	case *IsNull:
+		return []Expr{x.X}
+	case *InList:
+		out := make([]Expr, 0, len(x.List)+1)
+		out = append(out, x.X)
+		out = append(out, x.List...)
+		return out
+	case *SetParam:
+		return []Expr{x.X}
+	case *GroupParam:
+		return append([]Expr(nil), x.Keys...)
+	case *Case:
+		var out []Expr
+		for _, w := range x.Whens {
+			out = append(out, w.Cond, w.Result)
+		}
+		if x.Else != nil {
+			out = append(out, x.Else)
+		}
+		return out
+	case *Call:
+		return append([]Expr(nil), x.Args...)
+	default:
+		return nil
+	}
+}
+
+// Walk visits e and its sub-expressions pre-order. If f returns false the
+// node's children are skipped.
+func Walk(e Expr, f func(Expr) bool) {
+	if e == nil {
+		return
+	}
+	if !f(e) {
+		return
+	}
+	for _, c := range Children(e) {
+		Walk(c, f)
+	}
+}
+
+// HasParams reports whether the expression references any uncertain
+// placeholder (scalar, group, or set param) — i.e. whether G-OLA must
+// classify tuples evaluated through it into uncertain/deterministic
+// sets.
+func HasParams(e Expr) bool {
+	found := false
+	Walk(e, func(x Expr) bool {
+		switch x.(type) {
+		case *ScalarParam, *GroupParam, *SetParam:
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// SplitConjuncts flattens top-level ANDs into a list of conjuncts.
+func SplitConjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*Binary); ok && b.Op == sqlparser.OpAnd {
+		return append(SplitConjuncts(b.L), SplitConjuncts(b.R)...)
+	}
+	return []Expr{e}
+}

@@ -1,0 +1,103 @@
+package expr
+
+import (
+	"testing"
+
+	"fluodb/internal/sqlparser"
+	"fluodb/internal/types"
+)
+
+func TestChildrenCoverage(t *testing.T) {
+	colE := &Col{Idx: 0}
+	constE := &Const{V: types.NewInt(1)}
+	cases := []struct {
+		e    Expr
+		want int
+	}{
+		{colE, 0},
+		{constE, 0},
+		{&Binary{Op: sqlparser.OpAdd, L: colE, R: constE}, 2},
+		{&Not{X: colE}, 1},
+		{&Neg{X: colE}, 1},
+		{&IsNull{X: colE}, 1},
+		{&InList{X: colE, List: []Expr{constE, constE}}, 3},
+		{&SetParam{Idx: 0, X: colE}, 1},
+		{&GroupParam{Idx: 0, Keys: []Expr{colE, constE}}, 2},
+		{&ScalarParam{Idx: 0}, 0},
+		{&Case{
+			Whens: []struct{ Cond, Result Expr }{{colE, constE}},
+			Else:  constE,
+		}, 3},
+	}
+	for _, c := range cases {
+		if got := len(Children(c.e)); got != c.want {
+			t.Errorf("Children(%T) = %d, want %d", c.e, got, c.want)
+		}
+	}
+	fn, _ := LookupFunc("ABS")
+	call, _ := NewCall(fn, []Expr{colE})
+	if got := len(Children(call)); got != 1 {
+		t.Errorf("Children(Call) = %d", got)
+	}
+}
+
+func TestWalkVisitsAll(t *testing.T) {
+	e := &Binary{Op: sqlparser.OpAnd,
+		L: &Binary{Op: sqlparser.OpGt, L: &Col{Idx: 0}, R: &ScalarParam{Idx: 0}},
+		R: &Not{X: &Col{Idx: 1}},
+	}
+	var count int
+	Walk(e, func(Expr) bool { count++; return true })
+	if count != 6 {
+		t.Errorf("visited %d nodes, want 6", count)
+	}
+	// pruning: stop at the NOT
+	count = 0
+	Walk(e, func(x Expr) bool {
+		count++
+		_, isNot := x.(*Not)
+		return !isNot
+	})
+	if count != 5 {
+		t.Errorf("pruned walk visited %d, want 5", count)
+	}
+	Walk(nil, func(Expr) bool { t.Fatal("nil walk should not visit"); return true })
+}
+
+func TestHasParamsVariants(t *testing.T) {
+	if HasParams(&Col{Idx: 0}) {
+		t.Error("col has no params")
+	}
+	if !HasParams(&ScalarParam{Idx: 0}) {
+		t.Error("scalar param")
+	}
+	if !HasParams(&Binary{Op: sqlparser.OpGt, L: &Col{Idx: 0}, R: &GroupParam{Idx: 0}}) {
+		t.Error("nested group param")
+	}
+	if !HasParams(&SetParam{Idx: 0, X: &Col{Idx: 0}}) {
+		t.Error("set param")
+	}
+}
+
+func TestSplitConjuncts(t *testing.T) {
+	a := &Binary{Op: sqlparser.OpGt, L: &Col{Idx: 0}, R: &Const{V: types.NewInt(1)}}
+	b := &Binary{Op: sqlparser.OpLt, L: &Col{Idx: 1}, R: &Const{V: types.NewInt(2)}}
+	c := &IsNull{X: &Col{Idx: 2}}
+	tree := &Binary{Op: sqlparser.OpAnd,
+		L: &Binary{Op: sqlparser.OpAnd, L: a, R: b}, R: c}
+	got := SplitConjuncts(tree)
+	if len(got) != 3 {
+		t.Fatalf("conjuncts = %d", len(got))
+	}
+	if got[0] != Expr(a) || got[1] != Expr(b) || got[2] != Expr(c) {
+		t.Error("conjunct identity/order")
+	}
+	// OR is not split
+	or := &Binary{Op: sqlparser.OpOr, L: a, R: b}
+	if len(SplitConjuncts(or)) != 1 {
+		t.Error("OR must not split")
+	}
+	if SplitConjuncts(nil) != nil {
+		t.Error("nil input")
+	}
+}

@@ -1,0 +1,88 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"fluodb/internal/storage"
+	"fluodb/internal/types"
+	"fluodb/internal/workload"
+)
+
+// TestSuitePlanShapes locks the lineage-block decomposition of every
+// evaluation query: block count, kinds, parameter classes, and which
+// clauses carry uncertainty. A planner change that silently alters how
+// a suite query decomposes fails here.
+func TestSuitePlanShapes(t *testing.T) {
+	conviva := storage.NewCatalog()
+	conviva.Put(storage.NewTable("sessions", workloadSessionsSchema()))
+	tpch := storage.NewCatalog()
+	tpch.Put(storage.NewTable("lineitem", workload.LineitemSchema()))
+	tpch.Put(storage.NewTable("partsupp", workload.PartSuppSchema()))
+
+	type shape struct {
+		blocks       int
+		kinds        []BlockKind
+		scalarParams int
+		groupParams  int
+		setParams    int
+		uncertain    int // uncertain predicates in the root
+		rootGroups   int
+	}
+	want := map[string]shape{
+		"SBI": {2, []BlockKind{ScalarBlock, RootBlock}, 1, 0, 0, 1, 0},
+		"C1":  {2, []BlockKind{ScalarBlock, RootBlock}, 1, 0, 0, 1, 1},
+		"C2":  {2, []BlockKind{ScalarBlock, RootBlock}, 1, 0, 0, 1, 0},
+		"C3":  {2, []BlockKind{ScalarBlock, RootBlock}, 1, 0, 0, 1, 1},
+		"Q11": {2, []BlockKind{ScalarBlock, RootBlock}, 1, 0, 0, 1, 1},
+		"Q17": {2, []BlockKind{GroupScalarBlock, RootBlock}, 0, 1, 0, 1, 0},
+		"Q18": {2, []BlockKind{SetBlock, RootBlock}, 0, 0, 1, 1, 2},
+		"Q20": {2, []BlockKind{GroupScalarBlock, RootBlock}, 0, 1, 0, 1, 0},
+	}
+	for _, wq := range workload.Suite() {
+		cat := conviva
+		if wq.Dataset == "tpch" {
+			cat = tpch
+		}
+		q, err := Compile(wq.SQL, cat)
+		if err != nil {
+			t.Fatalf("%s: %v", wq.Name, err)
+		}
+		w, ok := want[wq.Name]
+		if !ok {
+			t.Fatalf("no expected shape for %s", wq.Name)
+		}
+		if len(q.Blocks) != w.blocks {
+			t.Errorf("%s: blocks = %d, want %d", wq.Name, len(q.Blocks), w.blocks)
+		}
+		for i, k := range w.kinds {
+			if q.Blocks[i].Kind != k {
+				t.Errorf("%s: block %d kind = %v, want %v", wq.Name, i, q.Blocks[i].Kind, k)
+			}
+		}
+		if len(q.ScalarBlocks) != w.scalarParams ||
+			len(q.GroupBlocks) != w.groupParams ||
+			len(q.SetBlocks) != w.setParams {
+			t.Errorf("%s: params = %d/%d/%d, want %d/%d/%d", wq.Name,
+				len(q.ScalarBlocks), len(q.GroupBlocks), len(q.SetBlocks),
+				w.scalarParams, w.groupParams, w.setParams)
+		}
+		if got := q.Root.UncertainPredicates(); got != w.uncertain {
+			t.Errorf("%s: uncertain predicates = %d, want %d", wq.Name, got, w.uncertain)
+		}
+		if len(q.Root.GroupBy) != w.rootGroups {
+			t.Errorf("%s: root group-by = %d, want %d", wq.Name, len(q.Root.GroupBy), w.rootGroups)
+		}
+		// every plan renders a non-empty EXPLAIN that mentions its param
+		out := q.Explain()
+		if !strings.Contains(out, "block 0") || !strings.Contains(out, "(root)") {
+			t.Errorf("%s: explain = %q", wq.Name, out)
+		}
+	}
+}
+
+// workloadSessionsSchema avoids an import cycle by duplicating the
+// sessions schema through the workload package helper.
+func workloadSessionsSchema() types.Schema {
+	return workload.SessionsSchema()
+}

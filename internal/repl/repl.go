@@ -1,0 +1,326 @@
+// Package repl implements the interactive SQL console behind
+// cmd/fluodb — the query-console experience of the paper's demo (§6).
+// It is factored out of the command so its dispatch, rendering and
+// error paths are unit-testable against injected I/O.
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"fluodb/internal/core"
+	"fluodb/internal/exec"
+	"fluodb/internal/plan"
+	"fluodb/internal/sqlparser"
+	"fluodb/internal/storage"
+	"fluodb/internal/workload"
+)
+
+// Console is one interactive session.
+type Console struct {
+	cat     *storage.Catalog
+	out     *bufio.Writer
+	batches int
+	trials  int
+	// MaxRows caps printed result rows per snapshot/result.
+	MaxRows int
+	// Now is injectable for deterministic tests.
+	Now func() time.Time
+}
+
+// New builds a console writing to w.
+func New(w io.Writer) *Console {
+	return &Console{
+		cat:     storage.NewCatalog(),
+		out:     bufio.NewWriter(w),
+		batches: 10,
+		trials:  100,
+		MaxRows: 40,
+		Now:     time.Now,
+	}
+}
+
+// Catalog exposes the session catalog (for tests and embedding).
+func (c *Console) Catalog() *storage.Catalog { return c.cat }
+
+// Run reads commands from r until EOF or \quit.
+func (c *Console) Run(r io.Reader) error {
+	fmt.Fprintln(c.out, `FluoDB — G-OLA online SQL console. \help for commands, \quit to exit.`)
+	c.out.Flush()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Fprint(c.out, "fluodb> ")
+		c.out.Flush()
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == `\quit` || line == "exit" {
+			break
+		}
+		if err := c.Dispatch(line); err != nil {
+			fmt.Fprintln(c.out, "error:", err)
+		}
+		c.out.Flush()
+	}
+	return sc.Err()
+}
+
+// Dispatch executes one console line (a meta command or SQL).
+// SELECTs run online; CREATE/INSERT/DROP execute directly.
+func (c *Console) Dispatch(line string) error {
+	defer c.out.Flush()
+	if !strings.HasPrefix(line, `\`) {
+		up := strings.ToUpper(line)
+		if strings.HasPrefix(up, "CREATE") || strings.HasPrefix(up, "INSERT") ||
+			strings.HasPrefix(up, "DROP") {
+			stmt, err := sqlparser.ParseStatement(line)
+			if err != nil {
+				return err
+			}
+			n, err := exec.ExecStatement(stmt, c.cat)
+			if err != nil {
+				return err
+			}
+			if n > 0 {
+				fmt.Fprintf(c.out, "%d row(s) inserted\n", n)
+			} else {
+				fmt.Fprintln(c.out, "ok")
+			}
+			return nil
+		}
+		return c.runOnline(line)
+	}
+	fields := strings.Fields(line)
+	cmd := fields[0]
+	rest := strings.TrimSpace(strings.TrimPrefix(line, cmd))
+	switch cmd {
+	case `\help`:
+		c.help()
+	case `\load`:
+		if len(fields) != 3 {
+			return fmt.Errorf(`usage: \load <name> <file.csv>`)
+		}
+		t, err := storage.LoadCSVFile(fields[1], fields[2])
+		if err != nil {
+			return err
+		}
+		c.cat.Put(t)
+		fmt.Fprintf(c.out, "loaded %d rows into %s\n", t.NumRows(), t.Name())
+	case `\gen`:
+		if len(fields) != 3 {
+			return fmt.Errorf(`usage: \gen conviva|tpch <rows>`)
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad row count %q", fields[2])
+		}
+		var src *storage.Catalog
+		switch fields[1] {
+		case "conviva":
+			src = workload.ConvivaCatalog(n, 42)
+			fmt.Fprintf(c.out, "generated sessions (%d rows)\n", n)
+		case "tpch":
+			src = workload.TPCHCatalog(n, n/150+10, 42)
+			fmt.Fprintf(c.out, "generated lineitem (%d rows) + partsupp\n", n)
+		default:
+			return fmt.Errorf("unknown dataset %q", fields[1])
+		}
+		for _, name := range src.Names() {
+			t, _ := src.Get(name)
+			c.cat.Put(t)
+		}
+	case `\tables`:
+		for _, n := range c.cat.Names() {
+			t, _ := c.cat.Get(n)
+			fmt.Fprintf(c.out, "%s %s (%d rows)\n", n, t.Schema(), t.NumRows())
+		}
+	case `\explain`:
+		if rest == "" {
+			return fmt.Errorf(`usage: \explain <sql>`)
+		}
+		q, err := plan.Compile(rest, c.cat)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(c.out, q.Explain())
+	case `\batch`:
+		if rest == "" {
+			return fmt.Errorf(`usage: \batch <sql>`)
+		}
+		return c.runBatch(rest)
+	case `\batches`:
+		return c.setInt(fields, &c.batches, "batches")
+	case `\trials`:
+		return c.setInt(fields, &c.trials, "trials")
+	case `\i`:
+		if len(fields) != 2 {
+			return fmt.Errorf(`usage: \i <file.sql>`)
+		}
+		data, err := os.ReadFile(fields[1])
+		if err != nil {
+			return err
+		}
+		for _, stmt := range sqlparser.SplitStatements(string(data)) {
+			fmt.Fprintf(c.out, "fluodb> %s\n", stmt)
+			if err := c.Dispatch(stmt); err != nil {
+				return err
+			}
+		}
+	case `\save`:
+		if len(fields) != 2 {
+			return fmt.Errorf(`usage: \save <dir>`)
+		}
+		if err := c.cat.SaveDir(fields[1]); err != nil {
+			return err
+		}
+		fmt.Fprintf(c.out, "saved %d table(s) to %s\n", len(c.cat.Names()), fields[1])
+	case `\open`:
+		if len(fields) != 2 {
+			return fmt.Errorf(`usage: \open <dir>`)
+		}
+		cat, err := storage.LoadDir(fields[1])
+		if err != nil {
+			return err
+		}
+		for _, name := range cat.Names() {
+			t, _ := cat.Get(name)
+			c.cat.Put(t)
+		}
+		fmt.Fprintf(c.out, "opened %d table(s) from %s\n", len(cat.Names()), fields[1])
+	case `\suite`:
+		for _, q := range workload.Suite() {
+			fmt.Fprintf(c.out, "%-4s [%s] %s\n", q.Name, q.Dataset, q.Description)
+		}
+	case `\q`:
+		if len(fields) != 2 {
+			return fmt.Errorf(`usage: \q <name> (see \suite)`)
+		}
+		q, ok := workload.ByName(fields[1])
+		if !ok {
+			return fmt.Errorf("unknown suite query %q", fields[1])
+		}
+		fmt.Fprintln(c.out, q.SQL)
+		return c.runOnline(q.SQL)
+	default:
+		return fmt.Errorf(`unknown command %s (try \help)`, cmd)
+	}
+	return nil
+}
+
+func (c *Console) help() {
+	fmt.Fprint(c.out, `SQL runs online by default (refined answers with ±95% CIs).
+CREATE TABLE / INSERT INTO ... VALUES / DROP TABLE execute directly.
+\load <name> <file.csv>   load a typed-header CSV as a table
+\gen conviva|tpch <rows>  generate + load a synthetic dataset
+\save <dir> / \open <dir> persist / load the whole database as CSVs
+\tables                   list tables
+\explain <sql>            show the lineage-block plan
+\batch <sql>              run exactly with the batch engine
+\batches <k>              set mini-batch count (default 10)
+\trials <B>               set bootstrap trial count (default 100)
+\suite                    list the paper's evaluation queries
+\q <name>                 run a suite query (e.g. \q SBI)
+\quit                     exit
+`)
+}
+
+func (c *Console) setInt(fields []string, dst *int, what string) error {
+	if len(fields) != 2 {
+		return fmt.Errorf(`usage: \%s <n>`, what)
+	}
+	n, err := strconv.Atoi(fields[1])
+	if err != nil || n <= 0 {
+		return fmt.Errorf("bad %s %q", what, fields[1])
+	}
+	*dst = n
+	fmt.Fprintf(c.out, "%s = %d\n", what, n)
+	return nil
+}
+
+func (c *Console) runBatch(sql string) error {
+	start := c.Now()
+	q, err := plan.Compile(sql, c.cat)
+	if err != nil {
+		return err
+	}
+	res, err := exec.Run(q, c.cat)
+	if err != nil {
+		return err
+	}
+	names := make([]string, len(res.Schema))
+	for i, col := range res.Schema {
+		names[i] = col.Name
+	}
+	fmt.Fprintln(c.out, strings.Join(names, " | "))
+	for i, row := range res.Rows {
+		if i >= c.MaxRows {
+			fmt.Fprintf(c.out, "... (%d rows total)\n", len(res.Rows))
+			break
+		}
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = v.String()
+		}
+		fmt.Fprintln(c.out, strings.Join(parts, " | "))
+	}
+	fmt.Fprintf(c.out, "%d row(s), exact, %.1f ms\n", len(res.Rows), c.msSince(start))
+	return nil
+}
+
+func (c *Console) runOnline(sql string) error {
+	q, err := plan.Compile(sql, c.cat)
+	if err != nil {
+		return err
+	}
+	eng, err := core.New(q, c.cat, core.Options{Batches: c.batches, Trials: c.trials})
+	if err != nil {
+		return err
+	}
+	start := c.Now()
+	for !eng.Done() {
+		s, err := eng.Step()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(c.out, "-- batch %d/%d (%.0f%% of data, %.1f ms, rsd %.3f%%, uncertain %d)\n",
+			s.Batch, s.TotalBatches, s.FractionProcessed*100, c.msSince(start),
+			s.RSD()*100, s.UncertainRows)
+		names := make([]string, len(s.Schema))
+		for i, col := range s.Schema {
+			names[i] = col.Name
+		}
+		fmt.Fprintln(c.out, strings.Join(names, " | "))
+		for i, row := range s.Rows {
+			if i >= c.MaxRows {
+				fmt.Fprintf(c.out, "... (%d rows total)\n", len(s.Rows))
+				break
+			}
+			parts := make([]string, len(row))
+			for j, cell := range row {
+				if cell.HasCI {
+					parts[j] = fmt.Sprintf("%s ± %.4g", cell.Value, (cell.CI.Hi-cell.CI.Lo)/2)
+				} else {
+					parts[j] = cell.Value.String()
+				}
+			}
+			fmt.Fprintln(c.out, strings.Join(parts, " | "))
+		}
+		c.out.Flush()
+	}
+	fmt.Fprintf(c.out, "done in %.1f ms\n", c.msSince(start))
+	return nil
+}
+
+func (c *Console) msSince(t time.Time) float64 {
+	return float64(c.Now().Sub(t).Microseconds()) / 1000
+}

@@ -1,0 +1,286 @@
+package repl
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"fluodb/internal/storage"
+	"fluodb/internal/types"
+)
+
+func testConsole(t *testing.T) (*Console, *bytes.Buffer) {
+	t.Helper()
+	var out bytes.Buffer
+	c := New(&out)
+	c.Now = func() time.Time { return time.Unix(0, 0) }
+	tab := storage.NewTable("sessions", types.NewSchema(
+		"session_id", types.KindInt,
+		"buffer_time", types.KindFloat,
+		"play_time", types.KindFloat,
+	))
+	for i := 0; i < 60; i++ {
+		_ = tab.Append(types.Row{
+			types.NewInt(int64(i)),
+			types.NewFloat(float64(i % 10 * 10)),
+			types.NewFloat(float64(100 + i)),
+		})
+	}
+	c.Catalog().Put(tab)
+	return c, &out
+}
+
+func TestDispatchTables(t *testing.T) {
+	c, out := testConsole(t)
+	if err := c.Dispatch(`\tables`); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "sessions") || !strings.Contains(out.String(), "60 rows") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestDispatchBatchSQL(t *testing.T) {
+	c, out := testConsole(t)
+	if err := c.Dispatch(`\batch SELECT COUNT(*) FROM sessions`); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "COUNT(*)") || !strings.Contains(s, "60") || !strings.Contains(s, "exact") {
+		t.Errorf("output = %q", s)
+	}
+}
+
+func TestDispatchOnlineSQL(t *testing.T) {
+	c, out := testConsole(t)
+	if err := c.Dispatch(`\batches 3`); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Dispatch(`\trials 10`); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Dispatch(`SELECT AVG(play_time) FROM sessions`); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if strings.Count(s, "-- batch") != 3 {
+		t.Errorf("expected 3 snapshots, output = %q", s)
+	}
+	if !strings.Contains(s, "±") {
+		t.Error("online output should carry error bars")
+	}
+	if !strings.Contains(s, "done in") {
+		t.Error("completion line missing")
+	}
+}
+
+func TestDispatchExplain(t *testing.T) {
+	c, out := testConsole(t)
+	err := c.Dispatch(`\explain SELECT AVG(play_time) FROM sessions WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "block 0 (scalar)") {
+		t.Errorf("explain output = %q", out.String())
+	}
+}
+
+func TestDispatchSuiteAndHelp(t *testing.T) {
+	c, out := testConsole(t)
+	if err := c.Dispatch(`\suite`); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "SBI") || !strings.Contains(out.String(), "Q17") {
+		t.Error("suite listing")
+	}
+	out.Reset()
+	if err := c.Dispatch(`\help`); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `\batch`) {
+		t.Error("help text")
+	}
+}
+
+func TestDispatchGenAndSuiteQuery(t *testing.T) {
+	c, out := testConsole(t)
+	if err := c.Dispatch(`\gen conviva 500`); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Dispatch(`\batches 2`); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Dispatch(`\trials 8`); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := c.Dispatch(`\q SBI`); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "AVG(play_time)") {
+		t.Errorf("SBI output = %q", out.String())
+	}
+}
+
+func TestDispatchLoadCSV(t *testing.T) {
+	c, out := testConsole(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	tab := storage.NewTable("ext", types.NewSchema("a", types.KindInt))
+	_ = tab.Append(types.Row{types.NewInt(7)})
+	if err := tab.SaveCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Dispatch(`\load ext ` + path); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "loaded 1 rows into ext") {
+		t.Errorf("output = %q", out.String())
+	}
+	if _, ok := c.Catalog().Get("ext"); !ok {
+		t.Error("table not registered")
+	}
+}
+
+func TestDispatchErrors(t *testing.T) {
+	c, _ := testConsole(t)
+	bad := []string{
+		`\nope`,
+		`\load onlyname`,
+		`\gen conviva notanumber`,
+		`\gen mars 10`,
+		`\batches zero`,
+		`\batches -1`,
+		`\q NOPE`,
+		`\explain`,
+		`\batch`,
+		`SELECT nope FROM sessions`,
+		`SELECT session_id FROM sessions`, // projection online → rejected
+	}
+	for _, line := range bad {
+		if err := c.Dispatch(line); err == nil {
+			t.Errorf("Dispatch(%q) should fail", line)
+		}
+	}
+}
+
+func TestRunLoopQuitAndErrorRecovery(t *testing.T) {
+	c, out := testConsole(t)
+	in := strings.NewReader("\\tables\nSELECT nope FROM sessions\n\\quit\n")
+	if err := c.Run(in); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "sessions") {
+		t.Error("first command output missing")
+	}
+	if !strings.Contains(s, "error:") {
+		t.Error("error should be printed, not fatal")
+	}
+	if strings.Count(s, "fluodb>") < 3 {
+		t.Errorf("prompt count in %q", s)
+	}
+}
+
+func TestMaxRowsTruncation(t *testing.T) {
+	c, out := testConsole(t)
+	c.MaxRows = 3
+	if err := c.Dispatch(`\batch SELECT session_id FROM sessions ORDER BY session_id`); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "... (60 rows total)") {
+		t.Errorf("truncation marker missing: %q", out.String())
+	}
+}
+
+func TestDispatchDDL(t *testing.T) {
+	c, out := testConsole(t)
+	if err := c.Dispatch(`CREATE TABLE notes (id INT, txt VARCHAR)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Dispatch(`INSERT INTO notes VALUES (1, 'hello'), (2, 'world')`); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2 row(s) inserted") {
+		t.Errorf("output = %q", out.String())
+	}
+	out.Reset()
+	if err := c.Dispatch(`\batch SELECT COUNT(*) FROM notes`); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "1 row(s), exact") {
+		t.Errorf("output = %q", out.String())
+	}
+	if err := c.Dispatch(`DROP TABLE notes`); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Catalog().Get("notes"); ok {
+		t.Error("notes should be dropped")
+	}
+	if err := c.Dispatch(`DROP TABLE notes`); err == nil {
+		t.Error("double drop should fail")
+	}
+}
+
+func TestDispatchSaveOpen(t *testing.T) {
+	c, out := testConsole(t)
+	dir := t.TempDir() + "/db"
+	if err := c.Dispatch(`\save ` + dir); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "saved 1 table(s)") {
+		t.Errorf("output = %q", out.String())
+	}
+	var out2 bytes.Buffer
+	c2 := New(&out2)
+	if err := c2.Dispatch(`\open ` + dir); err != nil {
+		t.Fatal(err)
+	}
+	if tab, ok := c2.Catalog().Get("sessions"); !ok || tab.NumRows() != 60 {
+		t.Error("reopened catalog incomplete")
+	}
+	if err := c2.Dispatch(`\open /nope/nope`); err == nil {
+		t.Error("bad dir should fail")
+	}
+	if err := c2.Dispatch(`\save`); err == nil {
+		t.Error("missing arg should fail")
+	}
+}
+
+func TestDispatchScriptFile(t *testing.T) {
+	c, out := testConsole(t)
+	path := filepath.Join(t.TempDir(), "setup.sql")
+	script := "CREATE TABLE s2 (a INT);\nINSERT INTO s2 VALUES (1), (2), (3);"
+	if err := osWriteFile(path, script); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Dispatch(`\i ` + path); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "3 row(s) inserted") {
+		t.Errorf("output = %q", out.String())
+	}
+	if tab, ok := c.Catalog().Get("s2"); !ok || tab.NumRows() != 3 {
+		t.Error("script effects missing")
+	}
+	if err := c.Dispatch(`\i /nope.sql`); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func osWriteFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestDispatchApproxDistinctAndConversions(t *testing.T) {
+	c, out := testConsole(t)
+	if err := c.Dispatch(`\batch SELECT APPROX_COUNT_DISTINCT(session_id), TO_STRING(COUNT(*)) FROM sessions`); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "60") {
+		t.Errorf("output = %q", out.String())
+	}
+}

@@ -1,0 +1,98 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+
+	"fluodb/internal/bootstrap"
+)
+
+// TestParserNeverPanicsOnRandomInput feeds the parser random token soup
+// and mutated valid queries: it must return an error or an AST, never
+// panic.
+func TestParserNeverPanicsOnRandomInput(t *testing.T) {
+	rng := bootstrap.NewRNG(0xF722)
+	tokens := []string{
+		"SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+		"AND", "OR", "NOT", "IN", "BETWEEN", "LIKE", "CASE", "WHEN", "THEN",
+		"ELSE", "END", "JOIN", "ON", "AS", "IS", "NULL", "DISTINCT", "EXISTS",
+		"(", ")", ",", "*", "+", "-", "/", "%", "=", "<", ">", "<=", ">=", "<>",
+		"t", "x", "y", "sessions", "AVG", "COUNT", "SUM",
+		"1", "2.5", "'str'", "''", ".", "1e9", "0",
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("parser panicked: %v", r)
+		}
+	}()
+	for trial := 0; trial < 3000; trial++ {
+		n := 1 + rng.Intn(24)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = tokens[rng.Intn(len(tokens))]
+		}
+		input := strings.Join(parts, " ")
+		_, _ = Parse(input)
+	}
+}
+
+// TestParserNeverPanicsOnMutatedQueries mutates valid queries byte-wise.
+func TestParserNeverPanicsOnMutatedQueries(t *testing.T) {
+	rng := bootstrap.NewRNG(0xD00D)
+	seeds := []string{
+		"SELECT AVG(play_time) FROM sessions WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)",
+		"SELECT a, COUNT(*) c FROM t GROUP BY a HAVING c > 1 ORDER BY c DESC LIMIT 3",
+		"SELECT CASE WHEN x > 1 THEN 'a' ELSE 'b' END FROM t WHERE y IN (1,2,3)",
+		"SELECT x FROM a JOIN b ON a.k = b.k WHERE x BETWEEN 1 AND 2 AND s LIKE 'x%'",
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("parser panicked: %v", r)
+		}
+	}()
+	for trial := 0; trial < 3000; trial++ {
+		s := []byte(seeds[rng.Intn(len(seeds))])
+		for m := 0; m < 1+rng.Intn(5); m++ {
+			switch rng.Intn(3) {
+			case 0: // flip a byte
+				s[rng.Intn(len(s))] = byte(32 + rng.Intn(95))
+			case 1: // delete a byte
+				i := rng.Intn(len(s))
+				s = append(s[:i], s[i+1:]...)
+			case 2: // duplicate a chunk
+				i := rng.Intn(len(s))
+				j := i + rng.Intn(len(s)-i)
+				s = append(s[:j], s[i:]...)
+			}
+			if len(s) == 0 {
+				s = []byte("S")
+			}
+		}
+		_, _ = Parse(string(s))
+	}
+}
+
+// TestParseValidStaysValidUnderWhitespace checks whitespace/comment
+// insensitivity of the grammar.
+func TestParseValidStaysValidUnderWhitespace(t *testing.T) {
+	sql := "SELECT a,COUNT(*) FROM t GROUP BY a"
+	variants := []string{
+		"SELECT  a , COUNT( * )  FROM t  GROUP  BY a",
+		"SELECT a,COUNT(*)\nFROM t\nGROUP BY a",
+		"SELECT a,COUNT(*) -- trailing\nFROM t GROUP BY a",
+		"\tSELECT\ta,COUNT(*)\tFROM\tt\tGROUP\tBY\ta",
+	}
+	want, err := Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range variants {
+		got, err := Parse(v)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", v, err)
+		}
+		if got.SQL() != want.SQL() {
+			t.Errorf("canonical SQL differs for %q: %q vs %q", v, got.SQL(), want.SQL())
+		}
+	}
+}

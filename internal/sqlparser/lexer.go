@@ -1,0 +1,160 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokOp // punctuation and operators
+)
+
+// token is one lexeme with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased; idents keep original case
+	pos  int
+}
+
+// keywords recognized by the lexer. Everything else alphanumeric is an
+// identifier.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "AS": true, "AND": true,
+	"OR": true, "NOT": true, "IN": true, "IS": true, "NULL": true,
+	"BETWEEN": true, "LIKE": true, "CASE": true, "WHEN": true, "THEN": true,
+	"ELSE": true, "END": true, "JOIN": true, "INNER": true, "LEFT": true,
+	"OUTER": true, "ON": true, "DISTINCT": true, "ASC": true, "DESC": true,
+	"TRUE": true, "FALSE": true, "EXISTS": true, "ALL": true,
+	"CREATE": true, "TABLE": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "DROP": true, "OFFSET": true,
+}
+
+// Error is a parse error carrying the byte position in the input.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("sql: %s (at byte %d)", e.Msg, e.Pos) }
+
+func errorf(pos int, format string, args ...interface{}) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenizes the input. Comments (-- to end of line) are skipped.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case isDigit(c) || (c == '.' && i+1 < n && isDigit(input[i+1])):
+			start := i
+			seenDot := false
+			seenExp := false
+			for i < n {
+				d := input[i]
+				if isDigit(d) {
+					i++
+				} else if d == '.' && !seenDot && !seenExp {
+					seenDot = true
+					i++
+				} else if (d == 'e' || d == 'E') && !seenExp && i > start {
+					seenExp = true
+					i++
+					if i < n && (input[i] == '+' || input[i] == '-') {
+						i++
+					}
+				} else {
+					break
+				}
+			}
+			toks = append(toks, token{tokNumber, input[start:i], start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, errorf(start, "unterminated string literal")
+			}
+			toks = append(toks, token{tokString, sb.String(), start})
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(input[i])) {
+				i++
+			}
+			word := input[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{tokKeyword, up, start})
+			} else {
+				toks = append(toks, token{tokIdent, word, start})
+			}
+		default:
+			start := i
+			// multi-char operators first
+			two := ""
+			if i+1 < n {
+				two = input[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=":
+				toks = append(toks, token{tokOp, two, start})
+				i += 2
+				continue
+			}
+			switch c {
+			case '+', '-', '*', '/', '%', '(', ')', ',', '=', '<', '>', '.', ';':
+				toks = append(toks, token{tokOp, string(c), start})
+				i++
+			default:
+				return nil, errorf(i, "unexpected character %q", string(c))
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,705 @@
+package sqlparser
+
+import (
+	"strconv"
+	"strings"
+
+	"fluodb/internal/types"
+)
+
+// Parse parses one SELECT statement (optionally terminated by a
+// semicolon-free end of input).
+func Parse(input string) (*SelectStmt, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, errorf(p.cur().pos, "unexpected trailing input %q", p.cur().text)
+	}
+	return stmt, nil
+}
+
+// ParseExpr parses a standalone expression (used by tests and the UDF
+// playground in the CLI).
+func ParseExpr(input string) (Expr, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, errorf(p.cur().pos, "unexpected trailing input %q", p.cur().text)
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) atEOF() bool { return p.cur().kind == tokEOF }
+
+// peekKeyword reports whether the current token is the given keyword.
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tokKeyword && t.text == kw
+}
+
+// acceptKeyword consumes the keyword if present.
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peekKeyword(kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// expectKeyword consumes the keyword or errors.
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return errorf(p.cur().pos, "expected %s, found %q", kw, p.cur().text)
+	}
+	return nil
+}
+
+// peekOp reports whether the current token is the given operator.
+func (p *parser) peekOp(op string) bool {
+	t := p.cur()
+	return t.kind == tokOp && t.text == op
+}
+
+// acceptOp consumes the operator if present.
+func (p *parser) acceptOp(op string) bool {
+	if p.peekOp(op) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// expectOp consumes the operator or errors.
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return errorf(p.cur().pos, "expected %q, found %q", op, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	if p.acceptKeyword("DISTINCT") {
+		stmt.Distinct = true
+	} else {
+		p.acceptKeyword("ALL")
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("FROM") {
+		from, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = from
+	}
+	if p.peekKeyword("WHERE") {
+		if stmt.From == nil {
+			return nil, errorf(p.cur().pos, "WHERE requires a FROM clause")
+		}
+		p.i++
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = h
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.cur()
+		if t.kind != tokNumber {
+			return nil, errorf(t.pos, "LIMIT expects a number, found %q", t.text)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, errorf(t.pos, "invalid LIMIT %q", t.text)
+		}
+		p.i++
+		stmt.Limit = n
+	}
+	if p.acceptKeyword("OFFSET") {
+		t := p.cur()
+		if t.kind != tokNumber {
+			return nil, errorf(t.pos, "OFFSET expects a number, found %q", t.text)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, errorf(t.pos, "invalid OFFSET %q", t.text)
+		}
+		p.i++
+		stmt.Offset = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.peekOp("*") {
+		p.i++
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		t := p.cur()
+		if t.kind != tokIdent && t.kind != tokString {
+			return SelectItem{}, errorf(t.pos, "expected alias after AS, found %q", t.text)
+		}
+		p.i++
+		item.Alias = t.text
+	} else if t := p.cur(); t.kind == tokIdent {
+		// bare alias: SELECT x foo
+		p.i++
+		item.Alias = t.text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	left, err := p.parseBaseTable()
+	if err != nil {
+		return nil, err
+	}
+	var ref TableRef = left
+	for {
+		var jt JoinType
+		switch {
+		case p.acceptKeyword("JOIN"):
+			jt = InnerJoin
+		case p.peekKeyword("INNER"):
+			p.i++
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			jt = InnerJoin
+		case p.peekKeyword("LEFT"):
+			p.i++
+			p.acceptKeyword("OUTER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			jt = LeftJoin
+		case p.acceptOp(","):
+			// comma join parses as inner join with ON TRUE; the WHERE
+			// clause supplies the condition.
+			right, err := p.parseBaseTable()
+			if err != nil {
+				return nil, err
+			}
+			ref = &Join{Type: InnerJoin, Left: ref, Right: right,
+				On: &Literal{Value: types.NewBool(true)}}
+			continue
+		default:
+			return ref, nil
+		}
+		right, err := p.parseBaseTable()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ref = &Join{Type: jt, Left: ref, Right: right, On: cond}
+	}
+}
+
+func (p *parser) parseBaseTable() (*BaseTable, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return nil, errorf(t.pos, "expected table name, found %q", t.text)
+	}
+	p.i++
+	bt := &BaseTable{Name: t.text}
+	if p.acceptKeyword("AS") {
+		a := p.cur()
+		if a.kind != tokIdent {
+			return nil, errorf(a.pos, "expected alias after AS, found %q", a.text)
+		}
+		p.i++
+		bt.Alias = a.text
+	} else if a := p.cur(); a.kind == tokIdent {
+		p.i++
+		bt.Alias = a.text
+	}
+	if bt.Alias == "" {
+		bt.Alias = bt.Name
+	}
+	return bt, nil
+}
+
+// Expression grammar (loosest to tightest):
+//
+//	expr      := orExpr
+//	orExpr    := andExpr { OR andExpr }
+//	andExpr   := notExpr { AND notExpr }
+//	notExpr   := [NOT] cmpExpr
+//	cmpExpr   := addExpr [ (θ addExpr) | IN (...) | BETWEEN a AND b
+//	                        | IS [NOT] NULL | LIKE pattern ]
+//	addExpr   := mulExpr { (+|-) mulExpr }
+//	mulExpr   := unary { (*|/|%) unary }
+//	unary     := [-] primary
+//	primary   := literal | columnRef | funcCall | (expr) | (SELECT...)
+//	             | CASE ... END | EXISTS (SELECT...)
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+var cmpOps = map[string]BinaryOp{
+	"=": OpEq, "<>": OpNe, "!=": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind == tokOp {
+		if op, ok := cmpOps[t.text]; ok {
+			p.i++
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	negated := false
+	if p.peekKeyword("NOT") {
+		// lookahead for NOT IN / NOT BETWEEN / NOT LIKE
+		save := p.i
+		p.i++
+		switch {
+		case p.peekKeyword("IN"), p.peekKeyword("BETWEEN"), p.peekKeyword("LIKE"):
+			negated = true
+		default:
+			p.i = save
+			return l, nil
+		}
+	}
+	switch {
+	case p.acceptKeyword("IN"):
+		return p.parseInTail(l, negated)
+	case p.acceptKeyword("BETWEEN"):
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &Between{X: l, Lo: lo, Hi: hi, Negated: negated}, nil
+	case p.acceptKeyword("LIKE"):
+		pat, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		like := Expr(&Binary{Op: OpLike, L: l, R: pat})
+		if negated {
+			like = &Unary{Op: "NOT", X: like}
+		}
+		return like, nil
+	case p.acceptKeyword("IS"):
+		neg := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNull{X: l, Negated: neg}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseInTail(l Expr, negated bool) (Expr, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	if p.peekKeyword("SELECT") {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{X: l, Sub: sub, Negated: negated}, nil
+	}
+	var list []Expr
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, e)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return &InExpr{X: l, List: list, Negated: negated}, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("+"):
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: OpAdd, L: l, R: r}
+		case p.acceptOp("-"):
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: OpSub, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinaryOp
+		switch {
+		case p.acceptOp("*"):
+			op = OpMul
+		case p.acceptOp("/"):
+			op = OpDiv
+		case p.acceptOp("%"):
+			op = OpMod
+		default:
+			return l, nil
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptOp("-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold -literal immediately so "-3" is a literal, not an op.
+		if lit, ok := x.(*Literal); ok {
+			switch lit.Value.Kind() {
+			case types.KindInt:
+				return &Literal{Value: types.NewInt(-lit.Value.Int())}, nil
+			case types.KindFloat:
+				return &Literal{Value: types.NewFloat(-lit.Value.Float())}, nil
+			}
+		}
+		return &Unary{Op: "-", X: x}, nil
+	}
+	p.acceptOp("+")
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.i++
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, errorf(t.pos, "invalid number %q", t.text)
+			}
+			return &Literal{Value: types.NewFloat(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, errorf(t.pos, "invalid integer %q", t.text)
+		}
+		return &Literal{Value: types.NewInt(n)}, nil
+	case tokString:
+		p.i++
+		return &Literal{Value: types.NewString(t.text)}, nil
+	case tokKeyword:
+		switch t.text {
+		case "NULL":
+			p.i++
+			return &Literal{Value: types.Null}, nil
+		case "TRUE":
+			p.i++
+			return &Literal{Value: types.NewBool(true)}, nil
+		case "FALSE":
+			p.i++
+			return &Literal{Value: types.NewBool(false)}, nil
+		case "CASE":
+			return p.parseCase()
+		case "EXISTS":
+			p.i++
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &ExistsExpr{Sub: sub}, nil
+		}
+		return nil, errorf(t.pos, "unexpected keyword %q in expression", t.text)
+	case tokIdent:
+		p.i++
+		// function call?
+		if p.peekOp("(") {
+			return p.parseCallTail(t.text)
+		}
+		// qualified column?
+		if p.acceptOp(".") {
+			col := p.cur()
+			if col.kind != tokIdent {
+				return nil, errorf(col.pos, "expected column after %q.", t.text)
+			}
+			p.i++
+			return &ColumnRef{Table: t.text, Name: col.Name()}, nil
+		}
+		return &ColumnRef{Name: t.text}, nil
+	case tokOp:
+		if t.text == "(" {
+			p.i++
+			if p.peekKeyword("SELECT") {
+				sub, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return &Subquery{Select: sub}, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, errorf(t.pos, "unexpected token %q in expression", t.text)
+}
+
+// Name returns the identifier text of a token (helper to keep call sites
+// readable).
+func (t token) Name() string { return t.text }
+
+func (p *parser) parseCallTail(name string) (Expr, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	call := &FuncCall{Name: strings.ToUpper(name)}
+	if p.acceptOp("*") {
+		call.Star = true
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return call, nil
+	}
+	if p.acceptOp(")") {
+		return call, nil
+	}
+	if p.acceptKeyword("DISTINCT") {
+		call.Distinct = true
+	}
+	for {
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, a)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return call, nil
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	if err := p.expectKeyword("CASE"); err != nil {
+		return nil, err
+	}
+	c := &Case{}
+	if !p.peekKeyword("WHEN") {
+		op, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Operand = op
+	}
+	for p.acceptKeyword("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		res, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, CaseWhen{Cond: cond, Result: res})
+	}
+	if len(c.Whens) == 0 {
+		return nil, errorf(p.cur().pos, "CASE requires at least one WHEN arm")
+	}
+	if p.acceptKeyword("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

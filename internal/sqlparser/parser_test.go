@@ -1,0 +1,392 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+
+	"fluodb/internal/types"
+)
+
+func mustParse(t *testing.T, sql string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return stmt
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	stmt := mustParse(t, "SELECT a, b AS bee FROM t WHERE a > 3")
+	if len(stmt.Items) != 2 {
+		t.Fatalf("items = %d", len(stmt.Items))
+	}
+	if stmt.Items[1].Alias != "bee" {
+		t.Errorf("alias = %q", stmt.Items[1].Alias)
+	}
+	bt, ok := stmt.From.(*BaseTable)
+	if !ok || bt.Name != "t" {
+		t.Fatalf("from = %#v", stmt.From)
+	}
+	bin, ok := stmt.Where.(*Binary)
+	if !ok || bin.Op != OpGt {
+		t.Fatalf("where = %#v", stmt.Where)
+	}
+}
+
+func TestParseStarAndCountStar(t *testing.T) {
+	stmt := mustParse(t, "SELECT *, COUNT(*) FROM t")
+	if !stmt.Items[0].Star {
+		t.Error("first item should be *")
+	}
+	fc, ok := stmt.Items[1].Expr.(*FuncCall)
+	if !ok || !fc.Star || fc.Name != "COUNT" {
+		t.Errorf("second item = %#v", stmt.Items[1].Expr)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	stmt := mustParse(t, "SELECT 1 + 2 * 3")
+	bin := stmt.Items[0].Expr.(*Binary)
+	if bin.Op != OpAdd {
+		t.Fatalf("top op = %v", bin.Op)
+	}
+	if r, ok := bin.R.(*Binary); !ok || r.Op != OpMul {
+		t.Fatalf("rhs = %#v", bin.R)
+	}
+}
+
+func TestParseAndOrNotPrecedence(t *testing.T) {
+	stmt := mustParse(t, "SELECT 1 FROM t WHERE NOT a = 1 AND b = 2 OR c = 3")
+	or, ok := stmt.Where.(*Binary)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("top = %#v", stmt.Where)
+	}
+	and, ok := or.L.(*Binary)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("or.L = %#v", or.L)
+	}
+	if _, ok := and.L.(*Unary); !ok {
+		t.Fatalf("and.L should be NOT, got %#v", and.L)
+	}
+}
+
+func TestParseScalarSubquery(t *testing.T) {
+	stmt := mustParse(t, `SELECT AVG(play_time) FROM Sessions
+		WHERE buffer_time > (SELECT AVG(buffer_time) FROM Sessions)`)
+	bin := stmt.Where.(*Binary)
+	sub, ok := bin.R.(*Subquery)
+	if !ok {
+		t.Fatalf("rhs = %#v", bin.R)
+	}
+	if len(sub.Select.Items) != 1 {
+		t.Fatal("inner select items")
+	}
+	fc := sub.Select.Items[0].Expr.(*FuncCall)
+	if fc.Name != "AVG" {
+		t.Errorf("inner agg = %s", fc.Name)
+	}
+}
+
+func TestParseCorrelatedSubquery(t *testing.T) {
+	stmt := mustParse(t, `SELECT SUM(price) FROM lineitem l
+		WHERE quantity < (SELECT 0.2 * AVG(quantity) FROM lineitem i WHERE i.partkey = l.partkey)`)
+	bin := stmt.Where.(*Binary)
+	sub := bin.R.(*Subquery)
+	inner := sub.Select
+	w, ok := inner.Where.(*Binary)
+	if !ok || w.Op != OpEq {
+		t.Fatalf("inner where = %#v", inner.Where)
+	}
+	lref := w.L.(*ColumnRef)
+	rref := w.R.(*ColumnRef)
+	if lref.Table != "i" || rref.Table != "l" {
+		t.Errorf("refs = %v, %v", lref, rref)
+	}
+}
+
+func TestParseInSubqueryAndList(t *testing.T) {
+	stmt := mustParse(t, "SELECT 1 FROM o WHERE k IN (SELECT k FROM l GROUP BY k HAVING SUM(q) > 300)")
+	in, ok := stmt.Where.(*InExpr)
+	if !ok || in.Sub == nil || in.Negated {
+		t.Fatalf("where = %#v", stmt.Where)
+	}
+	if in.Sub.Having == nil {
+		t.Error("inner HAVING missing")
+	}
+
+	stmt2 := mustParse(t, "SELECT 1 FROM t WHERE x NOT IN (1, 2, 3)")
+	in2 := stmt2.Where.(*InExpr)
+	if !in2.Negated || len(in2.List) != 3 {
+		t.Fatalf("in2 = %#v", in2)
+	}
+}
+
+func TestParseBetweenLikeIsNull(t *testing.T) {
+	stmt := mustParse(t, "SELECT 1 FROM t WHERE a BETWEEN 1 AND 5 AND b LIKE 'x%' AND c IS NOT NULL")
+	and1 := stmt.Where.(*Binary)
+	and2 := and1.L.(*Binary)
+	if _, ok := and2.L.(*Between); !ok {
+		t.Errorf("first conjunct = %#v", and2.L)
+	}
+	like := and2.R.(*Binary)
+	if like.Op != OpLike {
+		t.Errorf("second conjunct = %#v", and2.R)
+	}
+	isn := and1.R.(*IsNull)
+	if !isn.Negated {
+		t.Error("IS NOT NULL should be negated")
+	}
+}
+
+func TestParseGroupByHavingOrderLimit(t *testing.T) {
+	stmt := mustParse(t, `SELECT g, COUNT(*) c FROM t GROUP BY g
+		HAVING COUNT(*) > 10 ORDER BY c DESC, g LIMIT 5`)
+	if len(stmt.GroupBy) != 1 || stmt.Having == nil {
+		t.Fatal("group/having")
+	}
+	if len(stmt.OrderBy) != 2 || !stmt.OrderBy[0].Desc || stmt.OrderBy[1].Desc {
+		t.Fatalf("order = %#v", stmt.OrderBy)
+	}
+	if stmt.Limit != 5 {
+		t.Errorf("limit = %d", stmt.Limit)
+	}
+	if stmt.Items[1].Alias != "c" {
+		t.Errorf("bare alias = %q", stmt.Items[1].Alias)
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	stmt := mustParse(t, "SELECT 1 FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y")
+	j, ok := stmt.From.(*Join)
+	if !ok || j.Type != LeftJoin {
+		t.Fatalf("top join = %#v", stmt.From)
+	}
+	inner, ok := j.Left.(*Join)
+	if !ok || inner.Type != InnerJoin {
+		t.Fatalf("inner = %#v", j.Left)
+	}
+}
+
+func TestParseCommaJoin(t *testing.T) {
+	stmt := mustParse(t, "SELECT 1 FROM a, b WHERE a.x = b.x")
+	j, ok := stmt.From.(*Join)
+	if !ok {
+		t.Fatalf("from = %#v", stmt.From)
+	}
+	lit, ok := j.On.(*Literal)
+	if !ok || !lit.Value.Bool() {
+		t.Fatalf("comma join ON = %#v", j.On)
+	}
+}
+
+func TestParseCase(t *testing.T) {
+	stmt := mustParse(t, `SELECT CASE WHEN a > 1 THEN 'hi' WHEN a > 0 THEN 'mid' ELSE 'lo' END FROM t`)
+	c, ok := stmt.Items[0].Expr.(*Case)
+	if !ok || len(c.Whens) != 2 || c.Else == nil || c.Operand != nil {
+		t.Fatalf("case = %#v", stmt.Items[0].Expr)
+	}
+	stmt2 := mustParse(t, `SELECT CASE a WHEN 1 THEN 'one' END FROM t`)
+	c2 := stmt2.Items[0].Expr.(*Case)
+	if c2.Operand == nil || c2.Else != nil {
+		t.Fatalf("case2 = %#v", c2)
+	}
+}
+
+func TestParseExists(t *testing.T) {
+	stmt := mustParse(t, "SELECT 1 FROM t WHERE EXISTS (SELECT 1 FROM u)")
+	if _, ok := stmt.Where.(*ExistsExpr); !ok {
+		t.Fatalf("where = %#v", stmt.Where)
+	}
+	stmt2 := mustParse(t, "SELECT 1 FROM t WHERE NOT EXISTS (SELECT 1 FROM u)")
+	u, ok := stmt2.Where.(*Unary)
+	if !ok || u.Op != "NOT" {
+		t.Fatalf("where2 = %#v", stmt2.Where)
+	}
+}
+
+func TestParseNegativeNumbersAndFloats(t *testing.T) {
+	stmt := mustParse(t, "SELECT -3, -2.5, 1e3, .5")
+	if v := stmt.Items[0].Expr.(*Literal).Value; v.Int() != -3 {
+		t.Errorf("item0 = %v", v)
+	}
+	if v := stmt.Items[1].Expr.(*Literal).Value; v.Float() != -2.5 {
+		t.Errorf("item1 = %v", v)
+	}
+	if v := stmt.Items[2].Expr.(*Literal).Value; v.Float() != 1000 {
+		t.Errorf("item2 = %v", v)
+	}
+	if v := stmt.Items[3].Expr.(*Literal).Value; v.Float() != 0.5 {
+		t.Errorf("item3 = %v", v)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	stmt := mustParse(t, "SELECT 'o''brien'")
+	if v := stmt.Items[0].Expr.(*Literal).Value; v.Str() != "o'brien" {
+		t.Errorf("got %q", v.Str())
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	stmt := mustParse(t, "SELECT 1 -- trailing comment\nFROM t")
+	if stmt.From == nil {
+		t.Error("comment swallowed FROM")
+	}
+}
+
+func TestParseLiteralsNullTrueFalse(t *testing.T) {
+	stmt := mustParse(t, "SELECT NULL, TRUE, FALSE")
+	if !stmt.Items[0].Expr.(*Literal).Value.IsNull() {
+		t.Error("NULL")
+	}
+	if !stmt.Items[1].Expr.(*Literal).Value.Bool() {
+		t.Error("TRUE")
+	}
+	if stmt.Items[2].Expr.(*Literal).Value.Bool() {
+		t.Error("FALSE")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC 1",
+		"SELECT",
+		"SELECT 1 FROM",
+		"SELECT 1 FROM t WHERE",
+		"SELECT 1 WHERE 2",
+		"SELECT 'unterminated",
+		"SELECT 1 FROM t LIMIT x",
+		"SELECT (1",
+		"SELECT 1 extra ,",
+		"SELECT CASE END",
+		"SELECT 1 FROM t GROUP 1",
+		"SELECT f(1,",
+		"SELECT a . ",
+		"SELECT @",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) should fail", sql)
+		}
+	}
+}
+
+func TestSQLRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT AVG(play_time) FROM Sessions WHERE (buffer_time > (SELECT AVG(buffer_time) FROM Sessions))",
+		"SELECT g, COUNT(*) FROM t GROUP BY g HAVING (COUNT(*) > 10) ORDER BY g LIMIT 3",
+		"SELECT CASE WHEN (a > 1) THEN 'x' ELSE 'y' END FROM t",
+		"SELECT a FROM t WHERE a IN (1, 2)",
+	}
+	for _, q := range queries {
+		stmt, err := Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		rendered := stmt.SQL()
+		stmt2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", rendered, err)
+		}
+		if stmt2.SQL() != rendered {
+			t.Errorf("SQL not a fixpoint:\n  %s\n  %s", rendered, stmt2.SQL())
+		}
+	}
+}
+
+func TestParseExprStandalone(t *testing.T) {
+	e, err := ParseExpr("1 + 2 * x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(*Binary); !ok {
+		t.Fatalf("expr = %#v", e)
+	}
+	if _, err := ParseExpr("1 +"); err == nil {
+		t.Error("bad expr should fail")
+	}
+	if _, err := ParseExpr("1 2"); err == nil {
+		t.Error("trailing token should fail")
+	}
+}
+
+func TestLexerPositionsInErrors(t *testing.T) {
+	_, err := Parse("SELECT $")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var perr *Error
+	if !asError(err, &perr) {
+		t.Fatalf("error type = %T", err)
+	}
+	if perr.Pos != 7 {
+		t.Errorf("pos = %d, want 7", perr.Pos)
+	}
+	if !strings.Contains(err.Error(), "byte 7") {
+		t.Errorf("message = %q", err.Error())
+	}
+}
+
+// asError is a tiny errors.As for *Error without importing errors (keeps
+// the test focused on this package's behaviour).
+func asError(err error, target **Error) bool {
+	e, ok := err.(*Error)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+func TestKeywordCaseInsensitive(t *testing.T) {
+	stmt := mustParse(t, "select a from t where a between 1 and 2")
+	if stmt.From == nil || stmt.Where == nil {
+		t.Fatal("lower-case keywords failed")
+	}
+}
+
+func TestQualifiedStarNotSupported(t *testing.T) {
+	// t.* is not in the subset; ensure a clean error rather than a panic.
+	if _, err := Parse("SELECT t.* FROM t"); err == nil {
+		t.Error("t.* should be a parse error")
+	}
+}
+
+func TestDistinctAggregate(t *testing.T) {
+	stmt := mustParse(t, "SELECT COUNT(DISTINCT a) FROM t")
+	fc := stmt.Items[0].Expr.(*FuncCall)
+	if !fc.Distinct {
+		t.Error("DISTINCT flag lost")
+	}
+}
+
+func TestLiteralSQLRendering(t *testing.T) {
+	l := &Literal{Value: types.NewString("a'b")}
+	if l.SQL() != "'a''b'" {
+		t.Errorf("SQL = %q", l.SQL())
+	}
+}
+
+func BenchmarkParseSBI(b *testing.B) {
+	const q = `SELECT AVG(play_time) FROM Sessions
+		WHERE buffer_time > (SELECT AVG(buffer_time) FROM Sessions)`
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseComplex(b *testing.B) {
+	const q = `SELECT custkey, orderkey, SUM(quantity) AS total
+		FROM lineitem
+		WHERE orderkey IN (SELECT orderkey FROM lineitem GROUP BY orderkey HAVING SUM(quantity) > 300)
+		  AND shipmode LIKE 'AIR%' AND discount BETWEEN 0.01 AND 0.05
+		GROUP BY custkey, orderkey ORDER BY total DESC LIMIT 100`
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,322 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+
+	"fluodb/internal/types"
+)
+
+// Stmt is any SQL statement (SELECT, CREATE TABLE, INSERT, DROP TABLE).
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+func (*SelectStmt) stmtNode()      {}
+func (*CreateTableStmt) stmtNode() {}
+func (*InsertStmt) stmtNode()      {}
+func (*DropTableStmt) stmtNode()   {}
+
+// CreateTableStmt is CREATE TABLE name (col type, ...).
+type CreateTableStmt struct {
+	Name   string
+	Schema types.Schema
+}
+
+// SQL implements Node.
+func (c *CreateTableStmt) SQL() string {
+	var b strings.Builder
+	b.WriteString("CREATE TABLE ")
+	b.WriteString(c.Name)
+	b.WriteString(" (")
+	for i, col := range c.Schema {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(col.Name)
+		b.WriteByte(' ')
+		b.WriteString(col.Type.String())
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// InsertStmt is INSERT INTO name [(cols...)] VALUES (...), (...).
+type InsertStmt struct {
+	Table   string
+	Columns []string // empty = all columns in table order
+	Rows    [][]Expr // constant expressions
+}
+
+// SQL implements Node.
+func (ins *InsertStmt) SQL() string {
+	var b strings.Builder
+	b.WriteString("INSERT INTO ")
+	b.WriteString(ins.Table)
+	if len(ins.Columns) > 0 {
+		b.WriteString(" (")
+		b.WriteString(strings.Join(ins.Columns, ", "))
+		b.WriteString(")")
+	}
+	b.WriteString(" VALUES ")
+	for i, row := range ins.Rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("(")
+		for j, e := range row {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.SQL())
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+// DropTableStmt is DROP TABLE name.
+type DropTableStmt struct {
+	Name string
+}
+
+// SQL implements Node.
+func (d *DropTableStmt) SQL() string { return "DROP TABLE " + d.Name }
+
+// ParseStatement parses one statement of any supported kind (an
+// optional trailing semicolon is accepted).
+func ParseStatement(input string) (Stmt, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmt Stmt
+	switch {
+	case p.peekKeyword("SELECT"):
+		s, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		stmt = s
+	case p.peekKeyword("CREATE"):
+		s, err := p.parseCreateTable()
+		if err != nil {
+			return nil, err
+		}
+		stmt = s
+	case p.peekKeyword("INSERT"):
+		s, err := p.parseInsert()
+		if err != nil {
+			return nil, err
+		}
+		stmt = s
+	case p.peekKeyword("DROP"):
+		s, err := p.parseDropTable()
+		if err != nil {
+			return nil, err
+		}
+		stmt = s
+	default:
+		return nil, errorf(p.cur().pos,
+			"expected SELECT, CREATE TABLE, INSERT or DROP TABLE, found %q", p.cur().text)
+	}
+	p.acceptOp(";")
+	if !p.atEOF() {
+		return nil, errorf(p.cur().pos, "unexpected trailing input %q", p.cur().text)
+	}
+	return stmt, nil
+}
+
+// typeFromName maps SQL type names to kinds.
+func typeFromName(name string) (types.Kind, error) {
+	switch strings.ToUpper(name) {
+	case "INT", "INTEGER", "BIGINT", "SMALLINT":
+		return types.KindInt, nil
+	case "DOUBLE", "FLOAT", "REAL", "DECIMAL", "NUMERIC":
+		return types.KindFloat, nil
+	case "VARCHAR", "TEXT", "STRING", "CHAR":
+		return types.KindString, nil
+	case "BOOLEAN", "BOOL":
+		return types.KindBool, nil
+	default:
+		return types.KindNull, fmt.Errorf("sql: unknown type %q", name)
+	}
+}
+
+func (p *parser) parseCreateTable() (*CreateTableStmt, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name := p.cur()
+	if name.kind != tokIdent {
+		return nil, errorf(name.pos, "expected table name, found %q", name.text)
+	}
+	p.i++
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	stmt := &CreateTableStmt{Name: name.text}
+	for {
+		col := p.cur()
+		if col.kind != tokIdent {
+			return nil, errorf(col.pos, "expected column name, found %q", col.text)
+		}
+		p.i++
+		typ := p.cur()
+		if typ.kind != tokIdent {
+			return nil, errorf(typ.pos, "expected column type, found %q", typ.text)
+		}
+		p.i++
+		kind, err := typeFromName(typ.text)
+		if err != nil {
+			return nil, errorf(typ.pos, "%v", err)
+		}
+		// swallow optional type parameters like VARCHAR(64)
+		if p.acceptOp("(") {
+			for !p.peekOp(")") && !p.atEOF() {
+				p.i++
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+		}
+		stmt.Schema = append(stmt.Schema, types.Column{Name: col.text, Type: kind})
+		if p.acceptOp(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	if len(stmt.Schema) == 0 {
+		return nil, errorf(name.pos, "CREATE TABLE needs at least one column")
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseInsert() (*InsertStmt, error) {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	name := p.cur()
+	if name.kind != tokIdent {
+		return nil, errorf(name.pos, "expected table name, found %q", name.text)
+	}
+	p.i++
+	stmt := &InsertStmt{Table: name.text}
+	if p.acceptOp("(") {
+		for {
+			col := p.cur()
+			if col.kind != tokIdent {
+				return nil, errorf(col.pos, "expected column name, found %q", col.text)
+			}
+			p.i++
+			stmt.Columns = append(stmt.Columns, col.text)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		stmt.Rows = append(stmt.Rows, row)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseDropTable() (*DropTableStmt, error) {
+	if err := p.expectKeyword("DROP"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name := p.cur()
+	if name.kind != tokIdent {
+		return nil, errorf(name.pos, "expected table name, found %q", name.text)
+	}
+	p.i++
+	return &DropTableStmt{Name: name.text}, nil
+}
+
+// SplitStatements splits a SQL script into individual statements on
+// semicolons, respecting string literals and line comments. Empty
+// statements are dropped.
+func SplitStatements(script string) []string {
+	var out []string
+	var cur strings.Builder
+	inString := false
+	inComment := false
+	for i := 0; i < len(script); i++ {
+		c := script[i]
+		switch {
+		case inComment:
+			cur.WriteByte(c)
+			if c == '\n' {
+				inComment = false
+			}
+		case inString:
+			cur.WriteByte(c)
+			if c == '\'' {
+				// doubled quote stays inside the string
+				if i+1 < len(script) && script[i+1] == '\'' {
+					cur.WriteByte('\'')
+					i++
+				} else {
+					inString = false
+				}
+			}
+		case c == '\'':
+			inString = true
+			cur.WriteByte(c)
+		case c == '-' && i+1 < len(script) && script[i+1] == '-':
+			inComment = true
+			cur.WriteByte(c)
+		case c == ';':
+			if s := strings.TrimSpace(cur.String()); s != "" {
+				out = append(out, s)
+			}
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if s := strings.TrimSpace(cur.String()); s != "" {
+		out = append(out, s)
+	}
+	return out
+}

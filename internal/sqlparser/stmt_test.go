@@ -1,0 +1,131 @@
+package sqlparser
+
+import (
+	"testing"
+
+	"fluodb/internal/types"
+)
+
+func TestParseCreateTable(t *testing.T) {
+	s, err := ParseStatement(`CREATE TABLE metrics (id INT, name VARCHAR(64), score DOUBLE, ok BOOLEAN)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, ok := s.(*CreateTableStmt)
+	if !ok {
+		t.Fatalf("stmt = %T", s)
+	}
+	if ct.Name != "metrics" || len(ct.Schema) != 4 {
+		t.Fatalf("parsed = %+v", ct)
+	}
+	want := []types.Kind{types.KindInt, types.KindString, types.KindFloat, types.KindBool}
+	for i, k := range want {
+		if ct.Schema[i].Type != k {
+			t.Errorf("col %d kind = %v, want %v", i, ct.Schema[i].Type, k)
+		}
+	}
+	if ct.SQL() != "CREATE TABLE metrics (id BIGINT, name VARCHAR, score DOUBLE, ok BOOLEAN)" {
+		t.Errorf("SQL = %q", ct.SQL())
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	s, err := ParseStatement(`INSERT INTO t (a, b) VALUES (1, 'x'), (2 + 3, NULL);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := s.(*InsertStmt)
+	if ins.Table != "t" || len(ins.Columns) != 2 || len(ins.Rows) != 2 {
+		t.Fatalf("parsed = %+v", ins)
+	}
+	if len(ins.Rows[0]) != 2 || len(ins.Rows[1]) != 2 {
+		t.Error("row widths")
+	}
+	// without column list
+	s2, err := ParseStatement(`INSERT INTO t VALUES (1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.(*InsertStmt).Columns) != 0 {
+		t.Error("columns should be empty")
+	}
+}
+
+func TestParseDropTable(t *testing.T) {
+	s, err := ParseStatement(`DROP TABLE old_stuff`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.(*DropTableStmt).Name != "old_stuff" {
+		t.Errorf("name = %q", s.(*DropTableStmt).Name)
+	}
+	if s.SQL() != "DROP TABLE old_stuff" {
+		t.Errorf("SQL = %q", s.SQL())
+	}
+}
+
+func TestParseStatementSelectAndSemicolon(t *testing.T) {
+	s, err := ParseStatement("SELECT 1;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.(*SelectStmt); !ok {
+		t.Fatalf("stmt = %T", s)
+	}
+}
+
+func TestParseStatementErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"UPDATE t SET x = 1",
+		"CREATE TABLE",
+		"CREATE TABLE t ()",
+		"CREATE TABLE t (x)",
+		"CREATE TABLE t (x WIDGET)",
+		"CREATE TABLE t (x INT",
+		"INSERT t VALUES (1)",
+		"INSERT INTO t (1) VALUES (2)",
+		"INSERT INTO t VALUES",
+		"INSERT INTO t VALUES (1",
+		"DROP TABLE",
+		"DROP t",
+		"SELECT 1; SELECT 2",
+	}
+	for _, sql := range bad {
+		if _, err := ParseStatement(sql); err == nil {
+			t.Errorf("ParseStatement(%q) should fail", sql)
+		}
+	}
+}
+
+func TestInsertSQLRendering(t *testing.T) {
+	s, _ := ParseStatement(`INSERT INTO t (a) VALUES (1), (2)`)
+	want := "INSERT INTO t (a) VALUES (1), (2)"
+	if got := s.SQL(); got != want {
+		t.Errorf("SQL = %q, want %q", got, want)
+	}
+}
+
+func TestSplitStatements(t *testing.T) {
+	script := `
+CREATE TABLE t (a INT); -- comment with ; inside
+INSERT INTO t VALUES (1), (2);
+INSERT INTO t VALUES (3) ; SELECT 'a;b' FROM t;
+SELECT COUNT(*) FROM t`
+	got := SplitStatements(script)
+	if len(got) != 5 {
+		t.Fatalf("statements = %d: %q", len(got), got)
+	}
+	if got[3] != "SELECT 'a;b' FROM t" {
+		t.Errorf("string-literal semicolon split: %q", got[3])
+	}
+	if len(SplitStatements("  ;;  ")) != 0 {
+		t.Error("empty statements should be dropped")
+	}
+	// each piece parses
+	for _, s := range got {
+		if _, err := ParseStatement(s); err != nil {
+			t.Errorf("ParseStatement(%q): %v", s, err)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// SaveDir persists every table of the catalog into dir (created if
+// needed): one typed-header CSV per table. Table names map to file
+// names; names must therefore be filesystem-safe (the engine lower-cases
+// and restricts them to SQL identifiers, which is sufficient).
+func (c *Catalog) SaveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("storage: create %s: %w", dir, err)
+	}
+	for _, name := range c.Names() {
+		t, ok := c.Get(name)
+		if !ok {
+			continue
+		}
+		path := filepath.Join(dir, name+".csv")
+		if err := t.SaveCSVFile(path); err != nil {
+			return fmt.Errorf("storage: save table %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// LoadDir loads every *.csv in dir (written by SaveDir, or hand-made
+// typed-header CSVs) into a fresh catalog; the file stem becomes the
+// table name.
+func LoadDir(dir string) (*Catalog, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: read %s: %w", dir, err)
+	}
+	cat := NewCatalog()
+	found := false
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".csv") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".csv")
+		t, err := LoadCSVFile(name, filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("storage: load %s: %w", e.Name(), err)
+		}
+		cat.Put(t)
+		found = true
+	}
+	if !found {
+		return nil, fmt.Errorf("storage: no .csv tables in %s", dir)
+	}
+	return cat, nil
+}

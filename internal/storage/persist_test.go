@@ -1,0 +1,78 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fluodb/internal/types"
+)
+
+func TestSaveDirLoadDirRoundTrip(t *testing.T) {
+	cat := NewCatalog()
+	a := NewTable("alpha", types.NewSchema("x", types.KindInt, "s", types.KindString))
+	_ = a.Append(types.Row{types.NewInt(1), types.NewString("one")})
+	_ = a.Append(types.Row{types.NewInt(2), types.NewString("two")})
+	b := NewTable("beta", types.NewSchema("f", types.KindFloat))
+	_ = b.Append(types.Row{types.NewFloat(2.5)})
+	cat.Put(a)
+	cat.Put(b)
+
+	dir := filepath.Join(t.TempDir(), "db")
+	if err := cat.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := got.Names()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "beta" {
+		t.Fatalf("names = %v", names)
+	}
+	ga, _ := got.Get("alpha")
+	if ga.NumRows() != 2 || ga.Rows()[1][1].Str() != "two" {
+		t.Errorf("alpha content: %v", ga.Rows())
+	}
+	gb, _ := got.Get("beta")
+	if gb.Rows()[0][0].Float() != 2.5 {
+		t.Errorf("beta content: %v", gb.Rows())
+	}
+}
+
+func TestLoadDirErrors(t *testing.T) {
+	if _, err := LoadDir(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("missing dir should fail")
+	}
+	empty := t.TempDir()
+	if _, err := LoadDir(empty); err == nil {
+		t.Error("empty dir should fail")
+	}
+	bad := t.TempDir()
+	if err := os.WriteFile(filepath.Join(bad, "t.csv"), []byte("not a header\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(bad); err == nil {
+		t.Error("malformed csv should fail")
+	}
+}
+
+func TestLoadDirSkipsNonCSV(t *testing.T) {
+	dir := t.TempDir()
+	cat := NewCatalog()
+	tab := NewTable("only", types.NewSchema("x", types.KindInt))
+	_ = tab.Append(types.Row{types.NewInt(1)})
+	cat.Put(tab)
+	if err := cat.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	_ = os.WriteFile(filepath.Join(dir, "README.txt"), []byte("hi"), 0o644)
+	_ = os.Mkdir(filepath.Join(dir, "sub"), 0o755)
+	got, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Names()) != 1 {
+		t.Errorf("names = %v", got.Names())
+	}
+}

@@ -1,0 +1,317 @@
+// Package types defines the value model shared by every layer of FluoDB:
+// scalar values, rows, schemas, comparison, hashing and coercion rules.
+//
+// The engine uses a small tagged-union Value rather than interface{} so
+// that hot loops (filters, aggregates, delta maintenance) avoid boxing.
+package types
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the SQL types supported by the engine.
+type Kind uint8
+
+const (
+	// KindNull is the type of the SQL NULL literal.
+	KindNull Kind = iota
+	// KindBool is a boolean.
+	KindBool
+	// KindInt is a 64-bit signed integer.
+	KindInt
+	// KindFloat is a 64-bit IEEE-754 float (SQL DOUBLE).
+	KindFloat
+	// KindString is a UTF-8 string (SQL VARCHAR).
+	KindString
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		return "BOOLEAN"
+	case KindInt:
+		return "BIGINT"
+	case KindFloat:
+		return "DOUBLE"
+	case KindString:
+		return "VARCHAR"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Numeric reports whether the kind is a numeric type.
+func (k Kind) Numeric() bool { return k == KindInt || k == KindFloat }
+
+// Value is a single SQL scalar. The zero Value is SQL NULL.
+type Value struct {
+	kind Kind
+	i    int64   // KindBool (0/1) and KindInt payload
+	f    float64 // KindFloat payload
+	s    string  // KindString payload
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// NewBool returns a boolean value.
+func NewBool(b bool) Value {
+	var i int64
+	if b {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// NewInt returns an integer value.
+func NewInt(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// NewFloat returns a float value.
+func NewFloat(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// NewString returns a string value.
+func NewString(s string) Value { return Value{kind: KindString, s: s} }
+
+// Kind returns the value's type tag.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Bool returns the boolean payload. It panics if the value is not a bool.
+func (v Value) Bool() bool {
+	if v.kind != KindBool {
+		panic(fmt.Sprintf("types: Bool() on %s value", v.kind))
+	}
+	return v.i != 0
+}
+
+// Int returns the integer payload. It panics if the value is not an int.
+func (v Value) Int() int64 {
+	if v.kind != KindInt {
+		panic(fmt.Sprintf("types: Int() on %s value", v.kind))
+	}
+	return v.i
+}
+
+// Float returns the float payload. It panics if the value is not a float.
+func (v Value) Float() float64 {
+	if v.kind != KindFloat {
+		panic(fmt.Sprintf("types: Float() on %s value", v.kind))
+	}
+	return v.f
+}
+
+// Str returns the string payload. It panics if the value is not a string.
+func (v Value) Str() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("types: Str() on %s value", v.kind))
+	}
+	return v.s
+}
+
+// AsFloat coerces a numeric or boolean value to float64.
+// The second result is false for NULL and non-numeric values.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i), true
+	case KindFloat:
+		return v.f, true
+	case KindBool:
+		return float64(v.i), true
+	default:
+		return 0, false
+	}
+}
+
+// AsInt coerces a numeric value to int64, truncating floats toward zero.
+// The second result is false for NULL and non-numeric values.
+func (v Value) AsInt() (int64, bool) {
+	switch v.kind {
+	case KindInt:
+		return v.i, true
+	case KindFloat:
+		return int64(v.f), true
+	case KindBool:
+		return v.i, true
+	default:
+		return 0, false
+	}
+}
+
+// Truthy reports whether the value counts as true in a WHERE clause
+// (three-valued logic: NULL is not truthy).
+func (v Value) Truthy() bool {
+	switch v.kind {
+	case KindBool:
+		return v.i != 0
+	case KindInt:
+		return v.i != 0
+	case KindFloat:
+		return v.f != 0
+	default:
+		return false
+	}
+}
+
+// String renders the value the way the CLI prints result cells.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	default:
+		return fmt.Sprintf("Value(kind=%d)", uint8(v.kind))
+	}
+}
+
+// SQLLiteral renders the value as a SQL literal (strings quoted).
+func (v Value) SQLLiteral() string {
+	if v.kind == KindString {
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	}
+	return v.String()
+}
+
+// Compare orders two values. NULL sorts before everything; numeric kinds
+// compare by value across int/float; bools compare false<true; strings
+// compare lexicographically. Comparing a string with a number orders by
+// kind tag (deterministic but arbitrary), matching sort stability needs.
+func Compare(a, b Value) int {
+	an, bn := a.kind == KindNull, b.kind == KindNull
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	case bn:
+		return 1
+	}
+	if af, ok := a.AsFloat(); ok {
+		if bf, ok2 := b.AsFloat(); ok2 {
+			// Exact path for int/int to avoid float rounding on huge ints.
+			if a.kind == KindInt && b.kind == KindInt {
+				switch {
+				case a.i < b.i:
+					return -1
+				case a.i > b.i:
+					return 1
+				default:
+					return 0
+				}
+			}
+			switch {
+			case af < bf:
+				return -1
+			case af > bf:
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+	if a.kind == KindString && b.kind == KindString {
+		return strings.Compare(a.s, b.s)
+	}
+	// Mixed incomparable kinds: order by kind tag.
+	switch {
+	case a.kind < b.kind:
+		return -1
+	case a.kind > b.kind:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports value equality under Compare semantics (NULL == NULL here;
+// SQL ternary NULL handling is done by the expression layer).
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Hash returns a 64-bit hash of the value, consistent with Equal: values
+// that compare equal hash equally (ints and integral floats included).
+func (v Value) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) { h ^= uint64(b); h *= prime64 }
+	switch v.kind {
+	case KindNull:
+		mix(0)
+	case KindBool, KindInt:
+		// Hash as float bits when integral so 1 and 1.0 collide with Equal.
+		f := float64(v.i)
+		u := math.Float64bits(f)
+		for i := 0; i < 8; i++ {
+			mix(byte(u >> (8 * i)))
+		}
+	case KindFloat:
+		f := v.f
+		if f == 0 { // normalize -0.0
+			f = 0
+		}
+		u := math.Float64bits(f)
+		for i := 0; i < 8; i++ {
+			mix(byte(u >> (8 * i)))
+		}
+	case KindString:
+		mix(0x53) // kind salt so "" and NULL differ
+		for i := 0; i < len(v.s); i++ {
+			mix(v.s[i])
+		}
+	}
+	return h
+}
+
+// ParseValue parses a CSV/literal token into the given kind.
+// Empty strings parse to NULL for non-string kinds.
+func ParseValue(tok string, kind Kind) (Value, error) {
+	if tok == "" && kind != KindString {
+		return Null, nil
+	}
+	switch kind {
+	case KindBool:
+		b, err := strconv.ParseBool(tok)
+		if err != nil {
+			return Null, fmt.Errorf("types: parse bool %q: %w", tok, err)
+		}
+		return NewBool(b), nil
+	case KindInt:
+		i, err := strconv.ParseInt(tok, 10, 64)
+		if err != nil {
+			return Null, fmt.Errorf("types: parse int %q: %w", tok, err)
+		}
+		return NewInt(i), nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return Null, fmt.Errorf("types: parse float %q: %w", tok, err)
+		}
+		return NewFloat(f), nil
+	case KindString:
+		return NewString(tok), nil
+	case KindNull:
+		return Null, nil
+	default:
+		return Null, fmt.Errorf("types: parse into unknown kind %v", kind)
+	}
+}

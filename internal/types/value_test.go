@@ -1,0 +1,227 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if !Null.IsNull() || Null.Kind() != KindNull {
+		t.Fatalf("zero Value must be NULL, got kind %v", Null.Kind())
+	}
+	if v := NewBool(true); !v.Bool() || v.Kind() != KindBool {
+		t.Errorf("NewBool(true) = %v", v)
+	}
+	if v := NewInt(-42); v.Int() != -42 || v.Kind() != KindInt {
+		t.Errorf("NewInt(-42) = %v", v)
+	}
+	if v := NewFloat(3.5); v.Float() != 3.5 || v.Kind() != KindFloat {
+		t.Errorf("NewFloat(3.5) = %v", v)
+	}
+	if v := NewString("hi"); v.Str() != "hi" || v.Kind() != KindString {
+		t.Errorf("NewString = %v", v)
+	}
+}
+
+func TestAccessorPanicsOnWrongKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Int() on a string value should panic")
+		}
+	}()
+	_ = NewString("x").Int()
+}
+
+func TestAsFloatCoercion(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want float64
+		ok   bool
+	}{
+		{NewInt(7), 7, true},
+		{NewFloat(2.5), 2.5, true},
+		{NewBool(true), 1, true},
+		{NewBool(false), 0, true},
+		{NewString("7"), 0, false},
+		{Null, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := c.v.AsFloat()
+		if got != c.want || ok != c.ok {
+			t.Errorf("AsFloat(%v) = (%v,%v), want (%v,%v)", c.v, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestAsIntCoercion(t *testing.T) {
+	if got, ok := NewFloat(3.9).AsInt(); !ok || got != 3 {
+		t.Errorf("AsInt(3.9) = (%d,%v), want (3,true)", got, ok)
+	}
+	if _, ok := Null.AsInt(); ok {
+		t.Error("AsInt(NULL) should fail")
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	truthy := []Value{NewBool(true), NewInt(1), NewFloat(-0.5)}
+	falsy := []Value{Null, NewBool(false), NewInt(0), NewFloat(0), NewString("x")}
+	for _, v := range truthy {
+		if !v.Truthy() {
+			t.Errorf("%v should be truthy", v)
+		}
+	}
+	for _, v := range falsy {
+		if v.Truthy() {
+			t.Errorf("%v should not be truthy", v)
+		}
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Null, Null, 0},
+		{Null, NewInt(0), -1},
+		{NewInt(0), Null, 1},
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewFloat(2.5), 1},
+		{NewFloat(2.5), NewInt(3), -1},
+		{NewInt(1), NewFloat(1.0), 0},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("b"), NewString("b"), 0},
+		{NewBool(false), NewBool(true), -1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareHugeIntsExact(t *testing.T) {
+	// 2^62 and 2^62+1 are indistinguishable as float64; the int/int
+	// fast path must still order them correctly.
+	a, b := NewInt(1<<62), NewInt(1<<62+1)
+	if Compare(a, b) != -1 || Compare(b, a) != 1 {
+		t.Error("huge int comparison lost precision")
+	}
+}
+
+func TestHashConsistentWithEqual(t *testing.T) {
+	pairs := [][2]Value{
+		{NewInt(1), NewFloat(1.0)},
+		{NewBool(true), NewInt(1)},
+		{NewFloat(0.0), NewFloat(math.Copysign(0, -1))},
+		{NewString("x"), NewString("x")},
+	}
+	for _, p := range pairs {
+		if !Equal(p[0], p[1]) {
+			t.Fatalf("%v and %v should be Equal", p[0], p[1])
+		}
+		if p[0].Hash() != p[1].Hash() {
+			t.Errorf("Equal values %v, %v hash differently", p[0], p[1])
+		}
+	}
+	if Null.Hash() == NewString("").Hash() {
+		t.Error("NULL and empty string should hash differently")
+	}
+}
+
+func TestHashEqualPropertyQuick(t *testing.T) {
+	// Property: for random int pairs, Equal implies equal hashes and
+	// Compare is antisymmetric.
+	f := func(a, b int64) bool {
+		va, vb := NewInt(a), NewInt(b)
+		if Equal(va, vb) && va.Hash() != vb.Hash() {
+			return false
+		}
+		return Compare(va, vb) == -Compare(vb, va)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareTransitivityQuick(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) {
+			return true
+		}
+		va, vb, vc := NewFloat(a), NewFloat(b), NewFloat(c)
+		if Compare(va, vb) <= 0 && Compare(vb, vc) <= 0 {
+			return Compare(va, vc) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "NULL"},
+		{NewBool(true), "true"},
+		{NewInt(-3), "-3"},
+		{NewFloat(2.5), "2.5"},
+		{NewString("hi"), "hi"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSQLLiteralQuoting(t *testing.T) {
+	if got := NewString("o'brien").SQLLiteral(); got != "'o''brien'" {
+		t.Errorf("SQLLiteral = %q", got)
+	}
+	if got := NewInt(5).SQLLiteral(); got != "5" {
+		t.Errorf("SQLLiteral = %q", got)
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		tok  string
+		kind Kind
+		want Value
+	}{
+		{"42", KindInt, NewInt(42)},
+		{"2.5", KindFloat, NewFloat(2.5)},
+		{"true", KindBool, NewBool(true)},
+		{"hello", KindString, NewString("hello")},
+		{"", KindInt, Null},
+		{"", KindString, NewString("")},
+	}
+	for _, c := range cases {
+		got, err := ParseValue(c.tok, c.kind)
+		if err != nil {
+			t.Errorf("ParseValue(%q,%v): %v", c.tok, c.kind, err)
+			continue
+		}
+		if !Equal(got, c.want) || got.Kind() != c.want.Kind() {
+			t.Errorf("ParseValue(%q,%v) = %v, want %v", c.tok, c.kind, got, c.want)
+		}
+	}
+	if _, err := ParseValue("zap", KindInt); err == nil {
+		t.Error("ParseValue of garbage int should error")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindFloat.String() != "DOUBLE" || KindInt.String() != "BIGINT" {
+		t.Error("Kind.String mismatch")
+	}
+	if !KindInt.Numeric() || KindString.Numeric() {
+		t.Error("Kind.Numeric mismatch")
+	}
+}

@@ -1,0 +1,326 @@
+// Package workload generates the two evaluation datasets of §5 and
+// defines the query suite (SBI, C1–C3, Q11, Q17, Q18, Q20).
+//
+// The paper evaluates on (a) a 100 GB subset of a proprietary Conviva
+// video-session trace and (b) a denormalized 100 GB TPC-H dataset. Both
+// are unavailable here, so we synthesize laptop-scale equivalents that
+// preserve what the experiments exercise: a single wide fact table whose
+// nested-aggregate predicates select a non-trivial, converging subset of
+// rows (see DESIGN.md §1 for the substitution rationale). Distributions
+// are heavy-tailed where the real traces are (buffer times, quantities)
+// and all generation is deterministic in the seed.
+package workload
+
+import (
+	"math"
+
+	"fluodb/internal/bootstrap"
+	"fluodb/internal/storage"
+	"fluodb/internal/types"
+)
+
+// countries weights approximate a popularity skew.
+var countries = []string{"US", "IN", "BR", "DE", "FR", "GB", "JP", "MX", "CA", "AU"}
+var countryCum = []float64{0.30, 0.48, 0.60, 0.68, 0.75, 0.81, 0.87, 0.92, 0.96, 1.0}
+
+var devices = []string{"web", "mobile", "tv", "console"}
+var deviceCum = []float64{0.40, 0.75, 0.95, 1.0}
+
+func pickWeighted(r *bootstrap.RNG, names []string, cum []float64) string {
+	u := r.Float64()
+	for i, c := range cum {
+		if u <= c {
+			return names[i]
+		}
+	}
+	return names[len(names)-1]
+}
+
+// lognormal draws exp(N(mu, sigma)).
+func lognormal(r *bootstrap.RNG, mu, sigma float64) float64 {
+	// Box–Muller
+	u1 := r.Float64()
+	if u1 < 1e-12 {
+		u1 = 1e-12
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return math.Exp(mu + sigma*z)
+}
+
+// SessionsSchema is the Conviva-style fact table layout (§6.1: session
+// logs with session, content, ad and timing attributes, denormalized).
+func SessionsSchema() types.Schema {
+	return types.NewSchema(
+		"session_id", types.KindInt,
+		"user_id", types.KindInt,
+		"content_id", types.KindInt,
+		"ad_id", types.KindInt,
+		"country", types.KindString,
+		"device", types.KindString,
+		"start_hour", types.KindInt,
+		"buffer_time", types.KindFloat,
+		"play_time", types.KindFloat,
+		"join_attempts", types.KindInt,
+		"join_failures", types.KindInt,
+		"ad_impressions", types.KindInt,
+		"ad_clicks", types.KindInt,
+		"variant", types.KindString, // A/B testing arm (§6.2)
+	)
+}
+
+// GenSessions synthesizes n session-log rows. Buffer times are
+// log-normal (heavy tail); play time decreases with buffering plus
+// noise, so the SBI-style queries select meaningful subsets; the "B"
+// A/B-test arm gets a small causal lift in engagement.
+func GenSessions(n int, seed uint64) *storage.Table {
+	t := storage.NewTable("sessions", SessionsSchema())
+	r := bootstrap.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		bufTime := lognormal(r, 3.0, 0.8) // median ~20s, heavy tail
+		if bufTime > 600 {
+			bufTime = 600
+		}
+		variant := "A"
+		lift := 0.0
+		if r.Float64() < 0.5 {
+			variant = "B"
+			lift = 60 // arm B watches ~1 minute longer on average
+		}
+		play := 900 - 6*bufTime + lift + (r.Float64()-0.3)*400
+		if play < 0 {
+			play = 0
+		}
+		attempts := 1 + r.Intn(4)
+		failures := 0
+		for a := 0; a < attempts-1; a++ {
+			if r.Float64() < 0.08+bufTime/2000 {
+				failures++
+			}
+		}
+		imps := r.Intn(8)
+		clicks := 0
+		for c := 0; c < imps; c++ {
+			if r.Float64() < 0.04 {
+				clicks++
+			}
+		}
+		_ = t.Append(types.Row{
+			types.NewInt(int64(i)),
+			types.NewInt(int64(r.Intn(n/4 + 1))),
+			types.NewInt(int64(r.Intn(500))),
+			types.NewInt(int64(r.Intn(50))),
+			types.NewString(pickWeighted(r, countries, countryCum)),
+			types.NewString(pickWeighted(r, devices, deviceCum)),
+			types.NewInt(int64(r.Intn(24))),
+			types.NewFloat(round2(bufTime)),
+			types.NewFloat(round2(play)),
+			types.NewInt(int64(attempts)),
+			types.NewInt(int64(failures)),
+			types.NewInt(int64(imps)),
+			types.NewInt(int64(clicks)),
+			types.NewString(variant),
+		})
+	}
+	return t
+}
+
+func round2(f float64) float64 { return math.Round(f*100) / 100 }
+
+// LineitemSchema is the denormalized TPC-H-style fact table (§5
+// denormalizes TPC-H into a single fact table; part/supplier/order
+// attributes are embedded).
+func LineitemSchema() types.Schema {
+	return types.NewSchema(
+		"orderkey", types.KindInt,
+		"linenumber", types.KindInt,
+		"partkey", types.KindInt,
+		"suppkey", types.KindInt,
+		"custkey", types.KindInt,
+		"quantity", types.KindFloat,
+		"extendedprice", types.KindFloat,
+		"discount", types.KindFloat,
+		"brand", types.KindString,
+		"container", types.KindString,
+		"shipmode", types.KindString,
+		"nation", types.KindString,
+	)
+}
+
+var brands = []string{"Brand#11", "Brand#12", "Brand#23", "Brand#34", "Brand#45"}
+var containers = []string{"SM BOX", "MED BOX", "LG BOX", "JUMBO PKG"}
+var shipmodes = []string{"AIR", "SHIP", "TRUCK", "RAIL", "MAIL"}
+var nations = []string{"GERMANY", "FRANCE", "CHINA", "BRAZIL", "CANADA"}
+
+// GenLineitem synthesizes n denormalized lineitem rows over nParts
+// parts and nParts/4 suppliers; ~4 lines per order.
+func GenLineitem(n, nParts int, seed uint64) *storage.Table {
+	t := storage.NewTable("lineitem", LineitemSchema())
+	r := bootstrap.NewRNG(seed)
+	if nParts < 1 {
+		nParts = 1
+	}
+	nSupp := nParts/4 + 1
+	for i := 0; i < n; i++ {
+		pk := r.Intn(nParts)
+		q := float64(1 + r.Intn(50))
+		price := q * (900 + 100*lognormal(r, 0, 0.3))
+		_ = t.Append(types.Row{
+			types.NewInt(int64(i / 4)),
+			types.NewInt(int64(i%4 + 1)),
+			types.NewInt(int64(pk)),
+			types.NewInt(int64((pk + r.Intn(4)) % nSupp)),
+			types.NewInt(int64(r.Intn(n/8 + 1))),
+			types.NewFloat(q),
+			types.NewFloat(round2(price)),
+			types.NewFloat(round2(r.Float64() * 0.1)),
+			types.NewString(brands[pk%len(brands)]),
+			types.NewString(containers[pk%len(containers)]),
+			types.NewString(shipmodes[r.Intn(len(shipmodes))]),
+			types.NewString(nations[r.Intn(len(nations))]),
+		})
+	}
+	return t
+}
+
+// PartSuppSchema is the TPC-H-style partsupp table (kept separate — Q11
+// and Q20 aggregate over it).
+func PartSuppSchema() types.Schema {
+	return types.NewSchema(
+		"partkey", types.KindInt,
+		"suppkey", types.KindInt,
+		"availqty", types.KindInt,
+		"supplycost", types.KindFloat,
+		"nation", types.KindString,
+	)
+}
+
+// GenPartSupp synthesizes the partsupp table: suppsPerPart suppliers for
+// each of nParts parts.
+func GenPartSupp(nParts, suppsPerPart int, seed uint64) *storage.Table {
+	t := storage.NewTable("partsupp", PartSuppSchema())
+	r := bootstrap.NewRNG(seed)
+	nSupp := nParts/4 + 1
+	for pk := 0; pk < nParts; pk++ {
+		for s := 0; s < suppsPerPart; s++ {
+			_ = t.Append(types.Row{
+				types.NewInt(int64(pk)),
+				types.NewInt(int64((pk + s) % nSupp)),
+				types.NewInt(int64(1 + r.Intn(9999))),
+				types.NewFloat(round2(1 + r.Float64()*999)),
+				types.NewString(nations[r.Intn(len(nations))]),
+			})
+		}
+	}
+	return t
+}
+
+// ConvivaCatalog builds the Conviva-style catalog with n shuffled
+// session rows.
+func ConvivaCatalog(n int, seed uint64) *storage.Catalog {
+	cat := storage.NewCatalog()
+	cat.Put(GenSessions(n, seed).Shuffled(int64(seed) + 1))
+	return cat
+}
+
+// TPCHCatalog builds the TPC-H-style catalog: n lineitem rows over
+// nParts parts, plus a partsupp table scaled to roughly n/3 rows (TPC-H
+// keeps partsupp the second-largest table; Q11 and Q20 stream it).
+func TPCHCatalog(n, nParts int, seed uint64) *storage.Catalog {
+	cat := storage.NewCatalog()
+	cat.Put(GenLineitem(n, nParts, seed).Shuffled(int64(seed) + 1))
+	supps := 4
+	if nParts > 0 && n/(3*nParts) > supps {
+		supps = n / (3 * nParts)
+	}
+	cat.Put(GenPartSupp(nParts, supps, seed+2).Shuffled(int64(seed) + 3))
+	return cat
+}
+
+// Query is one named evaluation query.
+type Query struct {
+	Name string
+	// Dataset is "conviva" or "tpch".
+	Dataset string
+	SQL     string
+	// Description explains what the paper used it for.
+	Description string
+}
+
+// Suite returns the evaluation queries of §5, adapted to the synthetic
+// schemas (per the paper's footnote 12, very selective constants are
+// relaxed so small samples are not degenerate).
+func Suite() []Query {
+	return []Query{
+		{
+			Name: "SBI", Dataset: "conviva",
+			Description: "Slow Buffering Impact (Example 1): retention of sessions with above-average buffering",
+			SQL: `SELECT AVG(play_time) FROM sessions
+WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)`,
+		},
+		{
+			Name: "C1", Dataset: "conviva",
+			Description: "histogram of play_time for sessions with abnormal (above-average) buffering",
+			SQL: `SELECT FLOOR(play_time / 120) AS play_bucket, COUNT(*) AS sessions
+FROM sessions
+WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)
+GROUP BY play_bucket`,
+		},
+		{
+			Name: "C2", Dataset: "conviva",
+			Description: "join-failure rate of sessions whose buffering exceeds mean + stddev",
+			SQL: `SELECT AVG(join_failures / join_attempts) AS failure_rate, COUNT(*) AS sessions
+FROM sessions
+WHERE buffer_time > (SELECT AVG(buffer_time) + STDDEV(buffer_time) FROM sessions)`,
+		},
+		{
+			Name: "C3", Dataset: "conviva",
+			Description: "per-country retention of abnormal sessions (nested AVG + GROUP BY + HAVING)",
+			SQL: `SELECT country, AVG(play_time) AS retention, COUNT(*) AS sessions
+FROM sessions
+WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)
+GROUP BY country
+HAVING COUNT(*) > 50`,
+		},
+		{
+			Name: "Q11", Dataset: "tpch",
+			Description: "parts whose stock value exceeds a fraction of the total (uncertain HAVING threshold)",
+			SQL: `SELECT partkey, SUM(supplycost * availqty) AS value
+FROM partsupp
+GROUP BY partkey
+HAVING SUM(supplycost * availqty) > (SELECT SUM(supplycost * availqty) * 0.006 FROM partsupp)`,
+		},
+		{
+			Name: "Q17", Dataset: "tpch",
+			Description: "small-quantity revenue with a per-part correlated average-quantity threshold",
+			SQL: `SELECT SUM(extendedprice) / 7.0 AS avg_yearly
+FROM lineitem l
+WHERE quantity < (SELECT 0.5 * AVG(quantity) FROM lineitem i WHERE i.partkey = l.partkey)`,
+		},
+		{
+			Name: "Q18", Dataset: "tpch",
+			Description: "large orders: uncertain IN-membership from a grouped HAVING subquery",
+			SQL: `SELECT custkey, orderkey, SUM(quantity) AS total_qty
+FROM lineitem
+WHERE orderkey IN (SELECT orderkey FROM lineitem GROUP BY orderkey HAVING SUM(quantity) > 170)
+GROUP BY custkey, orderkey`,
+		},
+		{
+			Name: "Q20", Dataset: "tpch",
+			Description: "excess availability: partsupp rows stocked above half the correlated shipped quantity",
+			SQL: `SELECT COUNT(*) AS excess_suppliers, AVG(availqty) AS avg_avail
+FROM partsupp ps
+WHERE availqty > (SELECT 0.5 * SUM(quantity) FROM lineitem i WHERE i.partkey = ps.partkey)`,
+		},
+	}
+}
+
+// ByName resolves a suite query.
+func ByName(name string) (Query, bool) {
+	for _, q := range Suite() {
+		if q.Name == name {
+			return q, true
+		}
+	}
+	return Query{}, false
+}

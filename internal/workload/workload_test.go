@@ -1,0 +1,226 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"fluodb/internal/core"
+	"fluodb/internal/exec"
+	"fluodb/internal/expr"
+	"fluodb/internal/plan"
+	"fluodb/internal/storage"
+	"fluodb/internal/types"
+)
+
+func TestGenSessionsDeterministicAndShaped(t *testing.T) {
+	a := GenSessions(500, 42)
+	b := GenSessions(500, 42)
+	c := GenSessions(500, 43)
+	if a.NumRows() != 500 || len(a.Schema()) != len(SessionsSchema()) {
+		t.Fatal("shape")
+	}
+	for i := range a.Rows() {
+		for j := range a.Rows()[i] {
+			if !types.Equal(a.Rows()[i][j], b.Rows()[i][j]) {
+				t.Fatal("same seed must reproduce data")
+			}
+		}
+	}
+	diff := false
+	for i := range a.Rows() {
+		if !types.Equal(a.Rows()[i][7], c.Rows()[i][7]) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestGenSessionsDistributions(t *testing.T) {
+	tab := GenSessions(5000, 1)
+	idxBuf := tab.Schema().ColumnIndex("buffer_time")
+	idxPlay := tab.Schema().ColumnIndex("play_time")
+	idxVar := tab.Schema().ColumnIndex("variant")
+	var bufSum float64
+	nB := 0
+	var playA, playB float64
+	var cntA, cntB int
+	for _, r := range tab.Rows() {
+		b, _ := r[idxBuf].AsFloat()
+		p, _ := r[idxPlay].AsFloat()
+		bufSum += b
+		if b < 0 || b > 600 {
+			t.Fatalf("buffer_time out of range: %v", b)
+		}
+		if p < 0 {
+			t.Fatalf("negative play_time")
+		}
+		if r[idxVar].Str() == "B" {
+			nB++
+			playB += p
+			cntB++
+		} else {
+			playA += p
+			cntA++
+		}
+	}
+	if frac := float64(nB) / 5000; frac < 0.45 || frac > 0.55 {
+		t.Errorf("variant B fraction = %v", frac)
+	}
+	// A/B lift present (arm B ~60s longer on average)
+	liftObs := playB/float64(cntB) - playA/float64(cntA)
+	if liftObs < 30 || liftObs > 90 {
+		t.Errorf("observed A/B lift = %v, want ≈60", liftObs)
+	}
+	// heavy tail: mean buffer well above the lognormal median (~20)
+	if mean := bufSum / 5000; mean < 22 || mean > 40 {
+		t.Errorf("mean buffer_time = %v", mean)
+	}
+}
+
+func TestGenLineitemAndPartSupp(t *testing.T) {
+	li := GenLineitem(1000, 50, 2)
+	if li.NumRows() != 1000 {
+		t.Fatal("rows")
+	}
+	idxPK := li.Schema().ColumnIndex("partkey")
+	idxQ := li.Schema().ColumnIndex("quantity")
+	seenParts := map[int64]bool{}
+	for _, r := range li.Rows() {
+		pk := r[idxPK].Int()
+		if pk < 0 || pk >= 50 {
+			t.Fatalf("partkey out of range: %d", pk)
+		}
+		seenParts[pk] = true
+		q, _ := r[idxQ].AsFloat()
+		if q < 1 || q > 50 {
+			t.Fatalf("quantity out of range: %v", q)
+		}
+	}
+	if len(seenParts) < 40 {
+		t.Errorf("only %d parts used", len(seenParts))
+	}
+	ps := GenPartSupp(50, 4, 3)
+	if ps.NumRows() != 200 {
+		t.Errorf("partsupp rows = %d", ps.NumRows())
+	}
+}
+
+func TestCatalogBuilders(t *testing.T) {
+	cc := ConvivaCatalog(100, 4)
+	if _, ok := cc.Get("sessions"); !ok {
+		t.Fatal("sessions missing")
+	}
+	tc := TPCHCatalog(100, 10, 5)
+	if _, ok := tc.Get("lineitem"); !ok {
+		t.Fatal("lineitem missing")
+	}
+	if _, ok := tc.Get("partsupp"); !ok {
+		t.Fatal("partsupp missing")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if q, ok := ByName("Q17"); !ok || q.Dataset != "tpch" {
+		t.Error("ByName(Q17)")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName(nope)")
+	}
+}
+
+// catalogFor builds the right catalog for a suite query at test scale.
+func catalogFor(t *testing.T, q Query) *storage.Catalog {
+	t.Helper()
+	switch q.Dataset {
+	case "conviva":
+		return ConvivaCatalog(6000, 11)
+	case "tpch":
+		return TPCHCatalog(6000, 40, 12)
+	default:
+		t.Fatalf("unknown dataset %q", q.Dataset)
+		return nil
+	}
+}
+
+// TestSuiteOnlineMatchesExact is the end-to-end integration test: every
+// evaluation query compiles, runs online through G-OLA, and its final
+// snapshot equals the exact batch answer.
+func TestSuiteOnlineMatchesExact(t *testing.T) {
+	for _, wq := range Suite() {
+		wq := wq
+		t.Run(wq.Name, func(t *testing.T) {
+			cat := catalogFor(t, wq)
+			q, err := plan.Compile(wq.SQL, cat)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			exact, err := exec.Run(q, cat)
+			if err != nil {
+				t.Fatalf("exact: %v", err)
+			}
+			q2, _ := plan.Compile(wq.SQL, cat)
+			eng, err := core.New(q2, cat, core.Options{Batches: 10, Trials: 20, Seed: 77})
+			if err != nil {
+				t.Fatalf("engine: %v", err)
+			}
+			final, err := eng.Run(nil)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			got := final.ValueRows()
+			if len(got) != len(exact.Rows) {
+				t.Fatalf("rows: got %d, want %d", len(got), len(exact.Rows))
+			}
+			// index exact rows by all-leading-key prefix (group columns
+			// precede aggregates in every suite query)
+			keyCols := groupKeyWidth(q)
+			idx := map[string]types.Row{}
+			for _, r := range exact.Rows {
+				idx[r.KeyString(seq(keyCols))] = r
+			}
+			for _, g := range got {
+				w, ok := idx[g.KeyString(seq(keyCols))]
+				if !ok {
+					t.Fatalf("unexpected group %v", g)
+				}
+				for c := keyCols; c < len(g); c++ {
+					gf, gok := g[c].AsFloat()
+					wf, wok := w[c].AsFloat()
+					if gok != wok {
+						t.Fatalf("col %d: %v vs %v", c, g[c], w[c])
+					}
+					if gok && math.Abs(gf-wf) > 1e-6*(1+math.Abs(wf)) {
+						t.Fatalf("col %d: got %v, want %v", c, gf, wf)
+					}
+				}
+			}
+			t.Logf("%s: %d result rows, uncertain=%d recomputes=%d",
+				wq.Name, len(got), final.UncertainRows, final.Recomputes)
+		})
+	}
+}
+
+// groupKeyWidth counts the leading select columns that are bound to
+// group slots (group columns precede aggregates in every suite query).
+func groupKeyWidth(q *plan.Query) int {
+	n := 0
+	for _, e := range q.Root.Select {
+		col, ok := e.(*expr.Col)
+		if !ok || col.Idx >= len(q.Root.GroupBy) {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package fluodb
+
+import (
+	"fluodb/internal/bootstrap"
+	"fluodb/internal/core"
+	"fluodb/internal/plan"
+)
+
+// OnlineOptions configure G-OLA execution; zero values take defaults
+// (10 batches, 100 bootstrap trials, 95% confidence, ε = 1σ).
+type OnlineOptions = core.Options
+
+// Snapshot is a continuously refined approximate answer: point
+// estimates with bootstrap confidence intervals, plus execution
+// statistics (uncertain-set size, recomputations).
+type Snapshot = core.Snapshot
+
+// CellEstimate is one output cell of a snapshot.
+type CellEstimate = core.CellEstimate
+
+// Interval is a confidence interval.
+type Interval = bootstrap.Interval
+
+// OnlineMetrics aggregates online execution statistics.
+type OnlineMetrics = core.Metrics
+
+// ErrDone is returned by OnlineQuery.Step after the last mini-batch.
+var ErrDone = core.ErrDone
+
+// OnlineQuery is a running G-OLA execution. Each Step processes one
+// mini-batch and returns a refined Snapshot; the caller may stop at any
+// time, trading accuracy for latency on the fly (the OLA control knob).
+type OnlineQuery struct {
+	eng *core.Engine
+}
+
+// QueryOnline compiles a SQL aggregate query for online execution.
+//
+// The engine randomly partitions every fact table the query scans into
+// opt.Batches uniform mini-batches and processes one per Step. Nested
+// aggregate subqueries are maintained with G-OLA delta maintenance:
+// tuples whose predicate decisions are provably stable under the
+// current variation ranges fold into incremental state; the small
+// uncertain remainder is cached and lazily re-evaluated.
+//
+// The data should be in random order for the estimates to be unbiased;
+// call Table.Shuffle first if the physical order may correlate with
+// query attributes (§2 of the paper).
+func (db *DB) QueryOnline(sql string, opt OnlineOptions) (*OnlineQuery, error) {
+	q, err := plan.Compile(sql, db.cat)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.New(q, db.cat, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &OnlineQuery{eng: eng}, nil
+}
+
+// Step processes the next mini-batch and returns the refined snapshot.
+// It returns ErrDone once all batches are processed.
+func (oq *OnlineQuery) Step() (*Snapshot, error) { return oq.eng.Step() }
+
+// Done reports whether all mini-batches have been processed.
+func (oq *OnlineQuery) Done() bool { return oq.eng.Done() }
+
+// Batch returns the number of mini-batches processed so far.
+func (oq *OnlineQuery) Batch() int { return oq.eng.Batch() }
+
+// Run executes all remaining batches, invoking fn per snapshot; fn
+// returning false stops the query early (the user is satisfied with the
+// current accuracy). It returns the last snapshot produced.
+func (oq *OnlineQuery) Run(fn func(*Snapshot) bool) (*Snapshot, error) {
+	return oq.eng.Run(fn)
+}
+
+// Metrics returns accumulated execution statistics.
+func (oq *OnlineQuery) Metrics() OnlineMetrics { return oq.eng.Metrics() }

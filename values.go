@@ -1,0 +1,73 @@
+package fluodb
+
+import (
+	"fluodb/internal/agg"
+	"fluodb/internal/expr"
+	"fluodb/internal/types"
+)
+
+// Re-exported value model. FluoDB's engine packages live under
+// internal/; these aliases are the supported public surface.
+type (
+	// Value is a SQL scalar (NULL, BOOLEAN, BIGINT, DOUBLE or VARCHAR).
+	Value = types.Value
+	// Kind is a SQL type tag.
+	Kind = types.Kind
+	// Row is a tuple of values.
+	Row = types.Row
+	// Schema is an ordered list of columns.
+	Schema = types.Schema
+	// Column is one attribute of a relation.
+	Column = types.Column
+)
+
+// SQL type tags.
+const (
+	KindNull   = types.KindNull
+	KindBool   = types.KindBool
+	KindInt    = types.KindInt
+	KindFloat  = types.KindFloat
+	KindString = types.KindString
+)
+
+// Null is the SQL NULL value.
+var Null = types.Null
+
+// Int builds a BIGINT value.
+func Int(i int64) Value { return types.NewInt(i) }
+
+// Float builds a DOUBLE value.
+func Float(f float64) Value { return types.NewFloat(f) }
+
+// Str builds a VARCHAR value.
+func Str(s string) Value { return types.NewString(s) }
+
+// Bool builds a BOOLEAN value.
+func Bool(b bool) Value { return types.NewBool(b) }
+
+// NewSchema builds a schema from alternating name/kind pairs, e.g.
+// NewSchema("id", KindInt, "score", KindFloat). It panics on malformed
+// input; it is intended for literals.
+func NewSchema(pairs ...interface{}) Schema { return types.NewSchema(pairs...) }
+
+// ScalarFunc describes a user-defined scalar function; see
+// RegisterFunc.
+type ScalarFunc = expr.ScalarFunc
+
+// RegisterFunc registers a scalar UDF, making it callable from SQL by
+// name. It replaces any function with the same (case-insensitive) name,
+// including built-ins.
+func RegisterFunc(f *ScalarFunc) { expr.RegisterFunc(f) }
+
+// AggState is a user-defined aggregate's partial state: weighted,
+// mergeable and cloneable (see internal/agg's documentation for the
+// weight semantics — weights carry both the multiset multiplicity and
+// poissonized bootstrap resamples).
+type AggState = agg.State
+
+// RegisterAggregate registers a UDAF under the given name. The
+// constructor receives the constant arguments after the first (e.g. the
+// q of QUANTILE(x, q)).
+func RegisterAggregate(name string, newState func(params []Value) (AggState, error)) {
+	agg.Register(agg.NewFunc(name, newState))
+}

@@ -1,0 +1,61 @@
+// Package workloads attaches the paper's evaluation datasets (synthetic
+// Conviva-style session logs and denormalized TPC-H-style tables; see
+// DESIGN.md §1 for the substitution rationale) to a fluodb.DB, and
+// exposes the §5 query suite.
+package workloads
+
+import (
+	"fluodb"
+	"fluodb/internal/workload"
+)
+
+// Query is one named evaluation query from §5.
+type Query = workload.Query
+
+// Suite returns the §5 evaluation queries (SBI, C1–C3, Q11, Q17, Q18,
+// Q20) adapted to the synthetic schemas.
+func Suite() []Query { return workload.Suite() }
+
+// ByName resolves a suite query by name.
+func ByName(name string) (Query, bool) { return workload.ByName(name) }
+
+// AttachConviva generates n shuffled Conviva-style session rows and
+// registers them as table "sessions".
+func AttachConviva(db *fluodb.DB, n int, seed uint64) *fluodb.Table {
+	src := workload.GenSessions(n, seed).Shuffled(int64(seed) + 1)
+	t := db.CreateTable("sessions", src.Schema())
+	if err := t.AppendAll(src.Rows()); err != nil {
+		panic(err) // generator and schema agree by construction
+	}
+	return t
+}
+
+// AttachTPCH generates the shuffled denormalized TPC-H-style tables:
+// "lineitem" (n rows over nParts parts) and "partsupp".
+func AttachTPCH(db *fluodb.DB, n, nParts int, seed uint64) {
+	li := workload.GenLineitem(n, nParts, seed).Shuffled(int64(seed) + 1)
+	t := db.CreateTable("lineitem", li.Schema())
+	if err := t.AppendAll(li.Rows()); err != nil {
+		panic(err)
+	}
+	supps := 4
+	if nParts > 0 && n/(3*nParts) > supps {
+		supps = n / (3 * nParts)
+	}
+	ps := workload.GenPartSupp(nParts, supps, seed+2).Shuffled(int64(seed) + 3)
+	t2 := db.CreateTable("partsupp", ps.Schema())
+	if err := t2.AppendAll(ps.Rows()); err != nil {
+		panic(err)
+	}
+}
+
+// Attach builds the right dataset for a suite query at the given scale:
+// sessions for "conviva", lineitem+partsupp for "tpch".
+func Attach(db *fluodb.DB, q Query, rows int, seed uint64) {
+	switch q.Dataset {
+	case "conviva":
+		AttachConviva(db, rows, seed)
+	default:
+		AttachTPCH(db, rows, rows/150+10, seed)
+	}
+}

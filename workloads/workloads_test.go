@@ -1,0 +1,74 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"fluodb"
+	"fluodb/workloads"
+)
+
+func TestAttachConviva(t *testing.T) {
+	db := fluodb.Open()
+	tab := workloads.AttachConviva(db, 300, 1)
+	if tab.NumRows() != 300 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	res, err := db.Query("SELECT COUNT(*), COUNT(DISTINCT variant) FROM sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := res.Rows[0][0].AsFloat(); c != 300 {
+		t.Errorf("count = %v", c)
+	}
+	if v, _ := res.Rows[0][1].AsFloat(); v != 2 {
+		t.Errorf("variants = %v", v)
+	}
+}
+
+func TestAttachTPCHScalesPartsupp(t *testing.T) {
+	db := fluodb.Open()
+	workloads.AttachTPCH(db, 3000, 20, 2)
+	ps, ok := db.Table("partsupp")
+	if !ok {
+		t.Fatal("partsupp missing")
+	}
+	// suppsPerPart = max(4, 3000/(3*20)) = 50 → 20*50 = 1000 rows ≈ n/3
+	if ps.NumRows() != 1000 {
+		t.Errorf("partsupp rows = %d", ps.NumRows())
+	}
+}
+
+func TestAttachByDataset(t *testing.T) {
+	q, _ := workloads.ByName("SBI")
+	db := fluodb.Open()
+	workloads.Attach(db, q, 200, 3)
+	if _, ok := db.Table("sessions"); !ok {
+		t.Error("conviva attach")
+	}
+	q2, _ := workloads.ByName("Q11")
+	db2 := fluodb.Open()
+	workloads.Attach(db2, q2, 200, 4)
+	if _, ok := db2.Table("partsupp"); !ok {
+		t.Error("tpch attach")
+	}
+}
+
+// TestSuiteRunsOnlineThroughPublicAPI runs every suite query through the
+// public API at smoke scale.
+func TestSuiteRunsOnlineThroughPublicAPI(t *testing.T) {
+	for _, wq := range workloads.Suite() {
+		db := fluodb.Open()
+		workloads.Attach(db, wq, 1200, 5)
+		oq, err := db.QueryOnline(wq.SQL, fluodb.OnlineOptions{Batches: 3, Trials: 8, Seed: 6})
+		if err != nil {
+			t.Fatalf("%s: %v", wq.Name, err)
+		}
+		last, err := oq.Run(nil)
+		if err != nil {
+			t.Fatalf("%s: %v", wq.Name, err)
+		}
+		if last == nil || last.FractionProcessed != 1 {
+			t.Errorf("%s: incomplete run", wq.Name)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+.PHONY: check test bench-fold
+
+# Tier-1 gate: vet + build + race-enabled tests + fold alloc regression.
+check:
+	sh scripts/check.sh
+
+test:
+	go test ./...
+
+# Fold hot-path throughput; append -json/-label via ARGS to record a
+# new BENCH_fold.json entry.
+bench-fold:
+	go test ./internal/core -bench BenchmarkFold -benchmem
+	go run ./cmd/flbench -experiment fold -rows 100000 $(ARGS)

@@ -8,9 +8,15 @@
 //	flbench -experiment eps     # ablation: ε slack sweep
 //	flbench -experiment boots   # ablation: bootstrap trial count sweep
 //	flbench -experiment k       # ablation: mini-batch granularity sweep
+//	flbench -experiment fold    # fold-path throughput (see BENCH_fold.json)
 //	flbench -experiment all     # everything
 //
 // Scale with -rows, -batches, -trials; fix randomness with -seed.
+//
+// The fold experiment maintains the repo's perf trajectory: running it
+// with -json BENCH_fold.json demotes the file's previous "current"
+// measurement into "baselines" and installs the new one, so each PR
+// appends one point to the history.
 package main
 
 import (
@@ -23,7 +29,9 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig3a|fig3b|t1|t2|eps|boots|k|all")
+		experiment = flag.String("experiment", "all", "fig3a|fig3b|t1|t2|eps|boots|k|fold|all")
+		jsonOut    = flag.String("json", "", "fold only: write/update a BENCH_fold.json trajectory file")
+		label      = flag.String("label", "", "fold only: label for the -json entry (e.g. a PR name)")
 		rows       = flag.Int("rows", 100000, "fact-table rows per dataset")
 		parts      = flag.Int("parts", 0, "distinct parts (default rows/150)")
 		batches    = flag.Int("batches", 10, "mini-batches (k)")
@@ -34,6 +42,13 @@ func main() {
 	flag.Parse()
 	cfg := bench.Config{
 		Rows: *rows, Parts: *parts, Batches: *batches, Trials: *trials, Seed: *seed,
+	}
+	if *experiment == "fold" {
+		if err := runFold(cfg, *jsonOut, *label); err != nil {
+			fmt.Fprintln(os.Stderr, "flbench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *format == "csv" {
 		if err := runCSV(*experiment, cfg); err != nil {
@@ -46,6 +61,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "flbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runFold measures fold-path throughput and optionally updates the
+// BENCH_fold.json perf trajectory.
+func runFold(cfg bench.Config, jsonOut, label string) error {
+	points, err := bench.FoldBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatFold(points))
+	if jsonOut == "" {
+		return nil
+	}
+	if label == "" {
+		label = "unlabeled"
+	}
+	if err := bench.WriteFoldJSON(jsonOut, label, points); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (label %q)\n", jsonOut, label)
+	return nil
 }
 
 // runCSV emits plot-ready series.

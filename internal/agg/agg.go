@@ -172,6 +172,23 @@ func init() {
 	}))
 }
 
+// Pre-accumulated state constructors. The online engine keeps the
+// bootstrap replicas of CLT-estimable aggregates (SUM/COUNT/AVG) as flat
+// float banks instead of per-trial State sets; these constructors
+// materialize a State view of one bank cell wherever generic State-based
+// code (overlays, snapshots) needs it.
+
+// CountStateOf returns a COUNT state carrying total weight w.
+func CountStateOf(w float64) State { return &countState{w: w} }
+
+// SumStateOf returns a SUM state carrying the weighted sum; seen
+// distinguishes an empty state (NULL result) from a zero-valued sum.
+func SumStateOf(sum float64, seen bool) State { return &sumState{sum: sum, seen: seen} }
+
+// AvgStateOf returns an AVG state carrying the weighted sum and total
+// weight.
+func AvgStateOf(sum, w float64) State { return &avgState{sum: sum, w: w} }
+
 // --- COUNT ---
 
 type countState struct{ w float64 }

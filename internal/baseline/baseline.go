@@ -193,9 +193,11 @@ type OLA struct {
 	batch int
 	ts    *cdmStream
 	tab   *exec.AggTable
-	// CLT accumulators per (group key, agg index): count, mean, M2 of
-	// the per-tuple aggregate inputs.
-	clt map[string][]welford
+	// CLT accumulators per (group entry, agg index): count, mean, M2 of
+	// the per-tuple aggregate inputs. Keyed by the entry pointer (stable
+	// for the lifetime of the table) so the fold path never materializes
+	// a key string.
+	clt map[*exec.GroupEntry][]welford
 	env *exec.Env
 }
 
@@ -246,7 +248,7 @@ func NewOLA(q *plan.Query, cat *storage.Catalog, k int) (*OLA, error) {
 		q: q, cat: cat, k: k,
 		ts:  &cdmStream{batches: t.MiniBatches(k), total: t.NumRows()},
 		tab: exec.NewAggTable(),
-		clt: map[string][]welford{},
+		clt: map[*exec.GroupEntry][]welford{},
 		env: exec.NewEnv(q),
 	}, nil
 }
@@ -279,17 +281,16 @@ func (o *OLA) Step() (*OLAUpdate, error) {
 				continue
 			}
 			entry := o.tab.Entry(b, ctx)
-			key := entry.Key.KeyString(allCols(len(entry.Key)))
-			ws, ok := o.clt[key]
+			ws, ok := o.clt[entry]
 			if !ok {
 				ws = make([]welford, len(b.Aggs))
-				o.clt[key] = ws
+				o.clt[entry] = ws
 			}
 			for a := range b.Aggs {
 				v := b.Aggs[a].Arg.Eval(ctx)
 				entry.States[a].Add(v, 1)
 				if f64, okf := v.AsFloat(); okf {
-					o.clt[key][a].add(f64)
+					ws[a].add(f64)
 				}
 			}
 		}
@@ -309,14 +310,6 @@ func (o *OLA) Step() (*OLAUpdate, error) {
 	}}
 	up.HalfWidth = o.halfWidths(out, scale)
 	return up, nil
-}
-
-func allCols(n int) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = i
-	}
-	return out
 }
 
 // halfWidths computes 95% CLT bounds for AVG/SUM/COUNT cells; other
@@ -340,15 +333,15 @@ func (o *OLA) halfWidths(rows []types.Row, scale float64) [][]float64 {
 	}
 	// Row ↔ group alignment only holds when FinalizeRoot emitted every
 	// group in table order (no HAVING filtering, ordering, or limit).
-	if len(b.OrderBy) > 0 || b.Limit >= 0 || b.Having != nil || len(rows) != len(o.tab.Order) {
+	if len(b.OrderBy) > 0 || b.Limit >= 0 || b.Having != nil || len(rows) != o.tab.Len() {
 		return out
 	}
 	idx := 0
-	for _, key := range o.tab.Order {
+	for _, entry := range o.tab.Entries() {
 		if idx >= len(rows) {
 			break
 		}
-		ws := o.clt[key]
+		ws := o.clt[entry]
 		if ws == nil {
 			idx++
 			continue

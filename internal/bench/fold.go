@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"fluodb/internal/bootstrap"
+	"fluodb/internal/core"
+	"fluodb/internal/plan"
+	"fluodb/internal/storage"
+	"fluodb/internal/types"
+)
+
+// Fold-path benchmark: end-to-end mini-batch fold throughput through the
+// public engine API. Unlike the figure experiments, these scenarios are
+// built so that (after the first mini-batch) every tuple hits an
+// existing group — the steady state the per-tuple fold cost is defined
+// over. Parallelism is pinned to 1 so the numbers measure the serial
+// fold loop, not the machine's core count.
+
+// FoldPoint is one fold scenario's measurement (best of FoldReps runs).
+type FoldPoint struct {
+	Scenario   string  `json:"scenario"`
+	Rows       int     `json:"rows"`
+	Batches    int     `json:"batches"`
+	Trials     int     `json:"trials"`
+	NsPerRow   float64 `json:"ns_per_row"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+}
+
+// FoldBaseline is one historical entry of the perf trajectory.
+type FoldBaseline struct {
+	Label  string      `json:"label"`
+	Points []FoldPoint `json:"points"`
+}
+
+// FoldResult is the BENCH_fold.json document: the current measurement
+// plus every previous "current" this file has carried, so successive
+// PRs accumulate a perf trajectory.
+type FoldResult struct {
+	GeneratedBy string         `json:"generated_by"`
+	GoVersion   string         `json:"go_version"`
+	Label       string         `json:"label"`
+	Current     []FoldPoint    `json:"current"`
+	Baselines   []FoldBaseline `json:"baselines,omitempty"`
+}
+
+// FoldReps is the number of repetitions per scenario (best run wins).
+const FoldReps = 3
+
+// foldBenchCatalog builds the fold-benchmark fact table: two
+// low-cardinality key columns (a: 8 values, b: 16 values) and one
+// measure, so group creation stops after the first few tuples.
+func foldBenchCatalog(n int, seed uint64) *storage.Catalog {
+	cat := storage.NewCatalog()
+	t := storage.NewTable("facts", types.NewSchema(
+		"a", types.KindString,
+		"b", types.KindInt,
+		"x", types.KindFloat,
+	))
+	as := []string{"aa", "bb", "cc", "dd", "ee", "ff", "gg", "hh"}
+	rng := bootstrap.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		_ = t.Append(types.Row{
+			types.NewString(as[rng.Intn(len(as))]),
+			types.NewInt(int64(rng.Intn(16))),
+			types.NewFloat(rng.Float64() * 100),
+		})
+	}
+	cat.Put(t)
+	return cat
+}
+
+// FoldBench measures fold throughput for single- and multi-column
+// group-bys, each with the default bootstrap subsample (few tuples carry
+// trial weights) and with an unbounded subsample (every tuple folds into
+// all B replicas).
+func FoldBench(cfg Config) ([]FoldPoint, error) {
+	cfg = cfg.WithDefaults()
+	const (
+		sqlSingle = `SELECT a, COUNT(x), SUM(x), AVG(x) FROM facts GROUP BY a`
+		sqlMulti  = `SELECT a, b, COUNT(x), SUM(x), AVG(x) FROM facts GROUP BY a, b`
+	)
+	scenarios := []struct {
+		name      string
+		sql       string
+		sampleCap int
+	}{
+		{"single-key/sampled-few", sqlSingle, 0},
+		{"single-key/sampled-all", sqlSingle, -1},
+		{"multi-key/sampled-few", sqlMulti, 0},
+		{"multi-key/sampled-all", sqlMulti, -1},
+	}
+	cat := foldBenchCatalog(cfg.Rows, cfg.Seed)
+	var out []FoldPoint
+	for _, sc := range scenarios {
+		best := time.Duration(0)
+		for rep := 0; rep < FoldReps; rep++ {
+			q, err := plan.Compile(sc.sql, cat)
+			if err != nil {
+				return nil, fmt.Errorf("bench fold %s: %w", sc.name, err)
+			}
+			eng, err := core.New(q, cat, core.Options{
+				Batches: cfg.Batches, Trials: cfg.Trials, Seed: cfg.Seed,
+				BootstrapSampleCap: sc.sampleCap, Parallelism: 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			t0 := time.Now()
+			if _, err := eng.Run(nil); err != nil {
+				return nil, err
+			}
+			d := time.Since(t0)
+			if best == 0 || d < best {
+				best = d
+			}
+		}
+		ns := float64(best.Nanoseconds()) / float64(cfg.Rows)
+		out = append(out, FoldPoint{
+			Scenario: sc.name, Rows: cfg.Rows, Batches: cfg.Batches, Trials: cfg.Trials,
+			NsPerRow: ns, RowsPerSec: 1e9 / ns,
+		})
+	}
+	return out, nil
+}
+
+// WriteFoldJSON writes (or updates) a BENCH_fold.json trajectory file:
+// if path already holds a result, its "current" entry is demoted into
+// "baselines" before the new measurement is installed.
+func WriteFoldJSON(path, label string, points []FoldPoint) error {
+	res := FoldResult{
+		GeneratedBy: "cmd/flbench -experiment fold",
+		GoVersion:   runtime.Version(),
+		Label:       label,
+		Current:     points,
+	}
+	if prev, err := os.ReadFile(path); err == nil {
+		var old FoldResult
+		if err := json.Unmarshal(prev, &old); err == nil && len(old.Current) > 0 {
+			res.Baselines = append(old.Baselines, FoldBaseline{Label: old.Label, Points: old.Current})
+		}
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FormatFold renders fold points as an aligned table.
+func FormatFold(points []FoldPoint) string {
+	s := "Fold-path throughput (Parallelism=1, steady-state group-by)\n"
+	s += fmt.Sprintf("%-26s %10s %12s %14s\n", "scenario", "rows", "ns/row", "rows/sec")
+	for _, p := range points {
+		s += fmt.Sprintf("%-26s %10d %12.1f %14.0f\n", p.Scenario, p.Rows, p.NsPerRow, p.RowsPerSec)
+	}
+	return s
+}

@@ -69,8 +69,8 @@ func (r *RNG) Fork() *RNG {
 // poisson1Thresholds holds cumulative P(X<=k) for X ~ Poisson(1), scaled
 // to 64-bit fixed point, so a multiplicity costs one RNG draw plus a tiny
 // scan. P(X<=7) > 1 - 1e-7; the tail falls through to k=8.
-var poisson1Thresholds = func() []uint64 {
-	probs := []float64{}
+var poisson1Thresholds = func() [8]uint64 {
+	var out [8]uint64
 	p := math.Exp(-1)
 	cum := 0.0
 	fact := 1.0
@@ -79,14 +79,11 @@ var poisson1Thresholds = func() []uint64 {
 			fact *= float64(k)
 		}
 		cum += p / fact
-		probs = append(probs, cum)
-	}
-	out := make([]uint64, len(probs))
-	for i, c := range probs {
+		c := cum
 		if c > 1 {
 			c = 1
 		}
-		out[i] = uint64(c * float64(math.MaxUint64))
+		out[k] = uint64(c * float64(math.MaxUint64))
 	}
 	return out
 }()
@@ -96,7 +93,34 @@ func (r *RNG) Poisson1() int {
 	return poissonFromBits(r.Uint64())
 }
 
+// poisson1Lut maps the top 8 bits of a draw to its multiplicity when
+// every draw in that bucket resolves to the same k (all but the ~8
+// buckets a threshold falls inside; those hold 0xFF and take the scan).
+// One predictable L1 load replaces a data-dependent compare chain,
+// which the weight-generation loop hits Trials times per sampled tuple.
+var poisson1Lut = func() [256]uint8 {
+	var lut [256]uint8
+	for b := range lut {
+		lo := uint64(b) << 56
+		hi := lo | (1<<56 - 1)
+		if kLo, kHi := poissonScan(lo), poissonScan(hi); kLo == kHi {
+			lut[b] = uint8(kLo)
+		} else {
+			lut[b] = 0xFF
+		}
+	}
+	return lut
+}()
+
+// poissonFromBits inverts the Poisson(1) CDF for one 64-bit draw.
 func poissonFromBits(u uint64) int {
+	if k := poisson1Lut[u>>56]; k != 0xFF {
+		return int(k)
+	}
+	return poissonScan(u)
+}
+
+func poissonScan(u uint64) int {
 	for k, th := range poisson1Thresholds {
 		if u <= th {
 			return k
@@ -187,10 +211,23 @@ func PercentileCI(replicas []float64, confidence float64) Interval {
 		confidence = 0.95
 	}
 	s := append([]float64(nil), replicas...)
-	sort.Float64s(s)
+	return PercentileCIInPlace(s, confidence)
+}
+
+// PercentileCIInPlace is PercentileCI without the defensive copy: it
+// sorts the caller's slice in place. For reusable scratch buffers on
+// per-snapshot hot paths.
+func PercentileCIInPlace(replicas []float64, confidence float64) Interval {
+	if len(replicas) == 0 {
+		return Interval{}
+	}
+	if confidence <= 0 || confidence >= 1 {
+		confidence = 0.95
+	}
+	sort.Float64s(replicas)
 	alpha := (1 - confidence) / 2
-	lo := quantileSorted(s, alpha)
-	hi := quantileSorted(s, 1-alpha)
+	lo := quantileSorted(replicas, alpha)
+	hi := quantileSorted(replicas, 1-alpha)
 	return Interval{Lo: lo, Hi: hi}
 }
 

@@ -291,20 +291,30 @@ func (e *Engine) Metrics() Metrics { return e.metrics }
 // Options returns the effective (defaulted) options.
 func (e *Engine) Options() Options { return e.opt }
 
-// weightsFor derives the per-trial Poisson(1) multiplicities of a tuple.
-// The derivation is a pure function of (seed, table, row index, trial),
-// so failure-recovery replay regenerates identical resamples.
-func (e *Engine) weightsFor(ts *tableStream, rowIdx int) []uint8 {
-	w := make([]uint8, e.opt.Trials)
+// weightsInto derives the per-trial Poisson(1) multiplicities of a
+// tuple, filling buf in place (buf is reallocated only when too small;
+// pass the returned slice back in to stay allocation-free). The
+// derivation is a pure function of (seed, table, row index, trial), so
+// failure-recovery replay regenerates identical resamples.
+func (e *Engine) weightsInto(buf []uint8, ts *tableStream, rowIdx int) []uint8 {
+	if cap(buf) < e.opt.Trials {
+		buf = make([]uint8, e.opt.Trials)
+	}
+	buf = buf[:e.opt.Trials]
 	base := ts.weightBase + uint64(rowIdx)*uint64(e.opt.Trials)
-	for j := range w {
+	for j := range buf {
 		p := bootstrap.PoissonAt(base + uint64(j))
 		if p > 255 {
 			p = 255
 		}
-		w[j] = uint8(p)
+		buf[j] = uint8(p)
 	}
-	return w
+	return buf
+}
+
+// weightsFor is weightsInto with a fresh buffer.
+func (e *Engine) weightsFor(ts *tableStream, rowIdx int) []uint8 {
+	return e.weightsInto(nil, ts, rowIdx)
 }
 
 // sampled reports whether a tuple is in the bootstrap subsample
@@ -627,9 +637,9 @@ func (e *Engine) makeGroupRepFn(r *blockRunner, scale, sqrtP float64) func(strin
 		var buf types.Row
 		for j := range reps {
 			reps[j] = types.Null
-			if en := trialOs[j].trialEntry(key); en != nil {
-				buf = exec.PostRowInto(b, en, scale, buf)
-				tctxs[j].Row = buf
+			if post, ok := trialOs[j].postInto(b, key, scale, buf); ok {
+				buf = post
+				tctxs[j].Row = post
 				reps[j] = adjustRep(point, b.Select[0].Eval(tctxs[j]), sqrtP)
 			}
 		}
@@ -754,11 +764,11 @@ func (e *Engine) setRepPostValues(r *blockRunner, key string, post types.Row, sc
 	repVals := make([][]float64, len(post))
 	var buf types.Row
 	for j := 0; j < e.opt.Trials; j++ {
-		ten := r.overlayFor(j).trialEntry(key)
-		if ten == nil {
+		tpost, ok := r.overlayFor(j).postInto(b, key, scale, buf)
+		if !ok {
 			continue
 		}
-		buf = exec.PostRowInto(b, ten, scale, buf)
+		buf = tpost
 		for c := range buf {
 			v := buf[c]
 			if v.IsNull() && extensive[c] {
@@ -812,11 +822,11 @@ func (e *Engine) makeSetRepFn(r *blockRunner, scale float64) func(string) []bool
 		reps := make([]bool, e.opt.Trials)
 		var buf types.Row
 		for j := range reps {
-			ten := trialOs[j].trialEntry(key)
-			if ten == nil {
+			tpost, ok := trialOs[j].postInto(b, key, scale, buf)
+			if !ok {
 				continue
 			}
-			buf = exec.PostRowInto(b, ten, scale, buf)
+			buf = tpost
 			for c := range buf {
 				if buf[c].IsNull() && extensive[c] {
 					buf[c] = types.NewFloat(0)

@@ -4,7 +4,6 @@ import (
 	"runtime"
 	"sync"
 
-	"fluodb/internal/plan"
 	"fluodb/internal/types"
 )
 
@@ -37,49 +36,18 @@ func (a *cltAcc) merge(b cltAcc) {
 	a.n = n
 }
 
-// mergeEntry folds a worker's group entry into the main entry.
-func (e *onlineEntry) mergeEntry(o *onlineEntry) {
-	e.n += o.n
-	e.ns += o.ns
-	for i := range e.main {
-		e.main[i].Merge(o.main[i])
-	}
-	for j := range e.reps {
-		for i := range e.reps[j] {
-			e.reps[j][i].Merge(o.reps[j][i])
-		}
-	}
-	if e.clt != nil && o.clt != nil {
-		for i := range e.clt {
-			e.clt[i].merge(o.clt[i])
-		}
-	}
-}
-
-// merge folds a worker table into t, preserving t's insertion order for
-// existing groups and appending new groups in the worker's order.
-func (t *onlineTable) merge(o *onlineTable, b *plan.Block) {
-	for _, key := range o.order {
-		oe := o.m[key]
-		e, ok := t.m[key]
-		if !ok {
-			t.m[key] = oe
-			t.order = append(t.order, key)
-			continue
-		}
-		e.mergeEntry(oe)
-	}
-}
-
 // feedShard folds rows[lo:hi) of a mini-batch into a private table and
-// uncertain buffer. te must be private to the worker.
-func (r *blockRunner) feedShard(rows []types.Row, baseIdx int, ts *tableStream, te *triEnv, tab *onlineTable, uncertain *[]uncertainRow, folds *int64) {
+// uncertain buffer. te, tab, uncertain, arena and the weights scratch
+// must be private to the worker.
+func (r *blockRunner) feedShard(rows []types.Row, baseIdx int, ts *tableStream, te *triEnv, tab *onlineTable, uncertain *[]uncertainRow, arena *weightArena, folds *int64) {
 	e := r.eng
+	var wbuf []uint8
 	for i, fact := range rows {
 		var weights []uint8
 		repW := 0.0
 		if e.sampled(ts, baseIdx+i) {
-			weights = e.weightsFor(ts, baseIdx+i)
+			wbuf = e.weightsInto(wbuf, ts, baseIdx+i)
+			weights = wbuf
 			repW = ts.invP
 		}
 		for _, row := range r.joiner.Join(fact) {
@@ -100,34 +68,48 @@ func (r *blockRunner) feedShard(rows []types.Row, baseIdx int, ts *tableStream, 
 			case triFalse:
 				// dropped forever
 			default:
-				*uncertain = append(*uncertain, uncertainRow{row: row, weights: weights, repW: repW})
+				*uncertain = append(*uncertain, uncertainRow{row: row, weights: arena.hold(weights), repW: repW})
 			}
 		}
 	}
 }
 
+// feedBatchSerial folds a mini-batch on the caller's goroutine, reusing
+// the runner's weights scratch.
+func (r *blockRunner) feedBatchSerial(rows []types.Row, baseIdx int, ts *tableStream, te *triEnv) {
+	for i, fact := range rows {
+		var weights []uint8
+		repW := 0.0
+		if r.eng.sampled(ts, baseIdx+i) {
+			r.wbuf = r.eng.weightsInto(r.wbuf, ts, baseIdx+i)
+			weights = r.wbuf
+			repW = ts.invP
+		}
+		r.feedTuple(fact, weights, repW, te)
+	}
+}
+
 // feedBatchParallel shards one mini-batch across the engine's workers.
-// It falls back to serial feeding for small batches.
+// It falls back to serial feeding for small batches, or when the shard
+// clamp leaves a single worker (one goroutine with full shard/merge
+// overhead would only be slower).
 func (r *blockRunner) feedBatchParallel(rows []types.Row, baseIdx int, ts *tableStream, te *triEnv) {
 	workers := r.eng.opt.Parallelism
 	if workers <= 1 || len(rows) < 2*parallelThreshold {
-		for i, fact := range rows {
-			var weights []uint8
-			repW := 0.0
-			if r.eng.sampled(ts, baseIdx+i) {
-				weights = r.eng.weightsFor(ts, baseIdx+i)
-				repW = ts.invP
-			}
-			r.feedTuple(fact, weights, repW, te)
-		}
+		r.feedBatchSerial(rows, baseIdx, ts, te)
 		return
 	}
 	if max := len(rows) / parallelThreshold; workers > max {
 		workers = max
 	}
+	if workers <= 1 {
+		r.feedBatchSerial(rows, baseIdx, ts, te)
+		return
+	}
 	type shardOut struct {
 		tab       *onlineTable
-		uncertain []uncertainRow
+		uncertain *[]uncertainRow
+		arena     weightArena
 		folds     int64
 	}
 	outs := make([]shardOut, workers)
@@ -147,23 +129,32 @@ func (r *blockRunner) feedBatchParallel(rows []types.Row, baseIdx int, ts *table
 			wr := *r // shallow: shares joiner dims, block, engine
 			wr.joiner = r.joiner.CloneForWorker()
 			tab := newOnlineTable(r.eng.opt.Trials)
-			tab.cltKinds = r.cltKinds
+			tab.configure(r.cltKinds)
 			wte := r.eng.triEnv()
-			var unc []uncertainRow
-			var folds int64
-			wr.feedShard(rows[lo:hi], baseIdx+lo, ts, wte, tab, &unc, &folds)
-			outs[w] = shardOut{tab: tab, uncertain: unc, folds: folds}
+			unc := uncertainBufPool.Get().(*[]uncertainRow)
+			*unc = (*unc)[:0]
+			out := &outs[w]
+			out.tab = tab
+			out.uncertain = unc
+			wr.feedShard(rows[lo:hi], baseIdx+lo, ts, wte, tab, unc, &out.arena, &out.folds)
 		}(w, lo, hi)
 	}
 	wg.Wait()
 	for w := range outs {
-		r.tab.merge(outs[w].tab, r.b)
-		r.uncertain = append(r.uncertain, outs[w].uncertain...)
+		r.tab.merge(outs[w].tab)
+		r.uncertain = append(r.uncertain, *outs[w].uncertain...)
+		r.arena.adopt(&outs[w].arena)
 		r.eng.metrics.DeterministicFolds += outs[w].folds
+		// The uncertain rows now live in r.uncertain; recycle the worker
+		// buffer (zeroed so dropped rows stay collectable).
+		buf := *outs[w].uncertain
+		for i := range buf {
+			buf[i] = uncertainRow{}
+		}
+		*outs[w].uncertain = buf[:0]
+		uncertainBufPool.Put(outs[w].uncertain)
 	}
-	if len(outs) > 0 {
-		r.sampledIdxValid = false
-	}
+	r.sampledIdxValid = false
 }
 
 // defaultParallelism resolves Parallelism 0.

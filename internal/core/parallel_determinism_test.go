@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"fluodb/internal/bootstrap"
+	"fluodb/internal/plan"
+	"fluodb/internal/storage"
+	"fluodb/internal/types"
+)
+
+// Parallel mini-batch folding must be a pure implementation detail: with
+// the same seed, a sharded run merges to bit-identical snapshots as a
+// serial run — group estimates, confidence intervals, RSDs, and group
+// insertion order.
+//
+// The fixture makes floating-point equality exact rather than
+// approximate: measures are integer-valued (so every fold is an exact
+// float64 add and reassociation cannot round differently), the bootstrap
+// subsample is unbounded (sqrtP = 1, so no m-out-of-n rescaling), and
+// the first rows enumerate every group (so shard 0 — merged first —
+// fixes the same insertion order the serial run sees).
+
+// determinismCatalog enumerates all 8×16 (a, b) groups in the first 128
+// rows, then appends uniform rows with integer-valued measures.
+func determinismCatalog(n int, seed uint64) *storage.Catalog {
+	cat := storage.NewCatalog()
+	t := storage.NewTable("facts", types.NewSchema(
+		"a", types.KindString,
+		"b", types.KindInt,
+		"x", types.KindFloat,
+	))
+	as := []string{"aa", "bb", "cc", "dd", "ee", "ff", "gg", "hh"}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 16; j++ {
+			_ = t.Append(types.Row{
+				types.NewString(as[i]),
+				types.NewInt(int64(j)),
+				types.NewFloat(float64(i + j)),
+			})
+		}
+	}
+	rng := bootstrap.NewRNG(seed)
+	for i := 128; i < n; i++ {
+		_ = t.Append(types.Row{
+			types.NewString(as[rng.Intn(len(as))]),
+			types.NewInt(int64(rng.Intn(16))),
+			types.NewFloat(float64(rng.Intn(1000))),
+		})
+	}
+	cat.Put(t)
+	return cat
+}
+
+func runSnapshots(t *testing.T, cat *storage.Catalog, seed uint64, parallelism int) []*Snapshot {
+	t.Helper()
+	q, err := plan.Compile(`SELECT a, b, COUNT(x), SUM(x), AVG(x) FROM facts GROUP BY a, b`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(q, cat, Options{
+		Batches: 3, Trials: 50, Seed: seed,
+		BootstrapSampleCap: -1, Parallelism: parallelism,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []*Snapshot
+	for {
+		snap, err := eng.Step()
+		if err == ErrDone {
+			return snaps
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, snap)
+	}
+}
+
+func TestParallelFoldBitIdentical(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 23} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cat := determinismCatalog(3*8192, seed)
+			serial := runSnapshots(t, cat, seed, 1)
+			parallel := runSnapshots(t, cat, seed, 4)
+			if len(serial) != len(parallel) {
+				t.Fatalf("snapshot count: serial %d, parallel %d", len(serial), len(parallel))
+			}
+			for i := range serial {
+				s, p := serial[i], parallel[i]
+				if len(s.Rows) != len(p.Rows) {
+					t.Fatalf("batch %d: row count: serial %d, parallel %d", i+1, len(s.Rows), len(p.Rows))
+				}
+				for r := range s.Rows {
+					if !reflect.DeepEqual(s.Rows[r], p.Rows[r]) {
+						t.Errorf("batch %d row %d differs:\n serial:   %+v\n parallel: %+v",
+							i+1, r, s.Rows[r], p.Rows[r])
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"fluodb/internal/agg"
 	"fluodb/internal/exec"
 	"fluodb/internal/expr"
@@ -13,134 +11,6 @@ import (
 
 // andOp aliases the AND operator for conjunct reassembly.
 const andOp = sqlparser.OpAnd
-
-// onlineEntry is one group's incremental state: the main aggregate
-// states plus one state set per bootstrap trial.
-type onlineEntry struct {
-	key  types.Row
-	main []agg.State
-	reps [][]agg.State // [trial][agg]
-	// n counts deterministically folded tuples; groups below the
-	// minimum-support threshold never commit deterministic decisions
-	// (their bootstrap ranges are too unreliable).
-	n int
-	// ns counts folded tuples inside the bootstrap subsample. A group
-	// with ns == 0 has no replica evidence: its replica states are
-	// structurally present but empty, and must not be read as values.
-	ns int
-	// clt holds per-aggregate Welford moments for closed-form variation
-	// ranges (nil when the block has no CLT-estimable aggregate).
-	clt []cltAcc
-}
-
-// onlineTable maps group keys to online entries, preserving insertion
-// order for deterministic output.
-type onlineTable struct {
-	m        map[string]*onlineEntry
-	order    []string
-	trials   int
-	cltKinds []cltKind // per-aggregate CLT class (shared with the runner)
-	// scratch buffers for per-tuple group-key evaluation (the engine is
-	// single-threaded per query).
-	keyRow types.Row
-	cols   []int
-}
-
-func newOnlineTable(trials int) *onlineTable {
-	return &onlineTable{m: map[string]*onlineEntry{}, trials: trials}
-}
-
-func newEntryStates(b *plan.Block) []agg.State {
-	out := make([]agg.State, len(b.Aggs))
-	for i := range b.Aggs {
-		s, err := b.Aggs[i].NewState()
-		if err != nil {
-			panic(fmt.Sprintf("core: agg state: %v", err)) // validated at plan time
-		}
-		out[i] = s
-	}
-	return out
-}
-
-func (t *onlineTable) newEntry(b *plan.Block, key types.Row) *onlineEntry {
-	e := &onlineEntry{key: key, main: newEntryStates(b)}
-	e.reps = make([][]agg.State, t.trials)
-	for j := range e.reps {
-		e.reps[j] = newEntryStates(b)
-	}
-	for _, k := range t.cltKinds {
-		if k != cltNone {
-			e.clt = make([]cltAcc, len(b.Aggs))
-			break
-		}
-	}
-	return e
-}
-
-// entry returns (creating if needed) the group entry for the row in ctx.
-func (t *onlineTable) entry(b *plan.Block, ctx *expr.Ctx) *onlineEntry {
-	var key string
-	if len(b.GroupBy) == 1 {
-		if t.keyRow == nil {
-			t.keyRow = make(types.Row, 1)
-		}
-		t.keyRow[0] = b.GroupBy[0].Eval(ctx)
-		key = types.KeyString1(t.keyRow[0])
-	} else {
-		if t.keyRow == nil {
-			t.keyRow = make(types.Row, len(b.GroupBy))
-			t.cols = make([]int, len(b.GroupBy))
-			for i := range t.cols {
-				t.cols[i] = i
-			}
-		}
-		for i, g := range b.GroupBy {
-			t.keyRow[i] = g.Eval(ctx)
-		}
-		key = t.keyRow.KeyString(t.cols)
-	}
-	e, ok := t.m[key]
-	if !ok {
-		e = t.newEntry(b, t.keyRow.Clone())
-		t.m[key] = e
-		t.order = append(t.order, key)
-	}
-	return e
-}
-
-// fold adds the row in ctx into the main state (weight 1) and — when the
-// tuple is in the bootstrap subsample (repW > 0, carrying the 1/p
-// inverse sampling weight) — into each replica with its Poisson(1)
-// multiplicity.
-func (t *onlineTable) fold(b *plan.Block, ctx *expr.Ctx, weights []uint8, repW float64) {
-	e := t.entry(b, ctx)
-	e.n++
-	if repW > 0 {
-		e.ns++
-	}
-	for i := range b.Aggs {
-		v := b.Aggs[i].Arg.Eval(ctx)
-		e.main[i].Add(v, 1)
-		if e.clt != nil && t.cltKinds[i] != cltNone && !v.IsNull() {
-			switch t.cltKinds[i] {
-			case cltCount:
-				e.clt[i].add(1)
-			default:
-				if f, ok := v.AsFloat(); ok {
-					e.clt[i].add(f)
-				}
-			}
-		}
-		if repW <= 0 {
-			continue
-		}
-		for j, w := range weights {
-			if w > 0 {
-				e.reps[j][i].Add(v, float64(w)*repW)
-			}
-		}
-	}
-}
 
 // uncertainRow is a cached tuple whose classification may still flip.
 // The joined row is its lineage within the block (§3.3): everything
@@ -166,6 +36,11 @@ type blockRunner struct {
 
 	tab       *onlineTable
 	uncertain []uncertainRow
+	// wbuf is the reusable per-tuple bootstrap-weights scratch (weights
+	// are consumed synchronously inside fold; uncertain rows that must
+	// retain them copy into the arena).
+	wbuf  []uint8
+	arena weightArena
 	// sampledIdx caches the indexes of uncertain rows inside the
 	// bootstrap subsample; trial overlays only visit those.
 	sampledIdx      []int
@@ -193,7 +68,7 @@ func newBlockRunner(b *plan.Block, eng *Engine) (*blockRunner, error) {
 			r.allCLT = false
 		}
 	}
-	r.tab.cltKinds = r.cltKinds
+	r.tab.configure(r.cltKinds)
 	var certain, unc []expr.Expr
 	for _, c := range expr.SplitConjuncts(b.Where) {
 		if expr.HasParams(c) {
@@ -222,8 +97,9 @@ func andExprs(es []expr.Expr) expr.Expr {
 // reset clears all online state (used by failure-recovery replay).
 func (r *blockRunner) reset() {
 	r.tab = newOnlineTable(r.eng.opt.Trials)
-	r.tab.cltKinds = r.cltKinds
+	r.tab.configure(r.cltKinds)
 	r.uncertain = nil
+	r.arena.release()
 	r.sampledIdxValid = false
 }
 
@@ -269,12 +145,18 @@ func (r *blockRunner) reclassify(te *triEnv) {
 		r.uncertain[i] = uncertainRow{}
 	}
 	r.uncertain = kept
+	if len(r.uncertain) == 0 {
+		// Nothing references arena-held weight copies anymore: recycle
+		// the chunks.
+		r.arena.release()
+	}
 	r.sampledIdxValid = false
 }
 
 // feedTuple pushes one fact tuple (with its per-trial bootstrap
 // multiplicities and subsample weight) through join → certain filter →
-// classification.
+// classification. weights may live in a reusable scratch buffer: tuples
+// that stay uncertain copy them into the runner's arena.
 func (r *blockRunner) feedTuple(fact types.Row, weights []uint8, repW float64, te *triEnv) {
 	for _, row := range r.joiner.Join(fact) {
 		te.pointCtx.Row = row
@@ -294,7 +176,7 @@ func (r *blockRunner) feedTuple(fact types.Row, weights []uint8, repW float64, t
 		case triFalse:
 			// dropped forever
 		default:
-			r.uncertain = append(r.uncertain, uncertainRow{row: row, weights: weights, repW: repW})
+			r.uncertain = append(r.uncertain, uncertainRow{row: row, weights: r.arena.hold(weights), repW: repW})
 			r.sampledIdxValid = false
 		}
 	}
@@ -314,12 +196,14 @@ func newOverlay(base *onlineTable, trial int) *overlay {
 	return &overlay{base: base, trial: trial, touched: map[string]*exec.GroupEntry{}}
 }
 
-// baseStates selects the right state set from a base entry.
+// baseStates selects the right state set from a base entry. For banked
+// tables and trial >= 0 the returned states are freshly materialized
+// views of the bank cells (mutation-safe).
 func (o *overlay) baseStates(e *onlineEntry) []agg.State {
 	if o.trial < 0 {
-		return e.main
+		return o.base.mainStates(e)
 	}
-	return e.reps[o.trial]
+	return o.base.trialStates(e, o.trial)
 }
 
 // entryFor returns a mutable entry for the key, cloning from base on
@@ -393,6 +277,55 @@ func (o *overlay) trialEntry(key string) *exec.GroupEntry {
 		return &exec.GroupEntry{Key: be.key, States: o.baseStates(be)}
 	}
 	return nil
+}
+
+// postInto writes the group's finalized post-aggregate row
+// [keys..., results...] into buf, under the same evidence rules as
+// trialEntry. It is the snapshot hot path: for banked tables the trial
+// results come straight from the bank floats — no state materialization,
+// no per-group allocation.
+func (o *overlay) postInto(b *plan.Block, key string, scale float64, buf types.Row) (types.Row, bool) {
+	if e, ok := o.touched[key]; ok {
+		return exec.PostRowInto(b, e, scale, buf), true
+	}
+	be, ok := o.base.m[key]
+	if !ok || (o.trial >= 0 && be.ns == 0) {
+		return buf, false
+	}
+	if o.base.banked {
+		t := o.base
+		bw, bv, stride := be.mainW, be.mainV, 1
+		if o.trial >= 0 {
+			bw, bv = be.bankW[o.trial:], be.bankV[o.trial:]
+			stride = t.trials
+		}
+		buf = buf[:0]
+		buf = append(buf, be.key...)
+		for i, k := range t.cltKinds {
+			w := bw[i*stride]
+			switch {
+			case k == cltCount:
+				buf = append(buf, types.NewFloat(w*scale))
+			case w == 0:
+				buf = append(buf, types.Null)
+			case k == cltSum:
+				buf = append(buf, types.NewFloat(bv[i*stride]*scale))
+			default: // cltAvg
+				buf = append(buf, types.NewFloat(bv[i*stride]/w))
+			}
+		}
+		return buf, true
+	}
+	states := be.main
+	if o.trial >= 0 {
+		states = be.reps[o.trial]
+	}
+	buf = buf[:0]
+	buf = append(buf, be.key...)
+	for _, s := range states {
+		buf = append(buf, s.Result(scale))
+	}
+	return buf, true
 }
 
 // overlayFor folds the runner's uncertain set (under the point bindings

@@ -163,7 +163,20 @@ func (e *Engine) snapshot(elapsed time.Duration) *Snapshot {
 	}
 	var rows []scored
 
-	emit := func(entry *exec.GroupEntry, trialEntry func(j int) *exec.GroupEntry) {
+	// Scratch reused across groups: trial post-rows, per-column replica
+	// values, and the point estimates as floats (for the m-out-of-n
+	// adjustment, applied inline to avoid boxing a Value per replica).
+	var tbuf types.Row
+	repVals := make([][]float64, len(b.Select))
+	for c := range repVals {
+		if hasCI[c] {
+			repVals[c] = make([]float64, 0, effTrials)
+		}
+	}
+	pointF := make([]float64, len(b.Select))
+	pointOk := make([]bool, len(b.Select))
+	adjust := ts.sqrtP < 1
+	emit := func(entry *exec.GroupEntry, trialPost func(j int, buf types.Row) (types.Row, bool)) {
 		post := exec.PostRow(b, entry, scale)
 		pctx.Row = post
 		if b.Having != nil && !b.Having.Eval(pctx).Truthy() {
@@ -173,31 +186,41 @@ func (e *Engine) snapshot(elapsed time.Duration) *Snapshot {
 		for c, se := range b.Select {
 			pctx.Row = post
 			point[c] = se.Eval(pctx)
+			if hasCI[c] {
+				repVals[c] = repVals[c][:0]
+				pointF[c], pointOk[c] = point[c].AsFloat()
+			}
 		}
-		repVals := make([][]float64, len(b.Select))
 		for j := 0; j < effTrials; j++ {
-			ten := trialEntry(j)
-			if ten == nil {
+			tpost, ok := trialPost(j, tbuf)
+			if !ok {
 				continue
 			}
-			tpost := exec.PostRow(b, ten, scale)
+			tbuf = tpost
 			for c, se := range b.Select {
 				if !hasCI[c] {
 					continue
 				}
 				tctxs[j].Row = tpost
-				v := adjustRep(point[c], se.Eval(tctxs[j]), ts.sqrtP)
-				if f, ok := v.AsFloat(); ok {
-					repVals[c] = append(repVals[c], f)
+				f, ok := se.Eval(tctxs[j]).AsFloat()
+				if !ok {
+					continue
 				}
+				if adjust && pointOk[c] {
+					f = pointF[c] + (f-pointF[c])*ts.sqrtP
+				}
+				repVals[c] = append(repVals[c], f)
 			}
 		}
 		cells := make([]CellEstimate, len(b.Select))
 		for c := range cells {
 			cells[c].Value = point[c]
 			if hasCI[c] && len(repVals[c]) > 0 {
-				cells[c].CI = bootstrap.PercentileCI(repVals[c], e.opt.Confidence)
+				// RSD first: it sums in trial order, the order the seed
+				// implementation used; the in-place CI sort would perturb
+				// the floating-point summation otherwise.
 				cells[c].RSD = bootstrap.RSD(repVals[c])
+				cells[c].CI = bootstrap.PercentileCIInPlace(repVals[c], e.opt.Confidence)
 				cells[c].HasCI = true
 			}
 		}
@@ -206,7 +229,9 @@ func (e *Engine) snapshot(elapsed time.Duration) *Snapshot {
 
 	if global {
 		entry := soleEntry(b, mainO)
-		emit(entry, func(j int) *exec.GroupEntry { return soleEntry(b, trialOs[j]) })
+		emit(entry, func(j int, buf types.Row) (types.Row, bool) {
+			return exec.PostRowInto(b, soleEntry(b, trialOs[j]), scale, buf), true
+		})
 	} else {
 		for _, key := range keys {
 			entry := mainO.entry(key)
@@ -214,7 +239,9 @@ func (e *Engine) snapshot(elapsed time.Duration) *Snapshot {
 				continue
 			}
 			k := key
-			emit(entry, func(j int) *exec.GroupEntry { return trialOs[j].trialEntry(k) })
+			emit(entry, func(j int, buf types.Row) (types.Row, bool) {
+				return trialOs[j].postInto(b, k, scale, buf)
+			})
 		}
 	}
 

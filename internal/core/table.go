@@ -1,0 +1,451 @@
+package core
+
+import (
+	"fmt"
+
+	"fluodb/internal/agg"
+	"fluodb/internal/expr"
+	"fluodb/internal/plan"
+	"fluodb/internal/types"
+)
+
+// The online group table is an open-addressing hash table keyed by the
+// group-by row itself (types.Row.HashKey + types.KeyEqual): the
+// steady-state lookup never materializes a canonical key string. The
+// string-keyed view (m, order) that parameter bindings, overlays and
+// snapshots navigate by is maintained only when a group is created —
+// once per group, not once per tuple.
+//
+// For blocks whose aggregates are all CLT-estimable (SUM/COUNT/AVG,
+// non-DISTINCT — the overwhelmingly common case), the per-trial
+// bootstrap replicas are kept as two flat float banks laid out
+// [agg][trial] instead of Trials×Aggs interface-dispatched states: the
+// trial fold becomes a branch-light float loop and group creation stops
+// allocating Trials state sets. Blocks with any other aggregate
+// (MIN/MAX, STDDEV, quantiles, DISTINCT, UDAFs) keep the generic
+// per-trial State sets.
+
+// onlineEntry is one group's incremental state: the main aggregate
+// states plus per-trial bootstrap replicas (banked floats or generic
+// state sets).
+type onlineEntry struct {
+	key  types.Row
+	skey string // canonical key string (computed once, at creation)
+	hash uint64 // HashKey of key (cached for probing and rehash)
+	main []agg.State // nil when the table is banked
+	// mainW/mainV are the banked main accumulators (same per-kind
+	// semantics as bankW/bankV, weight 1 per tuple), so the
+	// deterministic fold skips the per-aggregate interface dispatch.
+	mainW []float64
+	mainV []float64
+	reps  [][]agg.State // [trial][agg]; nil when the table is banked
+	// bankW/bankV are the banked replica accumulators, indexed
+	// [agg*trials + trial]. Per aggregate kind:
+	//   COUNT: bankW = Σ w·repW over non-NULL inputs (bankV unused)
+	//   SUM:   bankW = Σ w·repW, bankV = Σ v·w·repW over numeric inputs
+	//   AVG:   same sums as SUM; result is bankV/bankW
+	// bankW > 0 ⟺ the replica has evidence (weights are positive).
+	bankW []float64
+	bankV []float64
+	// n counts deterministically folded tuples; groups below the
+	// minimum-support threshold never commit deterministic decisions
+	// (their bootstrap ranges are too unreliable).
+	n int
+	// ns counts folded tuples inside the bootstrap subsample. A group
+	// with ns == 0 has no replica evidence: its replica states are
+	// structurally present but empty, and must not be read as values.
+	ns int
+	// clt holds per-aggregate Welford moments for closed-form variation
+	// ranges (nil when the block has no CLT-estimable aggregate).
+	clt []cltAcc
+}
+
+// onlineTable maps group keys to online entries, preserving insertion
+// order for deterministic output.
+type onlineTable struct {
+	entries []*onlineEntry
+	// slots holds 1-based indexes into entries (0 = empty), power-of-two
+	// sized, linear probing. Kept below 7/8 load.
+	slots []int32
+	mask  uint64
+	// String-keyed view for binding/overlay/snapshot code; maintained at
+	// group creation only.
+	m     map[string]*onlineEntry
+	order []string
+
+	trials   int
+	cltKinds []cltKind // per-aggregate CLT class (shared with the runner)
+	banked   bool      // every aggregate is CLT-estimable → float banks
+	// scratch buffers for per-tuple group-key evaluation (the engine is
+	// single-threaded per table).
+	keyRow types.Row
+	cols   []int
+	// gbCols/argCols hold the source column index when a group-by
+	// expression / aggregate argument is a plain column reference
+	// (-1 otherwise), so the per-tuple evaluation skips the interface
+	// dispatch in the overwhelmingly common case.
+	gbCols  []int
+	argCols []int
+	// wf holds the tuple's bootstrap weights as pre-scaled floats
+	// (w·repW), so the banked fold is a branch-free add loop: a zero
+	// weight adds 0.0, which is exact.
+	wf []float64
+}
+
+func newOnlineTable(trials int) *onlineTable {
+	return &onlineTable{m: map[string]*onlineEntry{}, trials: trials}
+}
+
+// colIdx returns the source column index of a plain column reference,
+// or -1 when the expression needs full evaluation.
+func colIdx(x expr.Expr) int {
+	if c, ok := x.(*expr.Col); ok && c.Idx >= 0 {
+		return c.Idx
+	}
+	return -1
+}
+
+// configure installs the runner's aggregate classification. banked
+// requires every aggregate to be CLT-estimable.
+func (t *onlineTable) configure(cltKinds []cltKind) {
+	t.cltKinds = cltKinds
+	t.banked = true
+	for _, k := range cltKinds {
+		if k == cltNone {
+			t.banked = false
+			break
+		}
+	}
+}
+
+func newEntryStates(b *plan.Block) []agg.State {
+	out := make([]agg.State, len(b.Aggs))
+	for i := range b.Aggs {
+		s, err := b.Aggs[i].NewState()
+		if err != nil {
+			panic(fmt.Sprintf("core: agg state: %v", err)) // validated at plan time
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func (t *onlineTable) newEntry(b *plan.Block, key types.Row, hash uint64) *onlineEntry {
+	e := &onlineEntry{key: key, hash: hash}
+	if t.banked {
+		na := len(b.Aggs)
+		mw := make([]float64, 2*na)
+		e.mainW, e.mainV = mw[:na:na], mw[na:]
+		n := na * t.trials
+		e.bankW = make([]float64, n)
+		e.bankV = make([]float64, n)
+	} else {
+		e.main = newEntryStates(b)
+		e.reps = make([][]agg.State, t.trials)
+		for j := range e.reps {
+			e.reps[j] = newEntryStates(b)
+		}
+	}
+	for _, k := range t.cltKinds {
+		if k != cltNone {
+			e.clt = make([]cltAcc, len(b.Aggs))
+			break
+		}
+	}
+	return e
+}
+
+// find probes for an entry with the given hash whose key projection
+// equals keyRow on cols; nil on miss.
+func (t *onlineTable) find(hash uint64, keyRow types.Row, cols []int) *onlineEntry {
+	if t.slots == nil {
+		return nil
+	}
+	i := hash & t.mask
+	for {
+		s := t.slots[i]
+		if s == 0 {
+			return nil
+		}
+		e := t.entries[s-1]
+		if e.hash == hash && types.KeyEqual(e.key, keyRow, cols) {
+			return e
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// insert appends e to the entry list and links it into the probe table
+// (the caller has verified the key is absent).
+func (t *onlineTable) insert(e *onlineEntry) {
+	if (len(t.entries)+1)*8 > len(t.slots)*7 {
+		t.grow()
+	}
+	t.entries = append(t.entries, e)
+	idx := int32(len(t.entries)) // 1-based
+	i := e.hash & t.mask
+	for t.slots[i] != 0 {
+		i = (i + 1) & t.mask
+	}
+	t.slots[i] = idx
+}
+
+func (t *onlineTable) grow() {
+	n := len(t.slots) * 2
+	if n < 16 {
+		n = 16
+	}
+	t.slots = make([]int32, n)
+	t.mask = uint64(n - 1)
+	for i, e := range t.entries {
+		j := e.hash & t.mask
+		for t.slots[j] != 0 {
+			j = (j + 1) & t.mask
+		}
+		t.slots[j] = int32(i + 1)
+	}
+}
+
+// entry returns (creating if needed) the group entry for the row in ctx.
+// The steady-state hit path is allocation-free: key evaluation into a
+// reused scratch row, hash, probe.
+func (t *onlineTable) entry(b *plan.Block, ctx *expr.Ctx) *onlineEntry {
+	if t.cols == nil && len(b.GroupBy) > 0 {
+		t.keyRow = make(types.Row, len(b.GroupBy))
+		t.cols = make([]int, len(b.GroupBy))
+		t.gbCols = make([]int, len(b.GroupBy))
+		for i := range t.cols {
+			t.cols[i] = i
+			t.gbCols[i] = colIdx(b.GroupBy[i])
+		}
+	}
+	row := ctx.Row
+	for i, g := range b.GroupBy {
+		if c := t.gbCols[i]; c >= 0 && c < len(row) {
+			t.keyRow[i] = row[c]
+		} else {
+			t.keyRow[i] = g.Eval(ctx)
+		}
+	}
+	h := t.keyRow.HashKey(t.cols)
+	if e := t.find(h, t.keyRow, t.cols); e != nil {
+		return e
+	}
+	e := t.newEntry(b, t.keyRow.Clone(), h)
+	e.skey = t.keyRow.KeyString(t.cols)
+	t.insert(e)
+	t.m[e.skey] = e
+	t.order = append(t.order, e.skey)
+	return e
+}
+
+// fold adds the row in ctx into the main state (weight 1) and — when the
+// tuple is in the bootstrap subsample (repW > 0, carrying the 1/p
+// inverse sampling weight) — into each replica with its Poisson(1)
+// multiplicity.
+func (t *onlineTable) fold(b *plan.Block, ctx *expr.Ctx, weights []uint8, repW float64) {
+	e := t.entry(b, ctx)
+	e.n++
+	if repW > 0 {
+		e.ns++
+	}
+	if t.argCols == nil {
+		t.argCols = make([]int, len(b.Aggs))
+		for i := range b.Aggs {
+			t.argCols[i] = colIdx(b.Aggs[i].Arg)
+		}
+	}
+	if t.banked {
+		var wf []float64
+		if repW > 0 && len(weights) > 0 {
+			// Pre-scale the multiplicities once per tuple; the
+			// per-aggregate bank folds become branch-free float loops.
+			if cap(t.wf) < len(weights) {
+				t.wf = make([]float64, len(weights))
+			}
+			wf = t.wf[:len(weights)]
+			for j, w := range weights {
+				wf[j] = float64(w) * repW
+			}
+		}
+		row := ctx.Row
+		for i := range b.Aggs {
+			var v types.Value
+			if c := t.argCols[i]; c >= 0 && c < len(row) {
+				v = row[c]
+			} else {
+				v = b.Aggs[i].Arg.Eval(ctx)
+			}
+			// Gate exactly as State.Add + cltAcc would: COUNT folds any
+			// non-NULL input, SUM/AVG fold numeric inputs.
+			if t.cltKinds[i] == cltCount {
+				if !v.IsNull() {
+					e.mainW[i]++
+					e.clt[i].add(1)
+				}
+			} else if f, ok := v.AsFloat(); ok {
+				e.mainW[i]++
+				e.mainV[i] += f
+				e.clt[i].add(f)
+			}
+			if wf != nil {
+				t.foldBank(e, i, v, wf)
+			}
+		}
+		return
+	}
+	for i := range b.Aggs {
+		var v types.Value
+		if c := t.argCols[i]; c >= 0 && c < len(ctx.Row) {
+			v = ctx.Row[c]
+		} else {
+			v = b.Aggs[i].Arg.Eval(ctx)
+		}
+		e.main[i].Add(v, 1)
+		if e.clt != nil && t.cltKinds[i] != cltNone && !v.IsNull() {
+			switch t.cltKinds[i] {
+			case cltCount:
+				e.clt[i].add(1)
+			default:
+				if f, ok := v.AsFloat(); ok {
+					e.clt[i].add(f)
+				}
+			}
+		}
+		if repW <= 0 {
+			continue
+		}
+		for j, w := range weights {
+			if w > 0 {
+				e.reps[j][i].Add(v, float64(w)*repW)
+			}
+		}
+	}
+}
+
+// foldBank folds one aggregate input into the banked replicas, given
+// the tuple's pre-scaled weights (w·repW). The add is gated exactly as
+// the corresponding State.Add would gate it (COUNT skips NULLs, SUM/AVG
+// skip non-numerics); a zero weight adds 0.0, which leaves the
+// accumulator bit-identical to skipping it.
+func (t *onlineTable) foldBank(e *onlineEntry, i int, v types.Value, wf []float64) {
+	base := i * t.trials
+	bw := e.bankW[base : base+len(wf)]
+	if t.cltKinds[i] == cltCount {
+		if v.IsNull() {
+			return
+		}
+		for j, x := range wf {
+			bw[j] += x
+		}
+		return
+	}
+	f, ok := v.AsFloat()
+	if !ok {
+		return
+	}
+	bv := e.bankV[base : base+len(wf)]
+	for j, x := range wf {
+		bw[j] += x
+		bv[j] += f * x
+	}
+}
+
+// mainStates returns the entry's main aggregate states, materializing a
+// State view of the banked accumulators when the table is banked.
+// Banked views are fresh objects: callers may mutate them freely.
+func (t *onlineTable) mainStates(e *onlineEntry) []agg.State {
+	if e.mainW == nil {
+		return e.main
+	}
+	out := make([]agg.State, len(t.cltKinds))
+	for i, k := range t.cltKinds {
+		switch k {
+		case cltCount:
+			out[i] = agg.CountStateOf(e.mainW[i])
+		case cltSum:
+			out[i] = agg.SumStateOf(e.mainV[i], e.mainW[i] > 0)
+		default: // cltAvg
+			out[i] = agg.AvgStateOf(e.mainV[i], e.mainW[i])
+		}
+	}
+	return out
+}
+
+// trialStates returns trial j's replica states, materializing a State
+// view of the bank cells when the table is banked. Banked views are
+// fresh objects: callers may mutate them freely.
+func (t *onlineTable) trialStates(e *onlineEntry, j int) []agg.State {
+	if e.bankW == nil {
+		return e.reps[j]
+	}
+	out := make([]agg.State, len(t.cltKinds))
+	for i, k := range t.cltKinds {
+		w := e.bankW[i*t.trials+j]
+		switch k {
+		case cltCount:
+			out[i] = agg.CountStateOf(w)
+		case cltSum:
+			out[i] = agg.SumStateOf(e.bankV[i*t.trials+j], w > 0)
+		default: // cltAvg
+			out[i] = agg.AvgStateOf(e.bankV[i*t.trials+j], w)
+		}
+	}
+	return out
+}
+
+// mergeEntry folds a worker's group entry into the main entry. Both
+// entries come from tables configured identically, so bank layouts
+// match.
+func (e *onlineEntry) mergeEntry(o *onlineEntry) {
+	e.n += o.n
+	e.ns += o.ns
+	if e.mainW != nil {
+		for i := range e.mainW {
+			e.mainW[i] += o.mainW[i]
+			e.mainV[i] += o.mainV[i]
+		}
+	} else {
+		for i := range e.main {
+			e.main[i].Merge(o.main[i])
+		}
+	}
+	if e.bankW != nil {
+		for i, w := range o.bankW {
+			e.bankW[i] += w
+		}
+		for i, v := range o.bankV {
+			e.bankV[i] += v
+		}
+	} else {
+		for j := range e.reps {
+			for i := range e.reps[j] {
+				e.reps[j][i].Merge(o.reps[j][i])
+			}
+		}
+	}
+	if e.clt != nil && o.clt != nil {
+		for i := range e.clt {
+			e.clt[i].merge(o.clt[i])
+		}
+	}
+}
+
+// merge folds a worker table into t, preserving t's insertion order for
+// existing groups and appending new groups in the worker's order.
+func (t *onlineTable) merge(o *onlineTable) {
+	cols := t.cols
+	if cols == nil {
+		cols = o.cols // t may not have seen a tuple yet
+	}
+	for _, oe := range o.entries {
+		e := t.find(oe.hash, oe.key, cols)
+		if e == nil {
+			t.insert(oe)
+			t.m[oe.skey] = oe
+			t.order = append(t.order, oe.skey)
+			continue
+		}
+		e.mergeEntry(oe)
+	}
+}

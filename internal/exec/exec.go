@@ -105,7 +105,7 @@ func InstallBinding(b *plan.Block, tab *AggTable, env *Env, scale float64) {
 
 // scalarValue finalizes a scalar block (single global group).
 func scalarValue(b *plan.Block, tab *AggTable, env *Env, scale float64) types.Value {
-	if len(tab.Order) == 0 {
+	if tab.Len() == 0 {
 		// Aggregates over empty input: finalize an empty state set so
 		// COUNT yields 0 and the rest yield NULL.
 		entry := tab.emptyEntry(b)
@@ -113,17 +113,26 @@ func scalarValue(b *plan.Block, tab *AggTable, env *Env, scale float64) types.Va
 		ctx := env.Ctx(post)
 		return b.Select[0].Eval(ctx)
 	}
-	entry := tab.M[tab.Order[0]]
-	post := postRow(b, entry, scale)
+	post := postRow(b, tab.entries[0], scale)
 	return b.Select[0].Eval(env.Ctx(post))
+}
+
+// groupCols is the identity column projection of a block's group keys.
+func groupCols(b *plan.Block) []int {
+	cols := make([]int, len(b.GroupBy))
+	for i := range cols {
+		cols[i] = i
+	}
+	return cols
 }
 
 // GroupValues finalizes a group-scalar block into key → value.
 func GroupValues(b *plan.Block, tab *AggTable, env *Env, scale float64) map[string]types.Value {
-	out := make(map[string]types.Value, len(tab.Order))
-	for _, k := range tab.Order {
-		post := postRow(b, tab.M[k], scale)
-		out[k] = b.Select[0].Eval(env.Ctx(post))
+	cols := groupCols(b)
+	out := make(map[string]types.Value, tab.Len())
+	for _, e := range tab.Entries() {
+		post := postRow(b, e, scale)
+		out[e.Key.KeyString(cols)] = b.Select[0].Eval(env.Ctx(post))
 	}
 	return out
 }
@@ -131,9 +140,8 @@ func GroupValues(b *plan.Block, tab *AggTable, env *Env, scale float64) map[stri
 // SetMembers finalizes a set block into the set of member keys
 // (applying HAVING).
 func SetMembers(b *plan.Block, tab *AggTable, env *Env, scale float64) map[string]bool {
-	out := make(map[string]bool, len(tab.Order))
-	for _, k := range tab.Order {
-		entry := tab.M[k]
+	out := make(map[string]bool, tab.Len())
+	for _, entry := range tab.Entries() {
 		post := postRow(b, entry, scale)
 		if b.Having != nil && !b.Having.Eval(env.Ctx(post)).Truthy() {
 			continue
@@ -170,8 +178,7 @@ func EvalRootBlockRows(b *plan.Block, facts []types.Row, cat *storage.Catalog, e
 // (HAVING, projection, ORDER BY, LIMIT).
 func FinalizeRoot(b *plan.Block, tab *AggTable, env *Env, scale float64) []types.Row {
 	var out []types.Row
-	orderKeys := tab.Order
-	if len(b.GroupBy) == 0 && len(orderKeys) == 0 {
+	if len(b.GroupBy) == 0 && tab.Len() == 0 {
 		// Global aggregate over empty input still yields one row.
 		entry := tab.emptyEntry(b)
 		post := postRow(b, entry, scale)
@@ -180,8 +187,8 @@ func FinalizeRoot(b *plan.Block, tab *AggTable, env *Env, scale float64) []types
 		}
 		return out
 	}
-	for _, k := range orderKeys {
-		post := postRow(b, tab.M[k], scale)
+	for _, e := range tab.Entries() {
+		post := postRow(b, e, scale)
 		if b.Having != nil && !b.Having.Eval(env.Ctx(post)).Truthy() {
 			continue
 		}
@@ -358,10 +365,18 @@ func (j *Joiner) Join(fact types.Row) []types.Row {
 	return acc
 }
 
-// AggTable is a block's grouped aggregation state.
+// AggTable is a block's grouped aggregation state: an open-addressing
+// hash table keyed by the group-by row itself (types.Row.HashKey with
+// types.KeyEqual verification), preserving insertion order for
+// deterministic output. Group lookup never materializes a key string.
 type AggTable struct {
-	M     map[string]*GroupEntry
-	Order []string // insertion order, for deterministic output
+	entries []*GroupEntry
+	hashes  []uint64 // HashKey per entry, parallel to entries
+	slots   []int32  // 1-based indexes into entries; 0 = empty
+	mask    uint64
+	// scratch buffers for per-tuple key evaluation.
+	keyRow types.Row
+	cols   []int
 }
 
 // GroupEntry is one group's key values and aggregate states.
@@ -372,8 +387,14 @@ type GroupEntry struct {
 
 // NewAggTable creates an empty table.
 func NewAggTable() *AggTable {
-	return &AggTable{M: map[string]*GroupEntry{}}
+	return &AggTable{}
 }
+
+// Len returns the number of live groups.
+func (t *AggTable) Len() int { return len(t.entries) }
+
+// Entries returns the group entries in insertion order (read-only).
+func (t *AggTable) Entries() []*GroupEntry { return t.entries }
 
 // emptyEntry builds a zero-group entry (for global aggregates over empty
 // input).
@@ -390,23 +411,69 @@ func (t *AggTable) emptyEntry(b *plan.Block) *GroupEntry {
 }
 
 // Entry returns (creating if needed) the group entry for the given input
-// row.
+// row. The hit path is allocation-free: key evaluation into a reused
+// scratch row, hash, probe.
 func (t *AggTable) Entry(b *plan.Block, ctx *expr.Ctx) *GroupEntry {
-	keyRow := make(types.Row, len(b.GroupBy))
-	cols := make([]int, len(b.GroupBy))
+	if t.cols == nil && len(b.GroupBy) > 0 {
+		t.keyRow = make(types.Row, len(b.GroupBy))
+		t.cols = make([]int, len(b.GroupBy))
+		for i := range t.cols {
+			t.cols[i] = i
+		}
+	}
 	for i, g := range b.GroupBy {
-		keyRow[i] = g.Eval(ctx)
-		cols[i] = i
+		t.keyRow[i] = g.Eval(ctx)
 	}
-	key := keyRow.KeyString(cols)
-	e, ok := t.M[key]
-	if !ok {
-		e = t.emptyEntry(b)
-		e.Key = keyRow
-		t.M[key] = e
-		t.Order = append(t.Order, key)
+	h := t.keyRow.HashKey(t.cols)
+	if t.slots != nil {
+		i := h & t.mask
+		for {
+			s := t.slots[i]
+			if s == 0 {
+				break
+			}
+			if t.hashes[s-1] == h && types.KeyEqual(t.entries[s-1].Key, t.keyRow, t.cols) {
+				return t.entries[s-1]
+			}
+			i = (i + 1) & t.mask
+		}
 	}
+	e := t.emptyEntry(b)
+	e.Key = t.keyRow.Clone()
+	t.insert(e, h)
 	return e
+}
+
+// insert links a new entry into the probe table (the caller has verified
+// the key is absent).
+func (t *AggTable) insert(e *GroupEntry, hash uint64) {
+	if (len(t.entries)+1)*8 > len(t.slots)*7 {
+		t.grow()
+	}
+	t.entries = append(t.entries, e)
+	t.hashes = append(t.hashes, hash)
+	idx := int32(len(t.entries)) // 1-based
+	i := hash & t.mask
+	for t.slots[i] != 0 {
+		i = (i + 1) & t.mask
+	}
+	t.slots[i] = idx
+}
+
+func (t *AggTable) grow() {
+	n := len(t.slots) * 2
+	if n < 16 {
+		n = 16
+	}
+	t.slots = make([]int32, n)
+	t.mask = uint64(n - 1)
+	for i, h := range t.hashes {
+		j := h & t.mask
+		for t.slots[j] != 0 {
+			j = (j + 1) & t.mask
+		}
+		t.slots[j] = int32(i + 1)
+	}
 }
 
 // Fold adds one input row into the table with the given weight.

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Tier-1 gate: everything a PR must keep green.
+#
+#   go vet           static checks
+#   go build         the whole tree compiles
+#   go test -race    full suite under the race detector
+#   alloc regression steady-state fold stays allocation-free
+#                    (run without -race: its instrumentation allocates,
+#                    so the alloc tests skip themselves under it)
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== alloc regression (go test ./internal/core -run TestFoldSteadyStateAllocs)"
+go test ./internal/core -run TestFoldSteadyStateAllocs -count=1
+
+echo "== check OK"

@@ -13,6 +13,12 @@
 //
 // Scale with -rows, -batches, -trials; fix randomness with -seed.
 //
+// -trace out.jsonl runs one suite query (default Q17, pick another with
+// -tracequery) with the engine's event tracer and phase profiler on and
+// dumps the structured G-OLA events — range commits/failures, uncertain
+// flips, recompute triggers — as JSON Lines, followed by the per-phase
+// profile on stdout.
+//
 // The fold experiment maintains the repo's perf trajectory: running it
 // with -json BENCH_fold.json demotes the file's previous "current"
 // measurement into "baselines" and installs the new one, so each PR
@@ -38,10 +44,19 @@ func main() {
 		trials     = flag.Int("trials", 100, "bootstrap trials (B)")
 		seed       = flag.Uint64("seed", 0, "RNG seed (default: fixed)")
 		format     = flag.String("format", "table", "table|csv (csv: plot-ready series for fig3a/fig3b)")
+		traceOut   = flag.String("trace", "", "run one traced query and write G-OLA events to this JSONL file")
+		traceQuery = flag.String("tracequery", "Q17", "suite query for -trace")
 	)
 	flag.Parse()
 	cfg := bench.Config{
 		Rows: *rows, Parts: *parts, Batches: *batches, Trials: *trials, Seed: *seed,
+	}
+	if *traceOut != "" {
+		if err := runTrace(cfg, *traceQuery, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "flbench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *experiment == "fold" {
 		if err := runFold(cfg, *jsonOut, *label); err != nil {
@@ -61,6 +76,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "flbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runTrace captures one query's structured G-OLA event stream.
+func runTrace(cfg bench.Config, query, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	res, err := bench.TraceRun(cfg, query, f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	fmt.Print(bench.FormatTrace(res))
+	return nil
 }
 
 // runFold measures fold-path throughput and optionally updates the

@@ -22,13 +22,21 @@ import (
 // fold loop, not the machine's core count.
 
 // FoldPoint is one fold scenario's measurement (best of FoldReps runs).
+// The phase breakdown and per-batch uncertain counts come from one
+// extra run with the profiler enabled, outside the timed reps (phase
+// timing adds clock reads to the hot loop), so the trajectory captures
+// where time goes — estimation overhead vs fold work — not just wall
+// time.
 type FoldPoint struct {
-	Scenario   string  `json:"scenario"`
-	Rows       int     `json:"rows"`
-	Batches    int     `json:"batches"`
-	Trials     int     `json:"trials"`
-	NsPerRow   float64 `json:"ns_per_row"`
-	RowsPerSec float64 `json:"rows_per_sec"`
+	Scenario          string             `json:"scenario"`
+	Rows              int                `json:"rows"`
+	Batches           int                `json:"batches"`
+	Trials            int                `json:"trials"`
+	NsPerRow          float64            `json:"ns_per_row"`
+	RowsPerSec        float64            `json:"rows_per_sec"`
+	Recomputes        int                `json:"recomputes"`
+	UncertainPerBatch []int              `json:"uncertain_per_batch,omitempty"`
+	PhaseMS           map[string]float64 `json:"phase_ms,omitempty"`
 }
 
 // FoldBaseline is one historical entry of the perf trajectory.
@@ -98,7 +106,10 @@ func FoldBench(cfg Config) ([]FoldPoint, error) {
 	var out []FoldPoint
 	for _, sc := range scenarios {
 		best := time.Duration(0)
-		for rep := 0; rep < FoldReps; rep++ {
+		// rep -1 is the profiled pass: phase timers on, excluded from
+		// the throughput measurement (clock reads cost hot-loop time).
+		var profiled core.Metrics
+		for rep := -1; rep < FoldReps; rep++ {
 			q, err := plan.Compile(sc.sql, cat)
 			if err != nil {
 				return nil, fmt.Errorf("bench fold %s: %w", sc.name, err)
@@ -106,6 +117,7 @@ func FoldBench(cfg Config) ([]FoldPoint, error) {
 			eng, err := core.New(q, cat, core.Options{
 				Batches: cfg.Batches, Trials: cfg.Trials, Seed: cfg.Seed,
 				BootstrapSampleCap: sc.sampleCap, Parallelism: 1,
+				Profile: rep < 0,
 			})
 			if err != nil {
 				return nil, err
@@ -115,6 +127,10 @@ func FoldBench(cfg Config) ([]FoldPoint, error) {
 				return nil, err
 			}
 			d := time.Since(t0)
+			if rep < 0 {
+				profiled = eng.Metrics()
+				continue
+			}
 			if best == 0 || d < best {
 				best = d
 			}
@@ -123,6 +139,9 @@ func FoldBench(cfg Config) ([]FoldPoint, error) {
 		out = append(out, FoldPoint{
 			Scenario: sc.name, Rows: cfg.Rows, Batches: cfg.Batches, Trials: cfg.Trials,
 			NsPerRow: ns, RowsPerSec: 1e9 / ns,
+			Recomputes:        profiled.Recomputes,
+			UncertainPerBatch: profiled.UncertainPerBatch,
+			PhaseMS:           profiled.Phases.Milliseconds(),
 		})
 	}
 	return out, nil
@@ -151,12 +170,35 @@ func WriteFoldJSON(path, label string, points []FoldPoint) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// FormatFold renders fold points as an aligned table.
+// FormatFold renders fold points as an aligned table, with each
+// scenario's dominant phases (from the profiled pass) alongside the
+// throughput numbers.
 func FormatFold(points []FoldPoint) string {
 	s := "Fold-path throughput (Parallelism=1, steady-state group-by)\n"
-	s += fmt.Sprintf("%-26s %10s %12s %14s\n", "scenario", "rows", "ns/row", "rows/sec")
+	s += fmt.Sprintf("%-26s %10s %12s %14s  %s\n", "scenario", "rows", "ns/row", "rows/sec", "phase breakdown (ms)")
 	for _, p := range points {
-		s += fmt.Sprintf("%-26s %10d %12.1f %14.0f\n", p.Scenario, p.Rows, p.NsPerRow, p.RowsPerSec)
+		s += fmt.Sprintf("%-26s %10d %12.1f %14.0f  %s\n",
+			p.Scenario, p.Rows, p.NsPerRow, p.RowsPerSec, formatPhaseMS(p.PhaseMS))
+	}
+	return s
+}
+
+// formatPhaseMS renders a phase_ms map in the profiler's canonical
+// phase order.
+func formatPhaseMS(phases map[string]float64) string {
+	if len(phases) == 0 {
+		return "-"
+	}
+	s := ""
+	for _, name := range core.PhaseNames {
+		v, ok := phases[name]
+		if !ok {
+			continue
+		}
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%.1f", name, v)
 	}
 	return s
 }

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"fluodb/internal/core"
+	"fluodb/internal/plan"
+	"fluodb/internal/workload"
+)
+
+// Structured trace capture: run one suite query with the engine's event
+// tracer and phase profiler enabled and dump everything the engine
+// decided — range commits, variation-range failures, uncertain flips,
+// recompute triggers — as JSON Lines. This is flbench -trace.
+
+// TraceResult summarizes a traced run.
+type TraceResult struct {
+	Query      string
+	Events     int
+	Dropped    int
+	ByKind     map[string]int
+	Recomputes int
+	Report     string // the engine's per-phase text profile
+}
+
+// traceCapacity bounds the captured ring; 64k events comfortably holds
+// every commit of the suite queries at benchmark scale.
+const traceCapacity = 1 << 16
+
+// TraceRun executes one suite query (default Q17, the nested
+// non-monotonic workload) with tracing and profiling enabled, streaming
+// the retained events to w as JSONL.
+func TraceRun(cfg Config, queryName string, w io.Writer) (*TraceResult, error) {
+	cfg = cfg.WithDefaults()
+	if queryName == "" {
+		queryName = "Q17"
+	}
+	wq, ok := workload.ByName(queryName)
+	if !ok {
+		return nil, fmt.Errorf("bench trace: unknown suite query %q", queryName)
+	}
+	cat := catalogFor(wq, cfg)
+	q, err := plan.Compile(wq.SQL, cat)
+	if err != nil {
+		return nil, err
+	}
+	tracer := core.NewTracer(traceCapacity)
+	eng, err := core.New(q, cat, core.Options{
+		Batches: cfg.Batches, Trials: cfg.Trials, Seed: cfg.Seed,
+		Profile: true, Tracer: tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := eng.Run(nil); err != nil {
+		return nil, err
+	}
+	if err := tracer.WriteJSONL(w); err != nil {
+		return nil, err
+	}
+	res := &TraceResult{
+		Query:      wq.Name,
+		Dropped:    tracer.Dropped(),
+		ByKind:     map[string]int{},
+		Recomputes: eng.Metrics().Recomputes,
+		Report:     eng.Report(),
+	}
+	for _, ev := range tracer.Events() {
+		res.Events++
+		res.ByKind[ev.Kind]++
+	}
+	return res, nil
+}
+
+// FormatTrace renders a trace summary.
+func FormatTrace(r *TraceResult) string {
+	s := fmt.Sprintf("trace: %s — %d events captured (%d dropped), %d recomputes\n",
+		r.Query, r.Events, r.Dropped, r.Recomputes)
+	for _, kind := range []string{core.EvCommit, core.EvRangeFailure, core.EvFlip, core.EvRecompute, core.EvNoCommit} {
+		if n := r.ByKind[kind]; n > 0 {
+			s += fmt.Sprintf("  %-20s %d\n", kind, n)
+		}
+	}
+	return s + r.Report
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"fluodb/internal/bootstrap"
 	"fluodb/internal/expr"
@@ -90,6 +91,28 @@ type bindings struct {
 	// recurring (every tuple stays uncertain; results remain correct,
 	// delta maintenance just degrades to snapshot-time evaluation).
 	noCommit bool
+	// tracer (when non-nil) receives commit and range-failure events;
+	// the paramIdx → plan-block-ID maps let events name the owning
+	// block. Filled by core.New; reset() leaves them intact.
+	tracer       *Tracer
+	scalarBlocks []int
+	groupBlocks  []int
+	setBlocks    []int
+}
+
+// blockOf maps a parameter index to its plan block ID (0 when the map
+// was never wired, e.g. bindings built directly in tests).
+func blockOf(ids []int, idx int) int {
+	if idx < len(ids) {
+		return ids[idx]
+	}
+	return 0
+}
+
+// pfloat extracts a float for event payloads (0 for non-numeric).
+func pfloat(v types.Value) float64 {
+	f, _ := v.AsFloat()
+	return f
 }
 
 func newBindings(nScalar, nGroup, nSet, trials int) *bindings {
@@ -273,9 +296,13 @@ func (b *bindings) updateScalar(idx int, point types.Value, reps []types.Value, 
 	if !s.hasCommitted {
 		s.committed = s.rng.r
 		s.hasCommitted = true
+		b.tracer.Emit(Event{Kind: EvCommit, Block: blockOf(b.scalarBlocks, idx),
+			Point: pfloat(point), Lo: s.committed.Lo, Hi: s.committed.Hi, Boost: s.epsBoost})
 		return false
 	}
 	if escapes(s.committed, point) {
+		b.tracer.Emit(Event{Kind: EvRangeFailure, Block: blockOf(b.scalarBlocks, idx),
+			Point: pfloat(point), Lo: s.committed.Lo, Hi: s.committed.Hi, Boost: s.epsBoost})
 		s.epsBoost *= 2
 		return true
 	}
@@ -301,6 +328,9 @@ func (b *bindings) updateGroupEntry(idx int, key string, point types.Value, rng 
 		// only through replay; in the forward path support is
 		// monotone), so check it if present.
 		if committed, ok := g.committed[key]; ok && escapes(committed, point) {
+			b.tracer.Emit(Event{Kind: EvRangeFailure, Block: blockOf(b.groupBlocks, idx), Key: key,
+				Point: pfloat(point), Lo: committed.Lo, Hi: committed.Hi, Boost: g.epsBoost,
+				Note: "support dropped below commit threshold during replay"})
 			return true
 		}
 		return false
@@ -312,21 +342,27 @@ func (b *bindings) updateGroupEntry(idx int, key string, point types.Value, rng 
 	committed, ok := g.committed[key]
 	if !ok {
 		g.committed[key] = rng.r
+		b.tracer.Emit(Event{Kind: EvCommit, Block: blockOf(b.groupBlocks, idx), Key: key,
+			Point: pfloat(point), Lo: rng.r.Lo, Hi: rng.r.Hi, Boost: g.epsBoost})
 		return false
 	}
 	if escapes(committed, point) {
-		if debugFailures {
+		if debugFailures.Load() {
 			fmt.Printf("core: group range failure key=%q committed=[%g,%g] point=%v boost=%g\n",
 				key, committed.Lo, committed.Hi, point, g.epsBoost)
 		}
+		b.tracer.Emit(Event{Kind: EvRangeFailure, Block: blockOf(b.groupBlocks, idx), Key: key,
+			Point: pfloat(point), Lo: committed.Lo, Hi: committed.Hi, Boost: g.epsBoost})
 		return true
 	}
 	g.committed[key] = intersect(committed, rng.r)
 	return false
 }
 
-// debugFailures enables failure-path tracing (tests only).
-var debugFailures = false
+// debugFailures enables failure-path printf tracing (tests only). It is
+// read from worker goroutines, hence atomic; structured observation
+// should use the Tracer instead.
+var debugFailures atomic.Bool
 
 // updateSetEntry installs a fresh membership classification for one key
 // of set param idx; it reports whether a committed membership decision
@@ -342,12 +378,19 @@ func (b *bindings) updateSetEntry(idx int, key string, point bool, t tri) bool {
 	if committed, ok := s.committed[key]; ok {
 		if point != committed {
 			delete(s.committed, key)
+			b.tracer.Emit(Event{Kind: EvRangeFailure, Block: blockOf(b.setBlocks, idx), Key: key,
+				Note: "membership contradicts committed decision"})
 			return true
 		}
 		return false
 	}
 	if t != triUnknown {
 		s.committed[key] = t == triTrue
+		note := "committed member"
+		if t != triTrue {
+			note = "committed non-member"
+		}
+		b.tracer.Emit(Event{Kind: EvCommit, Block: blockOf(b.setBlocks, idx), Key: key, Note: note})
 	}
 	return false
 }

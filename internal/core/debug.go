@@ -3,8 +3,9 @@
 // query API.
 package core
 
-// DebugFailures toggles failure-path tracing (used by debugging mains).
-func DebugFailures(on bool) { debugFailures = on }
+// DebugFailures toggles failure-path printf tracing (used by debugging
+// mains); it is safe to call while an engine is running.
+func DebugFailures(on bool) { debugFailures.Store(on) }
 
 // DebugGroupRangeStatus counts the published range statuses of group
 // param idx (debugging aid).

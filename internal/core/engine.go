@@ -66,6 +66,16 @@ type Options struct {
 	Parallelism int
 	// Seed makes the run deterministic.
 	Seed uint64
+	// Profile enables fine-grained phase timing inside the per-tuple
+	// fold loop (join, fold, weight generation, classification). Coarse
+	// phases (uncertain re-evaluation, range maintenance, recompute,
+	// snapshot) are always timed. The fine timers are monotonic clock
+	// reads into pre-allocated per-worker accumulators — allocation-free
+	// but not free, hence the gate.
+	Profile bool
+	// Tracer, when non-nil, receives structured G-OLA events (range
+	// failures, commits, uncertain flips, recomputes). See Tracer.
+	Tracer *Tracer
 }
 
 // withDefaults fills unset options.
@@ -105,6 +115,14 @@ type Metrics struct {
 	DeterministicFolds int64
 	UncertainPerBatch  []int
 	BatchDurations     []time.Duration
+	// Phases is the cumulative per-phase time breakdown across the run;
+	// PhasePerBatch holds one breakdown per processed batch (aligned
+	// with BatchDurations). Fine phases require Options.Profile.
+	Phases        PhaseTimes
+	PhasePerBatch []PhaseTimes
+	// BlockPhases profiles each lineage block's cumulative cost
+	// (dependency order, root last).
+	BlockPhases []BlockPhaseStat
 }
 
 // tableStream is one streamed fact table partitioned into mini-batches.
@@ -136,6 +154,15 @@ type Engine struct {
 	// Memoized per-node expression facts (plans are immutable).
 	hpCache  map[expr.Expr]bool
 	colCache map[expr.Expr]bool
+	// Profiling state: profile gates fine per-tuple phase timing;
+	// stepAcc accrues engine-level phases (recompute) for the batch in
+	// flight; blockAcc[i] is runner i's cumulative profile; cumAcc the
+	// run-wide total. See profile.go.
+	profile  bool
+	trace    *Tracer
+	stepAcc  phaseAcc
+	blockAcc []phaseAcc
+	cumAcc   phaseAcc
 }
 
 // triEnv builds the classification environment with memoized
@@ -267,6 +294,25 @@ func New(q *plan.Query, cat *storage.Catalog, opt Options) (*Engine, error) {
 		e.runners = append(e.runners, r)
 	}
 	e.warmExprCaches()
+	e.profile = opt.Profile
+	e.trace = opt.Tracer
+	e.blockAcc = make([]phaseAcc, len(e.runners))
+	// Let bindings stamp trace events with the plan block that owns each
+	// parameter (the bindings only know parameter indexes).
+	e.bind.tracer = opt.Tracer
+	e.bind.scalarBlocks = make([]int, len(q.ScalarBlocks))
+	e.bind.groupBlocks = make([]int, len(q.GroupBlocks))
+	e.bind.setBlocks = make([]int, len(q.SetBlocks))
+	for _, r := range e.runners {
+		switch r.b.Kind {
+		case plan.ScalarBlock:
+			e.bind.scalarBlocks[r.b.ParamIdx] = r.b.ID
+		case plan.GroupScalarBlock:
+			e.bind.groupBlocks[r.b.ParamIdx] = r.b.ID
+		case plan.SetBlock:
+			e.bind.setBlocks[r.b.ParamIdx] = r.b.ID
+		}
+	}
 	return e, nil
 }
 
@@ -285,8 +331,25 @@ func (e *Engine) Done() bool { return e.batch >= e.opt.Batches }
 // Batch returns the number of mini-batches processed so far.
 func (e *Engine) Batch() int { return e.batch }
 
-// Metrics returns the accumulated execution statistics.
-func (e *Engine) Metrics() Metrics { return e.metrics }
+// Metrics returns the accumulated execution statistics, including the
+// per-block per-phase profile (rebuilt fresh on each call).
+func (e *Engine) Metrics() Metrics {
+	m := e.metrics
+	m.Phases = e.cumAcc.times()
+	m.BlockPhases = make([]BlockPhaseStat, len(e.runners))
+	for i, r := range e.runners {
+		m.BlockPhases[i] = BlockPhaseStat{
+			Block:     r.b.ID,
+			Kind:      r.b.Kind.String(),
+			Label:     r.b.Label,
+			Table:     r.b.Input.Fact,
+			Groups:    len(r.tab.order),
+			Uncertain: len(r.uncertain),
+			Phases:    e.blockAcc[i].times(),
+		}
+	}
+	return m
+}
 
 // Options returns the effective (defaulted) options.
 func (e *Engine) Options() Options { return e.opt }
@@ -363,14 +426,37 @@ func (e *Engine) Step() (*Snapshot, error) {
 		// processed prefix; per-tuple resamples are regenerated
 		// deterministically so the statistics are unchanged.
 		e.metrics.Recomputes++
+		e.trace.Emit(Event{Kind: EvRecompute, Note: "variation-range failure; replaying processed prefix"})
+		rs := time.Now()
 		e.replayUpTo(e.batch)
+		e.stepAcc.ns[phaseRecompute] += int64(time.Since(rs))
 	}
 	e.batch++
 	e.metrics.Batches = e.batch
 	dur := time.Since(start)
 	e.metrics.BatchDurations = append(e.metrics.BatchDurations, dur)
 	e.metrics.UncertainPerBatch = append(e.metrics.UncertainPerBatch, e.UncertainRows())
+
+	// Flush this batch's phase accumulators: per-runner scratch into the
+	// cumulative per-block profiles and the batch total. Replay work is
+	// included — its inner phases re-accrued during processBatch calls,
+	// its wall time sits in stepAcc's recompute slot.
+	var bp phaseAcc
+	for i := range e.runners {
+		acc := &e.runners[i].acc
+		e.blockAcc[i].merge(acc)
+		bp.merge(acc)
+		acc.reset()
+	}
+	bp.merge(&e.stepAcc)
+	e.stepAcc.reset()
+
+	ss := time.Now()
 	snap := e.snapshot(dur)
+	bp.ns[phaseSnapshot] += int64(time.Since(ss))
+	e.cumAcc.merge(&bp)
+	e.metrics.PhasePerBatch = append(e.metrics.PhasePerBatch, bp.times())
+	snap.Phases = bp.times()
 	return snap, nil
 }
 
@@ -405,6 +491,7 @@ func (e *Engine) UncertainRows() int {
 // processBatch feeds mini-batch bi through every block in dependency
 // order. It returns false if a committed variation range failed.
 func (e *Engine) processBatch(bi int) bool {
+	e.trace.setBatch(bi + 1)
 	// Advance per-table progress first so estimates computed this batch
 	// use the correct multiplicity.
 	for _, ts := range e.tables {
@@ -414,7 +501,13 @@ func (e *Engine) processBatch(bi int) bool {
 	}
 	for _, r := range e.runners {
 		te := e.triEnv()
-		r.reclassify(te)
+		t0 := time.Now()
+		folded, dropped := r.reclassify(te)
+		r.acc.ns[phaseUncertain] += int64(time.Since(t0))
+		if e.trace != nil && (folded != 0 || dropped != 0) {
+			e.trace.Emit(Event{Kind: EvFlip, Block: r.b.ID,
+				Folded: folded, Dropped: dropped, Kept: len(r.uncertain)})
+		}
 		ts := e.tables[r.b.Input.Fact]
 		if bi < len(ts.batches) {
 			rows := ts.batches[bi]
@@ -424,7 +517,10 @@ func (e *Engine) processBatch(bi int) bool {
 			r.feedBatchParallel(rows, ts.starts[bi], ts, te)
 		}
 		if r.b.Kind != plan.RootBlock {
-			if failed := e.updateBinding(r); failed {
+			t1 := time.Now()
+			failed := e.updateBinding(r)
+			r.acc.ns[phaseRanges] += int64(time.Since(t1))
+			if failed {
 				return false
 			}
 		}
@@ -443,6 +539,8 @@ func (e *Engine) replayUpTo(upto int) {
 			// uncertain, results stay correct via snapshot-time
 			// evaluation).
 			e.bind.noCommit = true
+			e.trace.Emit(Event{Kind: EvNoCommit,
+				Note: "replay attempts exhausted; deterministic classification disabled"})
 		}
 		e.bind.reset()
 		for _, r := range e.runners {
@@ -462,6 +560,7 @@ func (e *Engine) replayUpTo(upto int) {
 			return
 		}
 		e.metrics.Recomputes++
+		e.trace.Emit(Event{Kind: EvRecompute, Note: "replay failed; ranges re-widened"})
 	}
 }
 

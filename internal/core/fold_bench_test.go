@@ -39,7 +39,7 @@ func foldCatalog(n int, seed uint64) *storage.Catalog {
 // foldBenchEnv builds an engine over the fold catalog, feeds the first
 // mini-batch (so all groups exist) and returns the pieces needed to
 // drive the fold loop by hand.
-func foldBenchEnv(tb testing.TB, multiKey bool) (*Engine, *blockRunner, *tableStream, *triEnv, []types.Row) {
+func foldBenchEnv(tb testing.TB, multiKey, profile bool) (*Engine, *blockRunner, *tableStream, *triEnv, []types.Row) {
 	cat := foldCatalog(20000, 71)
 	sql := `SELECT a, SUM(x), AVG(x) FROM facts GROUP BY a`
 	if multiKey {
@@ -49,7 +49,15 @@ func foldBenchEnv(tb testing.TB, multiKey bool) (*Engine, *blockRunner, *tableSt
 	if err != nil {
 		tb.Fatal(err)
 	}
-	eng, err := New(q, cat, Options{Batches: 10, Trials: 100, Seed: 72, Parallelism: 1})
+	opt := Options{Batches: 10, Trials: 100, Seed: 72, Parallelism: 1}
+	if profile {
+		// Full instrumentation on: fine phase timers plus an attached
+		// tracer, the configuration the alloc regression must also hold
+		// under.
+		opt.Profile = true
+		opt.Tracer = NewTracer(0)
+	}
+	eng, err := New(q, cat, opt)
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -62,7 +70,7 @@ func foldBenchEnv(tb testing.TB, multiKey bool) (*Engine, *blockRunner, *tableSt
 }
 
 func benchFold(b *testing.B, multiKey, sampled bool) {
-	eng, r, ts, te, rows := foldBenchEnv(b, multiKey)
+	eng, r, ts, te, rows := foldBenchEnv(b, multiKey, false)
 	var weights []uint8
 	var wbuf []uint8
 	repW := 0.0
@@ -87,7 +95,7 @@ func BenchmarkFoldMultiKey(b *testing.B)         { benchFold(b, true, false) }
 func BenchmarkFoldMultiKeySampled(b *testing.B)  { benchFold(b, true, true) }
 
 func TestFoldBenchEnvGroups(t *testing.T) {
-	_, r, _, _, _ := foldBenchEnv(t, true)
+	_, r, _, _, _ := foldBenchEnv(t, true, false)
 	if got := len(r.tab.order); got != 8*16 {
 		t.Fatalf("expected 128 groups after warmup, got %d", got)
 	}
@@ -95,8 +103,12 @@ func TestFoldBenchEnvGroups(t *testing.T) {
 }
 
 // TestFoldSteadyStateAllocs pins the steady-state fold path (existing
-// groups, sampled and unsampled tuples) to zero allocations per tuple.
-// Skipped under the race detector, whose instrumentation allocates.
+// groups, sampled and unsampled tuples) to zero allocations per tuple —
+// both with instrumentation off ("plain") and with the phase profiler
+// and tracer enabled ("profiled"): phase timers are monotonic clock
+// reads into pre-allocated accumulators, so turning observability on
+// must not cost allocations. Skipped under the race detector, whose
+// instrumentation allocates.
 func TestFoldSteadyStateAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates")
@@ -111,27 +123,38 @@ func TestFoldSteadyStateAllocs(t *testing.T) {
 		{"multi-key", true, false},
 		{"multi-key/sampled", true, true},
 	} {
-		t.Run(tc.name, func(t *testing.T) {
-			eng, r, ts, te, rows := foldBenchEnv(t, tc.multiKey)
-			var wbuf []uint8
-			repW := 0.0
-			if tc.sampled {
-				repW = ts.invP
-			}
-			i := 0
-			allocs := testing.AllocsPerRun(2000, func() {
-				fact := rows[i%len(rows)]
-				var weights []uint8
+		for _, mode := range []struct {
+			name    string
+			profile bool
+		}{
+			{"plain", false},
+			{"profiled", true},
+		} {
+			t.Run(tc.name+"/"+mode.name, func(t *testing.T) {
+				eng, r, ts, te, rows := foldBenchEnv(t, tc.multiKey, mode.profile)
+				var wbuf []uint8
+				repW := 0.0
 				if tc.sampled {
-					wbuf = eng.weightsInto(wbuf, ts, i%len(rows))
-					weights = wbuf
+					repW = ts.invP
 				}
-				r.feedTuple(fact, weights, repW, te)
-				i++
+				i := 0
+				allocs := testing.AllocsPerRun(2000, func() {
+					fact := rows[i%len(rows)]
+					var weights []uint8
+					if tc.sampled {
+						wbuf = eng.weightsInto(wbuf, ts, i%len(rows))
+						weights = wbuf
+					}
+					r.feedTuple(fact, weights, repW, te)
+					i++
+				})
+				if allocs != 0 {
+					t.Fatalf("steady-state fold allocates %.1f allocs/tuple, want 0", allocs)
+				}
+				if mode.profile && r.acc.ns[phaseFold] == 0 {
+					t.Fatal("profiled run recorded no fold time")
+				}
 			})
-			if allocs != 0 {
-				t.Fatalf("steady-state fold allocates %.1f allocs/tuple, want 0", allocs)
-			}
-		})
+		}
 	}
 }

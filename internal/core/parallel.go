@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"fluodb/internal/types"
 )
@@ -37,53 +38,49 @@ func (a *cltAcc) merge(b cltAcc) {
 }
 
 // feedShard folds rows[lo:hi) of a mini-batch into a private table and
-// uncertain buffer. te, tab, uncertain, arena and the weights scratch
-// must be private to the worker.
-func (r *blockRunner) feedShard(rows []types.Row, baseIdx int, ts *tableStream, te *triEnv, tab *onlineTable, uncertain *[]uncertainRow, arena *weightArena, folds *int64) {
+// uncertain buffer. te, tab, uncertain, arena, acc and the weights
+// scratch must be private to the worker.
+func (r *blockRunner) feedShard(rows []types.Row, baseIdx int, ts *tableStream, te *triEnv, tab *onlineTable, uncertain *[]uncertainRow, arena *weightArena, folds *int64, acc *phaseAcc) {
 	e := r.eng
+	prof := e.profile
 	var wbuf []uint8
 	for i, fact := range rows {
 		var weights []uint8
 		repW := 0.0
+		var t0 time.Time
+		if prof {
+			t0 = time.Now()
+		}
 		if e.sampled(ts, baseIdx+i) {
 			wbuf = e.weightsInto(wbuf, ts, baseIdx+i)
 			weights = wbuf
 			repW = ts.invP
 		}
-		for _, row := range r.joiner.Join(fact) {
-			te.pointCtx.Row = row
-			if r.certainWhere != nil && !r.certainWhere.Eval(te.pointCtx).Truthy() {
-				continue
-			}
-			if r.uncertainWhere == nil {
-				tab.fold(r.b, te.pointCtx, weights, repW)
-				*folds++
-				continue
-			}
-			switch te.evalTri(r.uncertainWhere, row) {
-			case triTrue:
-				te.pointCtx.Row = row
-				tab.fold(r.b, te.pointCtx, weights, repW)
-				*folds++
-			case triFalse:
-				// dropped forever
-			default:
-				*uncertain = append(*uncertain, uncertainRow{row: row, weights: arena.hold(weights), repW: repW})
-			}
+		if prof {
+			acc.ns[phaseWeights] += int64(time.Since(t0))
 		}
+		r.feedTupleTo(fact, weights, repW, te, tab, uncertain, arena, folds, acc)
 	}
 }
 
 // feedBatchSerial folds a mini-batch on the caller's goroutine, reusing
 // the runner's weights scratch.
 func (r *blockRunner) feedBatchSerial(rows []types.Row, baseIdx int, ts *tableStream, te *triEnv) {
+	prof := r.eng.profile
 	for i, fact := range rows {
 		var weights []uint8
 		repW := 0.0
+		var t0 time.Time
+		if prof {
+			t0 = time.Now()
+		}
 		if r.eng.sampled(ts, baseIdx+i) {
 			r.wbuf = r.eng.weightsInto(r.wbuf, ts, baseIdx+i)
 			weights = r.wbuf
 			repW = ts.invP
+		}
+		if prof {
+			r.acc.ns[phaseWeights] += int64(time.Since(t0))
 		}
 		r.feedTuple(fact, weights, repW, te)
 	}
@@ -111,6 +108,10 @@ func (r *blockRunner) feedBatchParallel(rows []types.Row, baseIdx int, ts *table
 		uncertain *[]uncertainRow
 		arena     weightArena
 		folds     int64
+		// Per-worker phase times, merged into the runner's accumulator
+		// after the barrier; phase breakdowns therefore sum worker time
+		// and may exceed batch wall time under parallel folding.
+		acc phaseAcc
 	}
 	outs := make([]shardOut, workers)
 	// joiner shares dimension hash tables (read-only) but its one-row
@@ -136,7 +137,7 @@ func (r *blockRunner) feedBatchParallel(rows []types.Row, baseIdx int, ts *table
 			out := &outs[w]
 			out.tab = tab
 			out.uncertain = unc
-			wr.feedShard(rows[lo:hi], baseIdx+lo, ts, wte, tab, unc, &out.arena, &out.folds)
+			wr.feedShard(rows[lo:hi], baseIdx+lo, ts, wte, tab, unc, &out.arena, &out.folds, &out.acc)
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -145,6 +146,7 @@ func (r *blockRunner) feedBatchParallel(rows []types.Row, baseIdx int, ts *table
 		r.uncertain = append(r.uncertain, *outs[w].uncertain...)
 		r.arena.adopt(&outs[w].arena)
 		r.eng.metrics.DeterministicFolds += outs[w].folds
+		r.acc.merge(&outs[w].acc)
 		// The uncertain rows now live in r.uncertain; recycle the worker
 		// buffer (zeroed so dropped rows stay collectable).
 		buf := *outs[w].uncertain

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// The per-phase profiler answers the question PR 1's throughput work
+// raised: where does batch time actually go? The paper attributes
+// FluoDB's ~60% online overhead to error estimation (§5); the phases
+// below split every mini-batch into the G-OLA stages so that claim is
+// verifiable per block on our own engine.
+//
+// Two granularities, one discipline:
+//
+//   - Coarse phases (uncertain re-evaluation, range maintenance,
+//     recompute replay, snapshot emission) are timed at call
+//     granularity — two monotonic clock reads per block per batch —
+//     and are always collected.
+//   - Fine phases (join, fold, bootstrap-weight generation, tuple
+//     classification) live inside the per-tuple fold loop and are
+//     gated by Options.Profile: one clock read per phase transition,
+//     zero reads when disabled.
+//
+// Accumulators are plain int64 arrays owned by exactly one goroutine:
+// each parallel worker carries its own phaseAcc in its shard output and
+// the runner merges them at the batch boundary, so enabling the
+// profiler keeps the steady-state fold at 0 allocs/tuple (pinned by
+// TestFoldSteadyStateAllocs' profiled subtests).
+
+// Phase indices. Keep PhaseNames aligned.
+const (
+	phaseJoin = iota
+	phaseFold
+	phaseWeights
+	phaseClassify
+	phaseUncertain
+	phaseRanges
+	phaseRecompute
+	phaseSnapshot
+	numPhases
+)
+
+// PhaseNames lists the profiler phases in breakdown order, aligned with
+// PhaseTimes.Durations.
+var PhaseNames = []string{
+	"join", "fold", "weights", "classify",
+	"uncertain", "ranges", "recompute", "snapshot",
+}
+
+// phaseAcc accumulates per-phase nanoseconds. An accumulator is owned
+// by exactly one goroutine at a time; cross-goroutine visibility comes
+// from the existing batch-boundary synchronization (WaitGroup), never
+// from atomics on the hot path.
+type phaseAcc struct{ ns [numPhases]int64 }
+
+func (a *phaseAcc) merge(o *phaseAcc) {
+	for i := range o.ns {
+		a.ns[i] += o.ns[i]
+	}
+}
+
+func (a *phaseAcc) reset() { *a = phaseAcc{} }
+
+func (a *phaseAcc) times() PhaseTimes {
+	return PhaseTimes{
+		Join:      time.Duration(a.ns[phaseJoin]),
+		Fold:      time.Duration(a.ns[phaseFold]),
+		Weights:   time.Duration(a.ns[phaseWeights]),
+		Classify:  time.Duration(a.ns[phaseClassify]),
+		Uncertain: time.Duration(a.ns[phaseUncertain]),
+		Ranges:    time.Duration(a.ns[phaseRanges]),
+		Recompute: time.Duration(a.ns[phaseRecompute]),
+		Snapshot:  time.Duration(a.ns[phaseSnapshot]),
+	}
+}
+
+// PhaseTimes is a per-phase wall-time breakdown of G-OLA execution.
+//
+//   - Join: dimension-table hash joins of fact tuples
+//   - Fold: deterministic folds into main + replica aggregate state
+//   - Weights: per-tuple Poisson bootstrap multiplicity generation
+//   - Classify: certain-filter evaluation and tri-state classification
+//   - Uncertain: re-evaluation of the cached uncertain set (§3.2 delta
+//     maintenance)
+//   - Ranges: parameter estimate/replica/variation-range maintenance
+//     after each block consumes a batch (the error-estimation cost §5
+//     attributes the online overhead to)
+//   - Recompute: failure-recovery replay (overlaps the other phases,
+//     which re-accrue during replay — see BatchWork)
+//   - Snapshot: snapshot materialization with bootstrap CIs (runs after
+//     the batch duration is measured)
+//
+// Under parallel folding the fine phases sum worker time, so a batch's
+// breakdown may legitimately exceed its wall duration; with
+// Parallelism 1 it is a wall-time decomposition.
+type PhaseTimes struct {
+	Join      time.Duration
+	Fold      time.Duration
+	Weights   time.Duration
+	Classify  time.Duration
+	Uncertain time.Duration
+	Ranges    time.Duration
+	Recompute time.Duration
+	Snapshot  time.Duration
+}
+
+// Durations returns the phases in PhaseNames order.
+func (p PhaseTimes) Durations() []time.Duration {
+	return []time.Duration{
+		p.Join, p.Fold, p.Weights, p.Classify,
+		p.Uncertain, p.Ranges, p.Recompute, p.Snapshot,
+	}
+}
+
+// BatchWork is the disjoint in-batch processing time: every phase
+// except Recompute (whose replay re-accrues the others, so including it
+// would double-count) and Snapshot (measured after the batch duration).
+// With serial folding, BatchWork ≤ the batch duration.
+func (p PhaseTimes) BatchWork() time.Duration {
+	return p.Join + p.Fold + p.Weights + p.Classify + p.Uncertain + p.Ranges
+}
+
+// Milliseconds returns the non-zero phases as name → milliseconds, the
+// wire/JSON form shared by the dashboard and flbench.
+func (p PhaseTimes) Milliseconds() map[string]float64 {
+	out := map[string]float64{}
+	for i, d := range p.Durations() {
+		if d > 0 {
+			out[PhaseNames[i]] = float64(d.Microseconds()) / 1000
+		}
+	}
+	return out
+}
+
+// String renders the non-zero phases compactly ("join 1.2ms fold 3.4ms").
+func (p PhaseTimes) String() string {
+	var b strings.Builder
+	for i, d := range p.Durations() {
+		if d == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s %s", PhaseNames[i], fmtDur(d))
+	}
+	if b.Len() == 0 {
+		return "(no phase time recorded)"
+	}
+	return b.String()
+}
+
+// BlockPhaseStat is one lineage block's cumulative profile.
+type BlockPhaseStat struct {
+	Block     int    // plan block ID
+	Kind      string // "root", "scalar", "group-scalar", "set"
+	Label     string // the block's SQL
+	Table     string // streamed fact table
+	Groups    int    // live groups in the block's aggregate state
+	Uncertain int    // cached uncertain tuples
+	Phases    PhaseTimes
+}
+
+// fmtDur renders a duration with ms precision appropriate for profiles.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%.3fms", float64(d.Nanoseconds())/1e6)
+	}
+}
+
+// Report renders an EXPLAIN-ANALYZE-style text profile of the execution
+// so far: run totals, the per-phase breakdown, each lineage block's
+// cumulative per-phase cost, and the per-batch trajectory.
+func (e *Engine) Report() string {
+	m := e.Metrics()
+	var b strings.Builder
+	var total time.Duration
+	for _, d := range m.BatchDurations {
+		total += d
+	}
+	fmt.Fprintf(&b, "G-OLA profile: %d/%d batches, %d rows, %d recomputes, %d uncertain cached, %s processing\n",
+		m.Batches, e.opt.Batches, m.RowsProcessed, m.Recomputes, e.UncertainRows(), fmtDur(total))
+	fmt.Fprintf(&b, "phase totals: %s\n", m.Phases)
+	if !e.opt.Profile {
+		b.WriteString("(fine phases join/fold/weights/classify require Options.Profile)\n")
+	}
+	for _, bp := range m.BlockPhases {
+		fmt.Fprintf(&b, "block %d [%s] table=%s groups=%d uncertain=%d\n  %s\n",
+			bp.Block, bp.Kind, bp.Table, bp.Groups, bp.Uncertain, bp.Phases)
+		if bp.Label != "" {
+			fmt.Fprintf(&b, "  %s\n", strings.ReplaceAll(bp.Label, "\n", " "))
+		}
+	}
+	if len(m.PhasePerBatch) > 0 {
+		fmt.Fprintf(&b, "%5s %10s %10s %10s %10s %10s %10s %10s %10s %10s %10s\n",
+			"batch", "dur",
+			"join", "fold", "weights", "classify", "uncertain", "ranges", "recompute", "snapshot", "unc.rows")
+		for i, p := range m.PhasePerBatch {
+			var dur time.Duration
+			if i < len(m.BatchDurations) {
+				dur = m.BatchDurations[i]
+			}
+			unc := 0
+			if i < len(m.UncertainPerBatch) {
+				unc = m.UncertainPerBatch[i]
+			}
+			fmt.Fprintf(&b, "%5d %10s %10s %10s %10s %10s %10s %10s %10s %10s %10d\n",
+				i+1, fmtDur(dur),
+				fmtDur(p.Join), fmtDur(p.Fold), fmtDur(p.Weights), fmtDur(p.Classify),
+				fmtDur(p.Uncertain), fmtDur(p.Ranges), fmtDur(p.Recompute), fmtDur(p.Snapshot), unc)
+		}
+	}
+	return b.String()
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"fluodb/internal/agg"
 	"fluodb/internal/exec"
 	"fluodb/internal/expr"
@@ -52,6 +54,13 @@ type blockRunner struct {
 	// bootstrap-subsample evidence at all.
 	cltKinds []cltKind
 	allCLT   bool
+
+	// acc is the block's per-batch phase-time scratch, flushed into the
+	// engine's cumulative profiles at the end of each Step. Parallel
+	// workers accumulate into per-shard copies merged at the batch
+	// boundary (see feedBatchParallel), so the serial owner is the only
+	// goroutine ever writing here.
+	acc phaseAcc
 }
 
 func newBlockRunner(b *plan.Block, eng *Engine) (*blockRunner, error) {
@@ -123,9 +132,9 @@ func (r *blockRunner) sampledUncertain() []int {
 // dropped) permanently; the rest stay cached. This is the delta
 // maintenance step of §3.2 — only U_{i-1} and the new mini-batch are
 // touched, never the full prefix.
-func (r *blockRunner) reclassify(te *triEnv) {
+func (r *blockRunner) reclassify(te *triEnv) (folded, dropped int) {
 	if len(r.uncertain) == 0 {
-		return
+		return 0, 0
 	}
 	kept := r.uncertain[:0]
 	for _, u := range r.uncertain {
@@ -134,8 +143,9 @@ func (r *blockRunner) reclassify(te *triEnv) {
 			te.pointCtx.Row = u.row
 			r.tab.fold(r.b, te.pointCtx, u.weights, u.repW)
 			r.eng.metrics.DeterministicFolds++
+			folded++
 		case triFalse:
-			// dropped forever
+			dropped++
 		default:
 			kept = append(kept, u)
 		}
@@ -151,6 +161,7 @@ func (r *blockRunner) reclassify(te *triEnv) {
 		r.arena.release()
 	}
 	r.sampledIdxValid = false
+	return folded, dropped
 }
 
 // feedTuple pushes one fact tuple (with its per-trial bootstrap
@@ -158,27 +169,73 @@ func (r *blockRunner) reclassify(te *triEnv) {
 // classification. weights may live in a reusable scratch buffer: tuples
 // that stay uncertain copy them into the runner's arena.
 func (r *blockRunner) feedTuple(fact types.Row, weights []uint8, repW float64, te *triEnv) {
-	for _, row := range r.joiner.Join(fact) {
+	r.feedTupleTo(fact, weights, repW, te, r.tab, &r.uncertain, &r.arena,
+		&r.eng.metrics.DeterministicFolds, &r.acc)
+}
+
+// feedTupleTo is feedTuple with explicit fold targets, shared by the
+// serial path (runner-owned state) and parallel workers (shard-private
+// state). When profiling is enabled it splits the work into join, fold
+// and classify time via monotonic clock reads into acc — everything in
+// this function that is neither the join nor a fold counts as
+// classification. time.Now is allocation-free, so the profiled path
+// keeps the steady-state fold at 0 allocs/tuple.
+func (r *blockRunner) feedTupleTo(fact types.Row, weights []uint8, repW float64, te *triEnv, tab *onlineTable, uncertain *[]uncertainRow, arena *weightArena, folds *int64, acc *phaseAcc) {
+	prof := r.eng.profile
+	var t0 time.Time
+	if prof {
+		t0 = time.Now()
+	}
+	rows := r.joiner.Join(fact)
+	if prof {
+		t1 := time.Now()
+		acc.ns[phaseJoin] += int64(t1.Sub(t0))
+		t0 = t1
+	}
+	for _, row := range rows {
 		te.pointCtx.Row = row
 		if r.certainWhere != nil && !r.certainWhere.Eval(te.pointCtx).Truthy() {
 			continue
 		}
 		if r.uncertainWhere == nil {
-			r.tab.fold(r.b, te.pointCtx, weights, repW)
-			r.eng.metrics.DeterministicFolds++
+			if prof {
+				t1 := time.Now()
+				acc.ns[phaseClassify] += int64(t1.Sub(t0))
+				t0 = t1
+			}
+			tab.fold(r.b, te.pointCtx, weights, repW)
+			*folds++
+			if prof {
+				t1 := time.Now()
+				acc.ns[phaseFold] += int64(t1.Sub(t0))
+				t0 = t1
+			}
 			continue
 		}
 		switch te.evalTri(r.uncertainWhere, row) {
 		case triTrue:
 			te.pointCtx.Row = row
-			r.tab.fold(r.b, te.pointCtx, weights, repW)
-			r.eng.metrics.DeterministicFolds++
+			if prof {
+				t1 := time.Now()
+				acc.ns[phaseClassify] += int64(t1.Sub(t0))
+				t0 = t1
+			}
+			tab.fold(r.b, te.pointCtx, weights, repW)
+			*folds++
+			if prof {
+				t1 := time.Now()
+				acc.ns[phaseFold] += int64(t1.Sub(t0))
+				t0 = t1
+			}
 		case triFalse:
 			// dropped forever
 		default:
-			r.uncertain = append(r.uncertain, uncertainRow{row: row, weights: r.arena.hold(weights), repW: repW})
+			*uncertain = append(*uncertain, uncertainRow{row: row, weights: arena.hold(weights), repW: repW})
 			r.sampledIdxValid = false
 		}
+	}
+	if prof {
+		acc.ns[phaseClassify] += int64(time.Since(t0))
 	}
 }
 

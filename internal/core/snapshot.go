@@ -28,6 +28,9 @@ type BlockStat struct {
 	Table     string // streamed fact table
 	Groups    int    // live groups in the block's aggregate state
 	Uncertain int    // cached uncertain tuples
+	// Phases is the block's cumulative per-phase processing time (fine
+	// phases require Options.Profile; see PhaseTimes).
+	Phases PhaseTimes
 }
 
 // Snapshot is the refined approximate answer after one mini-batch.
@@ -40,6 +43,11 @@ type Snapshot struct {
 	UncertainRows     int           // cached uncertain tuples across all blocks
 	Recomputes        int           // cumulative range-failure recomputations
 	Elapsed           time.Duration // processing time of this batch
+	// Phases breaks down where this batch went (including the emission
+	// of this snapshot; fine phases require Options.Profile). Worker
+	// time is summed under parallel folding, so the breakdown may exceed
+	// Elapsed.
+	Phases PhaseTimes
 	// Blocks profiles each lineage block (dependency order, root last) —
 	// the observability the paper's Query Controller exposes (§4).
 	Blocks []BlockStat
@@ -112,7 +120,7 @@ func (e *Engine) snapshot(elapsed time.Duration) *Snapshot {
 	if ts.total > 0 {
 		snap.FractionProcessed = float64(ts.seen) / float64(ts.total)
 	}
-	for _, r := range e.runners {
+	for i, r := range e.runners {
 		snap.Blocks = append(snap.Blocks, BlockStat{
 			ID:        r.b.ID,
 			Kind:      r.b.Kind.String(),
@@ -120,6 +128,7 @@ func (e *Engine) snapshot(elapsed time.Duration) *Snapshot {
 			Table:     r.b.Input.Fact,
 			Groups:    len(r.tab.order),
 			Uncertain: len(r.uncertain),
+			Phases:    e.blockAcc[i].times(),
 		})
 	}
 

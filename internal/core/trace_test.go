@@ -1,0 +1,149 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTracerRingBound(t *testing.T) {
+	tr := NewTracer(8)
+	for i := 0; i < 20; i++ {
+		tr.Emit(Event{Kind: EvCommit, Block: i})
+	}
+	evs := tr.Events()
+	if len(evs) != 8 {
+		t.Fatalf("retained %d events, want 8", len(evs))
+	}
+	if tr.Dropped() != 12 {
+		t.Fatalf("Dropped = %d, want 12", tr.Dropped())
+	}
+	// Oldest-first, most recent retained: seq 12..19.
+	for i, ev := range evs {
+		if want := uint64(12 + i); ev.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Kind: EvCommit})
+	tr.setBatch(3)
+	if tr.Events() != nil || tr.Dropped() != 0 {
+		t.Fatal("nil tracer must be inert")
+	}
+}
+
+func TestTracerBatchStamp(t *testing.T) {
+	tr := NewTracer(16)
+	tr.setBatch(1)
+	tr.Emit(Event{Kind: EvCommit})
+	tr.setBatch(2)
+	tr.Emit(Event{Kind: EvRangeFailure})
+	evs := tr.Events()
+	if evs[0].Batch != 1 || evs[1].Batch != 2 {
+		t.Fatalf("batch stamps %d, %d, want 1, 2", evs[0].Batch, evs[1].Batch)
+	}
+	if evs[1].Ms < evs[0].Ms {
+		t.Fatal("timestamps must be non-decreasing")
+	}
+}
+
+func TestTracerWriteJSONL(t *testing.T) {
+	tr := NewTracer(16)
+	tr.setBatch(4)
+	tr.Emit(Event{Kind: EvRangeFailure, Block: 1, Key: "k7", Point: 3.5, Lo: 1, Hi: 2, Boost: 2})
+	tr.Emit(Event{Kind: EvFlip, Block: 1, Folded: 3, Dropped: 1, Kept: 5})
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines []Event
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, ev)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	if lines[0].Kind != EvRangeFailure || lines[0].Key != "k7" || lines[0].Hi != 2 || lines[0].Batch != 4 {
+		t.Fatalf("round-trip mismatch: %+v", lines[0])
+	}
+	if lines[1].Folded != 3 || lines[1].Kept != 5 {
+		t.Fatalf("flip counts lost: %+v", lines[1])
+	}
+}
+
+// TestEngineTraceEvents drives the recomputing nested workload and
+// checks the engine narrates its decisions: range commits, a
+// variation-range failure carrying the failing group key, uncertain
+// flips, and the recompute trigger.
+func TestEngineTraceEvents(t *testing.T) {
+	_, tr := profiledQ17(t)
+	counts := map[string]int{}
+	var failure *Event
+	for i, ev := range tr.Events() {
+		counts[ev.Kind]++
+		if ev.Kind == EvRangeFailure && failure == nil {
+			failure = &tr.Events()[i]
+		}
+	}
+	if counts[EvCommit] == 0 {
+		t.Fatal("no commit events")
+	}
+	if counts[EvRangeFailure] == 0 {
+		t.Fatal("no range-failure events on a workload that recomputes")
+	}
+	if counts[EvRecompute] == 0 {
+		t.Fatal("no recompute events")
+	}
+	if counts[EvFlip] == 0 {
+		t.Fatal("no uncertain-flip events")
+	}
+	if failure.Key == "" {
+		t.Fatalf("range failure must carry the failing group key: %+v", *failure)
+	}
+	if failure.Lo == 0 && failure.Hi == 0 {
+		t.Fatalf("range failure must carry the committed range: %+v", *failure)
+	}
+	if failure.Batch < 1 {
+		t.Fatalf("events must be batch-stamped: %+v", *failure)
+	}
+}
+
+func TestDebugFailuresConcurrentToggle(t *testing.T) {
+	// The old plain-bool global raced when toggled while an engine ran;
+	// now it is atomic. Exercised under -race in CI.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			DebugFailures(i%2 == 0)
+		}
+		close(done)
+	}()
+	for i := 0; i < 1000; i++ {
+		_ = debugFailures.Load()
+	}
+	<-done
+	DebugFailures(false)
+}
+
+func TestEventOmitsEmptyFields(t *testing.T) {
+	b, err := json.Marshal(Event{Kind: EvRecompute, Batch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, absent := range []string{"key", "lo", "hi", "folded", "note", "block"} {
+		if strings.Contains(s, `"`+absent+`"`) {
+			t.Fatalf("empty field %q serialized: %s", absent, s)
+		}
+	}
+}

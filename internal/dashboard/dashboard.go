@@ -4,36 +4,81 @@
 // as a Server-Sent Event, so approximate answers with error bars appear
 // immediately and tighten live. Closing the request (the browser's Stop
 // button) cancels the query — the OLA accuracy/time control knob.
+//
+// The server doubles as the engine's observability surface: /metrics
+// exposes Prometheus-format counters, gauges and per-phase duration
+// histograms for every query it runs, and /debug/pprof/ mounts the
+// standard Go profiler endpoints.
 package dashboard
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 
 	"fluodb/internal/core"
+	"fluodb/internal/metrics"
 	"fluodb/internal/plan"
 	"fluodb/internal/storage"
 )
 
-// Server serves the console UI and the SSE query endpoint.
+// Server serves the console UI, the SSE query endpoint, and the
+// /metrics + pprof observability surface.
 type Server struct {
 	cat *storage.Catalog
 	opt core.Options
+
+	reg          *metrics.Registry
+	queries      *metrics.Counter
+	active       *metrics.Gauge
+	batches      *metrics.Counter
+	rows         *metrics.Counter
+	recomputes   *metrics.Counter
+	uncertain    *metrics.Gauge
+	batchSeconds *metrics.Histogram
+	phaseSeconds []*metrics.Histogram // aligned with core.PhaseNames
 }
 
 // New builds a dashboard server over a catalog. opt configures the
-// online executions (zero values take engine defaults).
+// online executions (zero values take engine defaults); the per-phase
+// profiler is always enabled so the phase histograms and SSE payloads
+// carry real timings.
 func New(cat *storage.Catalog, opt core.Options) *Server {
-	return &Server{cat: cat, opt: opt}
+	opt.Profile = true
+	s := &Server{cat: cat, opt: opt, reg: metrics.NewRegistry()}
+	s.queries = s.reg.Counter("fluodb_queries_total", "Online queries started.")
+	s.active = s.reg.Gauge("fluodb_queries_active", "Online queries currently running.")
+	s.batches = s.reg.Counter("fluodb_batches_total", "Mini-batches processed across all queries.")
+	s.rows = s.reg.Counter("fluodb_rows_total", "Fact rows folded across all queries.")
+	s.recomputes = s.reg.Counter("fluodb_recomputes_total", "Variation-range failures that forced a recompute.")
+	s.uncertain = s.reg.Gauge("fluodb_uncertain_rows", "Cached uncertain tuples after the most recent mini-batch.")
+	s.batchSeconds = s.reg.Histogram("fluodb_batch_seconds", "Mini-batch processing time.")
+	for _, name := range core.PhaseNames {
+		s.phaseSeconds = append(s.phaseSeconds, s.reg.Histogram(
+			fmt.Sprintf("fluodb_phase_seconds{phase=%q}", name),
+			"Per-batch time spent in each G-OLA engine phase."))
+	}
+	return s
 }
 
+// ActiveQueries reports how many query handlers are currently running —
+// the value behind the fluodb_queries_active gauge.
+func (s *Server) ActiveQueries() int64 { return s.active.Load() }
+
 // Handler returns the HTTP handler: "/" serves the console page,
-// "/query?sql=..." streams snapshots.
+// "/query?sql=..." streams snapshots, "/metrics" exposes Prometheus
+// text, and "/debug/pprof/" mounts the Go profiler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.home)
 	mux.HandleFunc("/query", s.Query)
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -42,25 +87,33 @@ func (s *Server) home(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprint(w, homeHTML)
 }
 
-// SnapshotJSON is the wire form of one refinement step.
-type SnapshotJSON struct {
-	Batch     int        `json:"batch"`
-	Total     int        `json:"total"`
-	Fraction  float64    `json:"fraction"`
-	RSD       float64    `json:"rsd"`
-	Uncertain int        `json:"uncertain"`
-	Columns   []string   `json:"columns"`
-	Rows      [][]CellJS `json:"rows"`
-	Blocks    []BlockJS  `json:"blocks,omitempty"`
-	Err       string     `json:"error,omitempty"`
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
 }
 
-// BlockJS profiles one lineage block on the wire.
+// SnapshotJSON is the wire form of one refinement step.
+type SnapshotJSON struct {
+	Batch     int                `json:"batch"`
+	Total     int                `json:"total"`
+	Fraction  float64            `json:"fraction"`
+	RSD       float64            `json:"rsd"`
+	Uncertain int                `json:"uncertain"`
+	Phases    map[string]float64 `json:"phases,omitempty"` // this batch, phase → ms
+	Columns   []string           `json:"columns"`
+	Rows      [][]CellJS         `json:"rows"`
+	Blocks    []BlockJS          `json:"blocks,omitempty"`
+	Err       string             `json:"error,omitempty"`
+}
+
+// BlockJS profiles one lineage block on the wire. PhaseMS is the
+// block's cumulative per-phase cost so far, phase → milliseconds.
 type BlockJS struct {
-	Kind      string `json:"kind"`
-	Table     string `json:"table"`
-	Groups    int    `json:"groups"`
-	Uncertain int    `json:"uncertain"`
+	Kind      string             `json:"kind"`
+	Table     string             `json:"table"`
+	Groups    int                `json:"groups"`
+	Uncertain int                `json:"uncertain"`
+	PhaseMS   map[string]float64 `json:"phase_ms,omitempty"`
 }
 
 // CellJS is one output cell on the wire.
@@ -106,7 +159,12 @@ func (s *Server) Query(w http.ResponseWriter, r *http.Request) {
 		send(SnapshotJSON{Err: err.Error()})
 		return
 	}
+	s.queries.Inc()
+	s.active.Add(1)
+	defer s.active.Add(-1)
 	ctx := r.Context()
+	var prevRows int64
+	var prevRecomputes int
 	for !eng.Done() {
 		select {
 		case <-ctx.Done():
@@ -117,6 +175,18 @@ func (s *Server) Query(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			send(SnapshotJSON{Err: err.Error()})
 			return
+		}
+		m := eng.Metrics()
+		s.batches.Inc()
+		s.rows.Add(m.RowsProcessed - prevRows)
+		s.recomputes.Add(int64(m.Recomputes - prevRecomputes))
+		prevRows, prevRecomputes = m.RowsProcessed, m.Recomputes
+		s.uncertain.Set(int64(snap.UncertainRows))
+		s.batchSeconds.Observe(snap.Elapsed)
+		for i, d := range snap.Phases.Durations() {
+			if d > 0 {
+				s.phaseSeconds[i].Observe(d)
+			}
 		}
 		send(EncodeSnapshot(snap))
 	}
@@ -130,6 +200,7 @@ func EncodeSnapshot(snap *core.Snapshot) SnapshotJSON {
 		Fraction:  snap.FractionProcessed,
 		RSD:       snap.RSD(),
 		Uncertain: snap.UncertainRows,
+		Phases:    snap.Phases.Milliseconds(),
 	}
 	for _, c := range snap.Schema {
 		out.Columns = append(out.Columns, c.Name)
@@ -137,6 +208,7 @@ func EncodeSnapshot(snap *core.Snapshot) SnapshotJSON {
 	for _, b := range snap.Blocks {
 		out.Blocks = append(out.Blocks, BlockJS{
 			Kind: b.Kind, Table: b.Table, Groups: b.Groups, Uncertain: b.Uncertain,
+			PhaseMS: b.Phases.Milliseconds(),
 		})
 	}
 	limit := len(snap.Rows)
@@ -164,6 +236,7 @@ td, th { border: 1px solid #ccc; padding: 4px 8px; text-align: right; font-varia
 th { background: #f4f4f4; }
 .ci { color: #888; font-size: 0.85em; }
 #status { margin-top: .5rem; color: #555; }
+#phases { margin-top: .25rem; color: #777; font-size: 0.85em; font-family: monospace; }
 progress { width: 100%; }
 </style></head><body>
 <h1>FluoDB — G-OLA online SQL console</h1>
@@ -174,8 +247,10 @@ WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)</textarea><br>
 <button onclick="run()">Run online</button>
 <button onclick="stop()">Stop (accept current accuracy)</button>
 <div id="status"></div>
+<div id="phases"></div>
 <progress id="prog" value="0" max="1"></progress>
 <div id="out"></div>
+<p><a href="/metrics">/metrics</a> — Prometheus · <a href="/debug/pprof/">/debug/pprof/</a> — Go profiler</p>
 <script>
 let es = null;
 function stop() { if (es) { es.close(); es = null; } }
@@ -193,6 +268,11 @@ function run() {
     document.getElementById('status').textContent =
       'batch ' + s.batch + '/' + s.total + ' — ' + (100*s.fraction).toFixed(0) +
       '% of data — rsd ' + (100*s.rsd).toFixed(3) + '% — uncertain tuples ' + s.uncertain;
+    if (s.phases) {
+      const top = Object.entries(s.phases).sort((a, b) => b[1] - a[1]).slice(0, 4)
+        .map(([k, v]) => k + ' ' + v.toFixed(1) + 'ms').join(' · ');
+      document.getElementById('phases').textContent = top ? 'batch phases: ' + top : '';
+    }
     let html = '<table><tr>';
     for (const c of s.columns) html += '<th>' + c + '</th>';
     html += '</tr>';

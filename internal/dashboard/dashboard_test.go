@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -123,7 +124,8 @@ func TestQueryMissingSQLIs400(t *testing.T) {
 }
 
 func TestClientDisconnectCancelsQuery(t *testing.T) {
-	srv := httptest.NewServer(testServer(t).Handler())
+	s := testServer(t)
+	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()
 	ctx, cancel := context.WithCancel(context.Background())
 	req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL+
@@ -133,12 +135,22 @@ func TestClientDisconnectCancelsQuery(t *testing.T) {
 		t.Fatal(err)
 	}
 	// read one event then hang up — the handler must return promptly
+	// and release the query goroutine (the active-queries gauge drops
+	// back to zero).
 	buf := make([]byte, 256)
 	_, _ = resp.Body.Read(buf)
 	cancel()
 	resp.Body.Close()
-	// nothing to assert beyond "no deadlock": give the handler a moment
-	time.Sleep(50 * time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for s.ActiveQueries() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("query goroutine not released: %d still active", s.ActiveQueries())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := s.queries.Load(); got != 1 {
+		t.Fatalf("queries counter = %d, want 1", got)
+	}
 }
 
 func TestEncodeSnapshotRowCap(t *testing.T) {
@@ -194,5 +206,111 @@ func TestBlocksInPayload(t *testing.T) {
 			t.Fatalf("block kinds = %+v", s.Blocks)
 		}
 		break
+	}
+}
+
+// TestPhasesInPayload checks the SSE wire form carries per-batch and
+// per-block phase timings (New forces the profiler on).
+func TestPhasesInPayload(t *testing.T) {
+	srv := httptest.NewServer(testServer(t).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/query?sql=" +
+		"SELECT+AVG(play_time)+FROM+sessions+WHERE+buffer_time+%3E+(SELECT+AVG(buffer_time)+FROM+sessions)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if !strings.HasPrefix(sc.Text(), "data: ") {
+			continue
+		}
+		var s SnapshotJSON
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(sc.Text(), "data: ")), &s); err != nil {
+			t.Fatal(err)
+		}
+		if s.Phases["fold"] <= 0 || s.Phases["snapshot"] <= 0 {
+			t.Fatalf("snapshot phases missing: %v", s.Phases)
+		}
+		for _, b := range s.Blocks {
+			if b.PhaseMS["fold"] <= 0 {
+				t.Fatalf("block %s carries no fold time: %v", b.Kind, b.PhaseMS)
+			}
+		}
+		break
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := testServer(t)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	// Run one query to completion so the counters move.
+	resp, err := http.Get(srv.URL + "/query?sql=SELECT+AVG(play_time)+FROM+sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE fluodb_queries_total counter",
+		"fluodb_queries_total 1",
+		"fluodb_queries_active 0",
+		"fluodb_batches_total 5",
+		"# TYPE fluodb_rows_total counter",
+		"fluodb_recomputes_total",
+		"# TYPE fluodb_uncertain_rows gauge",
+		"# TYPE fluodb_batch_seconds histogram",
+		"fluodb_batch_seconds_count 5",
+		`fluodb_phase_seconds_bucket{phase="fold",le="+Inf"}`,
+		`fluodb_phase_seconds_bucket{phase="snapshot",le="+Inf"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+	// The catalog has 2000 rows and the query scans all of them.
+	if !strings.Contains(text, "fluodb_rows_total 2000") {
+		t.Fatalf("rows counter wrong:\n%s", text)
+	}
+	// The fold phase histogram recorded all five batches.
+	if !strings.Contains(text, `fluodb_phase_seconds_count{phase="fold"} 5`) {
+		t.Fatalf("fold phase histogram not populated:\n%s", text)
+	}
+}
+
+func TestPprofEndpoints(t *testing.T) {
+	srv := httptest.NewServer(testServer(t).Handler())
+	defer srv.Close()
+	for _, path := range []string{
+		"/debug/pprof/",
+		"/debug/pprof/cmdline",
+		"/debug/pprof/symbol",
+		"/debug/pprof/heap",
+		"/debug/pprof/goroutine",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("%s: status = %d", path, resp.StatusCode)
+		}
 	}
 }

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	g := r.Gauge("g", "a gauge")
+	c.Inc()
+	c.Add(4)
+	g.Set(7)
+	g.Add(-2)
+	if c.Load() != 5 {
+		t.Errorf("counter = %d, want 5", c.Load())
+	}
+	if g.Load() != 5 {
+		t.Errorf("gauge = %d, want 5", g.Load())
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x")
+	b := r.Counter("x_total", "x")
+	if a != b {
+		t.Error("same name should return the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind conflict should panic")
+		}
+	}()
+	r.Gauge("x_total", "conflict")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d_seconds", "durations")
+	h.Observe(1500 * time.Nanosecond) // → le=2e-06
+	h.Observe(3 * time.Millisecond)   // → le=5e-03
+	h.Observe(time.Minute)            // → +Inf
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE d_seconds histogram",
+		`d_seconds_bucket{le="1e-06"} 0`,
+		`d_seconds_bucket{le="2e-06"} 1`,
+		`d_seconds_bucket{le="0.005"} 2`,
+		`d_seconds_bucket{le="+Inf"} 3`,
+		"d_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabeledFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram(`p_seconds{phase="join"}`, "per-phase time").Observe(time.Millisecond)
+	r.Histogram(`p_seconds{phase="fold"}`, "per-phase time").Observe(2 * time.Millisecond)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	if strings.Count(out, "# TYPE p_seconds histogram") != 1 {
+		t.Errorf("family header should appear once:\n%s", out)
+	}
+	for _, want := range []string{
+		`p_seconds_bucket{phase="join",le="0.001"} 1`,
+		`p_seconds_bucket{phase="fold",le="+Inf"} 1`,
+		`p_seconds_sum{phase="fold"} 0.002`,
+		`p_seconds_count{phase="join"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("live", "sampled at render", func() float64 { return 42 })
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "live 42") {
+		t.Errorf("gauge func value missing:\n%s", sb.String())
+	}
+}
+
+func TestNanotimeMonotonic(t *testing.T) {
+	a := Nanotime()
+	time.Sleep(time.Millisecond)
+	b := Nanotime()
+	if b <= a {
+		t.Errorf("Nanotime not monotonic: %d then %d", a, b)
+	}
+}
+
+// Concurrent observation must be clean under -race.
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total", "n")
+	h := r.Histogram("t_seconds", "t")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 8000 || h.Count() != 8000 {
+		t.Errorf("counts: %d, %d", c.Load(), h.Count())
+	}
+}

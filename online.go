@@ -24,6 +24,27 @@ type Interval = bootstrap.Interval
 // OnlineMetrics aggregates online execution statistics.
 type OnlineMetrics = core.Metrics
 
+// PhaseTimes is a per-phase breakdown of where online execution time
+// went (join, fold, bootstrap weights, classification, uncertain
+// re-evaluation, range maintenance, recompute, snapshot emission).
+// Fine-grained phases require OnlineOptions.Profile.
+type PhaseTimes = core.PhaseTimes
+
+// BlockPhaseStat is one lineage block's cumulative per-phase profile.
+type BlockPhaseStat = core.BlockPhaseStat
+
+// TraceEvent is one structured G-OLA event (range commit/failure,
+// uncertain flip, recompute trigger).
+type TraceEvent = core.Event
+
+// Tracer is a bounded ring of TraceEvents; attach one via
+// OnlineOptions.Tracer to observe the engine's decisions.
+type Tracer = core.Tracer
+
+// NewTracer builds a Tracer retaining the most recent capacity events
+// (a default capacity when capacity <= 0).
+func NewTracer(capacity int) *Tracer { return core.NewTracer(capacity) }
+
 // ErrDone is returned by OnlineQuery.Step after the last mini-batch.
 var ErrDone = core.ErrDone
 
@@ -77,3 +98,10 @@ func (oq *OnlineQuery) Run(fn func(*Snapshot) bool) (*Snapshot, error) {
 
 // Metrics returns accumulated execution statistics.
 func (oq *OnlineQuery) Metrics() OnlineMetrics { return oq.eng.Metrics() }
+
+// Report renders an EXPLAIN-ANALYZE-style text profile of the execution
+// so far: run totals, the per-phase time breakdown, each lineage block's
+// cumulative cost, and the per-batch trajectory. Enable
+// OnlineOptions.Profile for the fine-grained (join/fold/weights/
+// classify) phases.
+func (oq *OnlineQuery) Report() string { return oq.eng.Report() }

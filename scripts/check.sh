@@ -22,4 +22,10 @@ go test -race ./...
 echo "== alloc regression (go test ./internal/core -run TestFoldSteadyStateAllocs)"
 go test ./internal/core -run TestFoldSteadyStateAllocs -count=1
 
+echo "== alloc regression with instrumentation on (profiled subtests)"
+go test ./internal/core -run 'TestFoldSteadyStateAllocs/.+/profiled' -count=1
+
+echo "== go vet (observability packages)"
+go vet ./internal/metrics/ ./internal/dashboard/
+
 echo "== check OK"

@@ -1,4 +1,4 @@
-.PHONY: check test bench-fold
+.PHONY: check test bench-fold audit
 
 # Tier-1 gate: vet + build + race-enabled tests + fold alloc regression.
 check:
@@ -12,3 +12,9 @@ test:
 bench-fold:
 	go test ./internal/core -bench BenchmarkFold -benchmem
 	go run ./cmd/flbench -experiment fold -rows 100000 $(ARGS)
+
+# Statistical-correctness audit: 20 seeded replications measuring
+# empirical CI coverage, relative-error trajectories, and the
+# deterministic-set invariant; regenerates BENCH_accuracy.json.
+audit:
+	go run ./cmd/flbench -experiment audit $(ARGS)

@@ -9,9 +9,16 @@
 //	flbench -experiment boots   # ablation: bootstrap trial count sweep
 //	flbench -experiment k       # ablation: mini-batch granularity sweep
 //	flbench -experiment fold    # fold-path throughput (see BENCH_fold.json)
+//	flbench -experiment audit   # statistical-correctness audit (BENCH_accuracy.json)
 //	flbench -experiment all     # everything
 //
 // Scale with -rows, -batches, -trials; fix randomness with -seed.
+//
+// Every experiment can write its structured result as a JSON artifact
+// with -json out.json. Two experiments have artifact conventions: fold
+// updates a BENCH_fold.json perf trajectory (demoting the previous
+// "current" entry into "baselines"), and audit defaults to writing
+// BENCH_accuracy.json even without -json.
 //
 // -trace out.jsonl runs one suite query (default Q17, pick another with
 // -tracequery) with the engine's event tracer and phase profiler on and
@@ -26,31 +33,49 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
+	"fluodb/internal/audit"
 	"fluodb/internal/bench"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig3a|fig3b|t1|t2|eps|boots|k|fold|all")
-		jsonOut    = flag.String("json", "", "fold only: write/update a BENCH_fold.json trajectory file")
+		experiment = flag.String("experiment", "all", "fig3a|fig3b|t1|t2|eps|boots|k|fold|audit|all")
+		jsonOut    = flag.String("json", "", "write the experiment result as a JSON artifact (fold: updates a BENCH_fold.json trajectory; audit: defaults to BENCH_accuracy.json)")
 		label      = flag.String("label", "", "fold only: label for the -json entry (e.g. a PR name)")
-		rows       = flag.Int("rows", 100000, "fact-table rows per dataset")
+		rows       = flag.Int("rows", 100000, "fact-table rows per dataset (audit default: 20000)")
 		parts      = flag.Int("parts", 0, "distinct parts (default rows/150)")
 		batches    = flag.Int("batches", 10, "mini-batches (k)")
 		trials     = flag.Int("trials", 100, "bootstrap trials (B)")
-		seed       = flag.Uint64("seed", 0, "RNG seed (default: fixed)")
+		seed       = flag.String("seed", "", "RNG seed, any uint64 including an explicit 0 (default: fixed 20150531)")
+		reps       = flag.Int("reps", 20, "audit only: seeded replications")
 		format     = flag.String("format", "table", "table|csv (csv: plot-ready series for fig3a/fig3b)")
 		traceOut   = flag.String("trace", "", "run one traced query and write G-OLA events to this JSONL file")
 		traceQuery = flag.String("tracequery", "Q17", "suite query for -trace")
 	)
 	flag.Parse()
 	cfg := bench.Config{
-		Rows: *rows, Parts: *parts, Batches: *batches, Trials: *trials, Seed: *seed,
+		Rows: *rows, Parts: *parts, Batches: *batches, Trials: *trials,
 	}
+	if *seed != "" {
+		v, err := strconv.ParseUint(*seed, 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flbench: -seed %q is not a uint64: %v\n", *seed, err)
+			os.Exit(1)
+		}
+		cfg.Seed, cfg.SeedSet = v, true
+	}
+	rowsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "rows" {
+			rowsSet = true
+		}
+	})
 	if *traceOut != "" {
 		if err := runTrace(cfg, *traceQuery, *traceOut); err != nil {
 			fmt.Fprintln(os.Stderr, "flbench:", err)
@@ -58,24 +83,66 @@ func main() {
 		}
 		return
 	}
-	if *experiment == "fold" {
-		if err := runFold(cfg, *jsonOut, *label); err != nil {
-			fmt.Fprintln(os.Stderr, "flbench:", err)
-			os.Exit(1)
-		}
-		return
+	var err error
+	switch {
+	case *experiment == "fold":
+		err = runFold(cfg, *jsonOut, *label)
+	case *experiment == "audit":
+		err = runAudit(cfg, rowsSet, *reps, *jsonOut)
+	case *format == "csv":
+		err = runCSV(*experiment, cfg)
+	default:
+		err = run(*experiment, cfg, *jsonOut)
 	}
-	if *format == "csv" {
-		if err := runCSV(*experiment, cfg); err != nil {
-			fmt.Fprintln(os.Stderr, "flbench:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if err := run(*experiment, cfg); err != nil {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "flbench:", err)
 		os.Exit(1)
 	}
+}
+
+// writeJSON marshals an experiment result as an indented JSON artifact.
+func writeJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// runAudit runs the statistical-correctness harness and writes the
+// BENCH_accuracy.json artifact.
+func runAudit(cfg bench.Config, rowsSet bool, reps int, jsonOut string) error {
+	acfg := audit.Config{
+		Parts: cfg.Parts, Batches: cfg.Batches, Trials: cfg.Trials,
+		Reps: reps, Parallelism: 1,
+	}
+	if rowsSet {
+		acfg.Rows = cfg.Rows // otherwise audit's smaller 20000-row default
+	}
+	if cfg.SeedSet {
+		acfg.Seed = cfg.EngineSeed()
+	}
+	res, err := audit.Run(acfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(audit.FormatResult(res))
+	if jsonOut == "" {
+		jsonOut = "BENCH_accuracy.json"
+	}
+	b, err := res.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonOut, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", jsonOut)
+	return nil
 }
 
 // runTrace captures one query's structured G-OLA event stream.
@@ -157,15 +224,17 @@ func runCSV(experiment string, cfg bench.Config) error {
 	}
 }
 
-func run(experiment string, cfg bench.Config) error {
+func run(experiment string, cfg bench.Config, jsonOut string) error {
 	all := experiment == "all"
 	did := false
+	results := map[string]any{}
 	if all || experiment == "fig3a" {
 		did = true
 		r, err := bench.Figure3a(cfg)
 		if err != nil {
 			return err
 		}
+		results["fig3a"] = r
 		fmt.Print(bench.FormatFig3a(r))
 		fmt.Println()
 		fmt.Print(bench.AsciiChart(r, 72, 14))
@@ -177,6 +246,7 @@ func run(experiment string, cfg bench.Config) error {
 		if err != nil {
 			return err
 		}
+		results["fig3b"] = s
 		fmt.Print(bench.FormatFig3b(s))
 		fmt.Println()
 	}
@@ -186,6 +256,7 @@ func run(experiment string, cfg bench.Config) error {
 		if err != nil {
 			return err
 		}
+		results["t1"] = r
 		fmt.Println("T1: headline metrics (Q17)")
 		fmt.Printf("  first answer:        %.1f ms (%.1f%% of batch time)\n",
 			r.Fig3a.FirstAnswerMS, r.Fig3a.FirstAnswerPct)
@@ -204,6 +275,7 @@ func run(experiment string, cfg bench.Config) error {
 		if err != nil {
 			return err
 		}
+		results["t2"] = rows
 		fmt.Print(bench.FormatT2(rows))
 		fmt.Println()
 	}
@@ -213,6 +285,7 @@ func run(experiment string, cfg bench.Config) error {
 		if err != nil {
 			return err
 		}
+		results["eps"] = pts
 		fmt.Println("A1: epsilon slack sweep (SBI + Q17)")
 		fmt.Printf("%6s %10s %12s %14s %10s\n", "query", "eps (σ)", "recomputes", "max uncertain", "total ms")
 		for _, p := range pts {
@@ -227,6 +300,7 @@ func run(experiment string, cfg bench.Config) error {
 		if err != nil {
 			return err
 		}
+		results["boots"] = pts
 		fmt.Println("A2: bootstrap trial count sweep (SBI)")
 		fmt.Printf("%8s %10s %14s %14s\n", "trials", "total ms", "first RSD %", "last RSD %")
 		for _, p := range pts {
@@ -240,6 +314,7 @@ func run(experiment string, cfg bench.Config) error {
 		if err != nil {
 			return err
 		}
+		results["k"] = pts
 		fmt.Println("A3: mini-batch granularity sweep (Q17)")
 		fmt.Printf("%8s %12s %16s %14s\n", "k", "total ms", "first answer ms", "refresh ms")
 		for _, p := range pts {
@@ -249,6 +324,13 @@ func run(experiment string, cfg bench.Config) error {
 	}
 	if !did {
 		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+	if jsonOut != "" {
+		var payload any = results
+		if !all {
+			payload = results[experiment]
+		}
+		return writeJSON(jsonOut, payload)
 	}
 	return nil
 }

@@ -1,0 +1,64 @@
+package audit
+
+import (
+	"fmt"
+	"math"
+
+	"fluodb/internal/baseline"
+	"fluodb/internal/plan"
+	"fluodb/internal/storage"
+)
+
+// cltCoverage measures the empirical coverage of the classic OLA
+// baseline's 95% CLT intervals on a monotone SPJA query: it steps the
+// baseline through k mini-batches and, per pre-completion update,
+// checks each finite ±half-width against ground truth. The query must
+// project group keys then aggregates (no HAVING/ORDER BY/LIMIT) so row
+// r's aggregate a sits in output column groupWidth+a — the alignment
+// baseline.OLA's half-widths are defined for.
+func cltCoverage(sql string, cat *storage.Catalog, batches int) (cells, covered int, err error) {
+	q, err := plan.Compile(sql, cat)
+	if err != nil {
+		return 0, 0, fmt.Errorf("audit: clt compile: %w", err)
+	}
+	oracle, err := NewOracle(q, cat)
+	if err != nil {
+		return 0, 0, fmt.Errorf("audit: clt oracle: %w", err)
+	}
+	ola, err := baseline.NewOLA(q, cat, batches)
+	if err != nil {
+		return 0, 0, fmt.Errorf("audit: clt baseline: %w", err)
+	}
+	groupWidth := len(q.Root.GroupBy)
+	for !ola.Done() {
+		up, err := ola.Step()
+		if err != nil {
+			return 0, 0, err
+		}
+		if up.FractionProcessed >= 1 {
+			break // exact: intervals no longer estimate anything
+		}
+		for r, row := range up.Rows {
+			truth, ok := oracle.Truth(row)
+			if !ok {
+				continue
+			}
+			for a, hw := range up.HalfWidth[r] {
+				if math.IsNaN(hw) || math.IsInf(hw, 0) {
+					continue // no CLT estimator for this aggregate
+				}
+				col := groupWidth + a
+				ef, eok := row[col].AsFloat()
+				tf, tok := truth[col].AsFloat()
+				if !eok || !tok {
+					continue
+				}
+				cells++
+				if math.Abs(ef-tf) <= hw+1e-9*(1+math.Abs(tf)) {
+					covered++
+				}
+			}
+		}
+	}
+	return cells, covered, nil
+}

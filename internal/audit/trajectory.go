@@ -1,0 +1,101 @@
+package audit
+
+import (
+	"math"
+
+	"fluodb/internal/core"
+	"fluodb/internal/types"
+)
+
+// TrajectoryPoint is the accuracy audit of one mini-batch snapshot: how
+// the estimate actually relates to ground truth at that point. All
+// float fields are finite (NaN-free) so trajectories marshal to JSON.
+type TrajectoryPoint struct {
+	Batch    int     `json:"batch"`
+	Fraction float64 `json:"fraction"`
+	// CICells is the number of audited cells (estimate cells carrying a
+	// confidence interval whose row matched an exact result row);
+	// Covered of them had truth inside the interval.
+	CICells int `json:"ci_cells"`
+	Covered int `json:"covered"`
+	// MeanRelErr / MaxRelErr relate point estimates to truth, relative
+	// to |truth| (absolute error where truth is 0).
+	MeanRelErr float64 `json:"mean_rel_err"`
+	MaxRelErr  float64 `json:"max_rel_err"`
+	// MeanCIWidth is the mean interval width over the audited cells,
+	// relative like the errors (so queries of different magnitude
+	// aggregate meaningfully).
+	MeanCIWidth float64 `json:"mean_ci_width"`
+	// Uncertain is the cached uncertain-set size across all lineage
+	// blocks; BlockUncertain breaks it down per block (plan order).
+	Uncertain      int   `json:"uncertain"`
+	BlockUncertain []int `json:"block_uncertain,omitempty"`
+	Recomputes     int   `json:"recomputes"`
+	// Unmatched counts estimated rows with no exact counterpart (an
+	// approximate HAVING admitted a group the exact answer rejects) —
+	// expected to reach 0 by the final batch.
+	Unmatched int `json:"unmatched_rows,omitempty"`
+}
+
+// Compare audits one snapshot against the oracle.
+func (o *Oracle) Compare(snap *core.Snapshot) TrajectoryPoint {
+	tp := TrajectoryPoint{
+		Batch:      snap.Batch,
+		Fraction:   snap.FractionProcessed,
+		Uncertain:  snap.UncertainRows,
+		Recomputes: snap.Recomputes,
+	}
+	for _, bs := range snap.Blocks {
+		tp.BlockUncertain = append(tp.BlockUncertain, bs.Uncertain)
+	}
+	var sumErr, sumWidth float64
+	var nErr int
+	vals := make(types.Row, 0, len(o.Schema))
+	for _, row := range snap.Rows {
+		vals = vals[:0]
+		for _, cell := range row {
+			vals = append(vals, cell.Value)
+		}
+		truth, ok := o.Truth(vals)
+		if !ok {
+			tp.Unmatched++
+			continue
+		}
+		for _, c := range o.AggCols {
+			cell := row[c]
+			tf, tok := truth[c].AsFloat()
+			ef, eok := cell.Value.AsFloat()
+			if !tok || !eok {
+				continue
+			}
+			denom := math.Abs(tf)
+			if denom == 0 {
+				denom = 1
+			}
+			re := math.Abs(ef-tf) / denom
+			sumErr += re
+			nErr++
+			if re > tp.MaxRelErr {
+				tp.MaxRelErr = re
+			}
+			if !cell.HasCI {
+				continue
+			}
+			tp.CICells++
+			// Tolerance absorbs float noise at the exact end state, where
+			// the interval collapses onto the point.
+			tol := 1e-9 * (1 + math.Abs(tf))
+			if tf >= cell.CI.Lo-tol && tf <= cell.CI.Hi+tol {
+				tp.Covered++
+			}
+			sumWidth += (cell.CI.Hi - cell.CI.Lo) / denom
+		}
+	}
+	if nErr > 0 {
+		tp.MeanRelErr = sumErr / float64(nErr)
+	}
+	if tp.CICells > 0 {
+		tp.MeanCIWidth = sumWidth / float64(tp.CICells)
+	}
+	return tp
+}

@@ -28,6 +28,9 @@ type Config struct {
 	Batches int // k
 	Trials  int // B bootstrap trials
 	Seed    uint64
+	// SeedSet marks Seed as explicitly chosen, letting a caller request
+	// seed 0 itself (the zero value otherwise means "use the default").
+	SeedSet bool
 }
 
 // WithDefaults fills unset fields.
@@ -44,18 +47,29 @@ func (c Config) WithDefaults() Config {
 	if c.Trials <= 0 {
 		c.Trials = 100
 	}
-	if c.Seed == 0 {
+	if c.Seed == 0 && !c.SeedSet {
 		c.Seed = 20150531 // SIGMOD'15 opening day
 	}
 	return c
 }
 
+// EngineSeed is the seed handed to the catalog and engine layers, which
+// treat 0 as "use the built-in default". An explicitly requested seed 0
+// therefore maps to a fixed distinct constant so it still names one
+// reproducible world rather than silently aliasing the default.
+func (c Config) EngineSeed() uint64 {
+	if c.Seed == 0 {
+		return 0x5EED0DB
+	}
+	return c.Seed
+}
+
 // catalogFor builds the dataset a suite query needs.
 func catalogFor(q workload.Query, cfg Config) *storage.Catalog {
 	if q.Dataset == "conviva" {
-		return workload.ConvivaCatalog(cfg.Rows, cfg.Seed)
+		return workload.ConvivaCatalog(cfg.Rows, cfg.EngineSeed())
 	}
-	return workload.TPCHCatalog(cfg.Rows, cfg.Parts, cfg.Seed)
+	return workload.TPCHCatalog(cfg.Rows, cfg.Parts, cfg.EngineSeed())
 }
 
 // ---------------------------------------------------------------------
@@ -107,7 +121,7 @@ func Figure3a(cfg Config) (*Fig3aResult, error) {
 		return nil, err
 	}
 	eng, err := core.New(qo, cat, core.Options{
-		Batches: cfg.Batches, Trials: cfg.Trials, Seed: cfg.Seed,
+		Batches: cfg.Batches, Trials: cfg.Trials, Seed: cfg.EngineSeed(),
 	})
 	if err != nil {
 		return nil, err
@@ -185,7 +199,7 @@ func Figure3b(cfg Config) ([]Fig3bSeries, error) {
 			return nil, fmt.Errorf("bench %s: %w", name, err)
 		}
 		eng, err := core.New(qg, cat, core.Options{
-			Batches: total, Trials: cfg.Trials, Seed: cfg.Seed,
+			Batches: total, Trials: cfg.Trials, Seed: cfg.EngineSeed(),
 		})
 		if err != nil {
 			return nil, err
@@ -278,7 +292,7 @@ func Table2(cfg Config) ([]T2Row, error) {
 			return nil, err
 		}
 		eng, err := core.New(q, cat, core.Options{
-			Batches: cfg.Batches, Trials: cfg.Trials, Seed: cfg.Seed,
+			Batches: cfg.Batches, Trials: cfg.Trials, Seed: cfg.EngineSeed(),
 		})
 		if err != nil {
 			return nil, err
@@ -341,7 +355,7 @@ func AblationEpsilon(cfg Config, epsilons []float64) ([]EpsPoint, error) {
 				return nil, err
 			}
 			eng, err := core.New(q, cat, core.Options{
-				Batches: cfg.Batches, Trials: cfg.Trials, Seed: cfg.Seed, EpsilonSigma: eps,
+				Batches: cfg.Batches, Trials: cfg.Trials, Seed: cfg.EngineSeed(), EpsilonSigma: eps,
 			})
 			if err != nil {
 				return nil, err
@@ -392,7 +406,7 @@ func AblationBootstrap(cfg Config, trialCounts []int) ([]TrialPoint, error) {
 			return nil, err
 		}
 		eng, err := core.New(q, cat, core.Options{
-			Batches: cfg.Batches, Trials: b, Seed: cfg.Seed,
+			Batches: cfg.Batches, Trials: b, Seed: cfg.EngineSeed(),
 		})
 		if err != nil {
 			return nil, err
@@ -444,7 +458,7 @@ func AblationBatches(cfg Config, ks []int) ([]BatchPoint, error) {
 			return nil, err
 		}
 		eng, err := core.New(q, cat, core.Options{
-			Batches: k, Trials: cfg.Trials, Seed: cfg.Seed,
+			Batches: k, Trials: cfg.Trials, Seed: cfg.EngineSeed(),
 		})
 		if err != nil {
 			return nil, err

@@ -102,7 +102,7 @@ func FoldBench(cfg Config) ([]FoldPoint, error) {
 		{"multi-key/sampled-few", sqlMulti, 0},
 		{"multi-key/sampled-all", sqlMulti, -1},
 	}
-	cat := foldBenchCatalog(cfg.Rows, cfg.Seed)
+	cat := foldBenchCatalog(cfg.Rows, cfg.EngineSeed())
 	var out []FoldPoint
 	for _, sc := range scenarios {
 		best := time.Duration(0)
@@ -115,7 +115,7 @@ func FoldBench(cfg Config) ([]FoldPoint, error) {
 				return nil, fmt.Errorf("bench fold %s: %w", sc.name, err)
 			}
 			eng, err := core.New(q, cat, core.Options{
-				Batches: cfg.Batches, Trials: cfg.Trials, Seed: cfg.Seed,
+				Batches: cfg.Batches, Trials: cfg.Trials, Seed: cfg.EngineSeed(),
 				BootstrapSampleCap: sc.sampleCap, Parallelism: 1,
 				Profile: rep < 0,
 			})

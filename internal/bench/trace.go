@@ -47,7 +47,7 @@ func TraceRun(cfg Config, queryName string, w io.Writer) (*TraceResult, error) {
 	}
 	tracer := core.NewTracer(traceCapacity)
 	eng, err := core.New(q, cat, core.Options{
-		Batches: cfg.Batches, Trials: cfg.Trials, Seed: cfg.Seed,
+		Batches: cfg.Batches, Trials: cfg.Trials, Seed: cfg.EngineSeed(),
 		Profile: true, Tracer: tracer,
 	})
 	if err != nil {

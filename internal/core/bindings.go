@@ -98,6 +98,12 @@ type bindings struct {
 	scalarBlocks []int
 	groupBlocks  []int
 	setBlocks    []int
+	// flips counts every contradiction of a previously committed
+	// deterministic decision (range escape or membership flip) detected
+	// in-flight, across the whole run: reset() deliberately does not
+	// clear it, so the count survives failure-recovery replays. Exposed
+	// as Metrics.DetFlips and the gola_deterministic_flips_total metric.
+	flips int
 }
 
 // blockOf maps a parameter index to its plan block ID (0 when the map
@@ -301,6 +307,7 @@ func (b *bindings) updateScalar(idx int, point types.Value, reps []types.Value, 
 		return false
 	}
 	if escapes(s.committed, point) {
+		b.flips++
 		b.tracer.Emit(Event{Kind: EvRangeFailure, Block: blockOf(b.scalarBlocks, idx),
 			Point: pfloat(point), Lo: s.committed.Lo, Hi: s.committed.Hi, Boost: s.epsBoost})
 		s.epsBoost *= 2
@@ -328,6 +335,7 @@ func (b *bindings) updateGroupEntry(idx int, key string, point types.Value, rng 
 		// only through replay; in the forward path support is
 		// monotone), so check it if present.
 		if committed, ok := g.committed[key]; ok && escapes(committed, point) {
+			b.flips++
 			b.tracer.Emit(Event{Kind: EvRangeFailure, Block: blockOf(b.groupBlocks, idx), Key: key,
 				Point: pfloat(point), Lo: committed.Lo, Hi: committed.Hi, Boost: g.epsBoost,
 				Note: "support dropped below commit threshold during replay"})
@@ -347,6 +355,7 @@ func (b *bindings) updateGroupEntry(idx int, key string, point types.Value, rng 
 		return false
 	}
 	if escapes(committed, point) {
+		b.flips++
 		if debugFailures.Load() {
 			fmt.Printf("core: group range failure key=%q committed=[%g,%g] point=%v boost=%g\n",
 				key, committed.Lo, committed.Hi, point, g.epsBoost)
@@ -377,6 +386,7 @@ func (b *bindings) updateSetEntry(idx int, key string, point bool, t tri) bool {
 	s.tri[key] = t
 	if committed, ok := s.committed[key]; ok {
 		if point != committed {
+			b.flips++
 			delete(s.committed, key)
 			b.tracer.Emit(Event{Kind: EvRangeFailure, Block: blockOf(b.setBlocks, idx), Key: key,
 				Note: "membership contradicts committed decision"})

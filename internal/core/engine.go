@@ -115,6 +115,13 @@ type Metrics struct {
 	DeterministicFolds int64
 	UncertainPerBatch  []int
 	BatchDurations     []time.Duration
+	// DetFlips counts in-flight contradictions of previously committed
+	// deterministic decisions (each one triggers a recovery replay);
+	// InvariantViolations counts contradictions still standing when
+	// AuditInvariants last ran — nonzero means the estimator committed a
+	// decision it never corrected (a statistical-correctness bug).
+	DetFlips            int
+	InvariantViolations int
 	// Phases is the cumulative per-phase time breakdown across the run;
 	// PhasePerBatch holds one breakdown per processed batch (aligned
 	// with BatchDurations). Fine phases require Options.Profile.
@@ -335,6 +342,7 @@ func (e *Engine) Batch() int { return e.batch }
 // per-block per-phase profile (rebuilt fresh on each call).
 func (e *Engine) Metrics() Metrics {
 	m := e.metrics
+	m.DetFlips = e.bind.flips
 	m.Phases = e.cumAcc.times()
 	m.BlockPhases = make([]BlockPhaseStat, len(e.runners))
 	for i, r := range e.runners {

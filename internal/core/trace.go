@@ -32,6 +32,11 @@ const (
 	// EvNoCommit: replay kept failing and the engine fell back to
 	// uncommitted (exact-to-date) evaluation for the batch.
 	EvNoCommit = "no-commit-fallback"
+	// EvDetViolation: the invariant audit (Engine.AuditInvariants) found
+	// a surviving committed decision contradicted by the current point
+	// state. Unlike EvRangeFailure this is not recovered by replay — it
+	// means a deterministic decision the engine stood by was wrong.
+	EvDetViolation = "det-violation"
 )
 
 // Event is one traced engine decision. Numeric fields are meaningful
@@ -39,20 +44,20 @@ const (
 // [Lo, Hi], the observed Point, and the epsilon Boost in force;
 // uncertain-flip carries Folded/Dropped/Kept tuple counts.
 type Event struct {
-	Seq    uint64  `json:"seq"`
-	Ms     float64 `json:"ms"` // since trace start
-	Batch  int     `json:"batch"`
-	Block  int     `json:"block,omitempty"`
-	Kind   string  `json:"kind"`
-	Key    string  `json:"key,omitempty"`
-	Point  float64 `json:"point,omitempty"`
-	Lo     float64 `json:"lo,omitempty"`
-	Hi     float64 `json:"hi,omitempty"`
-	Boost  float64 `json:"boost,omitempty"`
-	Folded int     `json:"folded,omitempty"`
-	Dropped int    `json:"dropped,omitempty"`
-	Kept   int     `json:"kept,omitempty"`
-	Note   string  `json:"note,omitempty"`
+	Seq     uint64  `json:"seq"`
+	Ms      float64 `json:"ms"` // since trace start
+	Batch   int     `json:"batch"`
+	Block   int     `json:"block,omitempty"`
+	Kind    string  `json:"kind"`
+	Key     string  `json:"key,omitempty"`
+	Point   float64 `json:"point,omitempty"`
+	Lo      float64 `json:"lo,omitempty"`
+	Hi      float64 `json:"hi,omitempty"`
+	Boost   float64 `json:"boost,omitempty"`
+	Folded  int     `json:"folded,omitempty"`
+	Dropped int     `json:"dropped,omitempty"`
+	Kept    int     `json:"kept,omitempty"`
+	Note    string  `json:"note,omitempty"`
 }
 
 // Tracer is a bounded ring of Events. Emission is mutex-protected —

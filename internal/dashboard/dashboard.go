@@ -14,9 +14,12 @@ package dashboard
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/pprof"
+	"sync/atomic"
 
+	"fluodb/internal/audit"
 	"fluodb/internal/core"
 	"fluodb/internal/metrics"
 	"fluodb/internal/plan"
@@ -38,6 +41,14 @@ type Server struct {
 	uncertain    *metrics.Gauge
 	batchSeconds *metrics.Histogram
 	phaseSeconds []*metrics.Histogram // aligned with core.PhaseNames
+	// Statistical-correctness families (internal/audit): every query the
+	// dashboard runs is audited against the batch executor's exact
+	// answer, so these track the estimator, not just the runtime.
+	detFlips     *metrics.Counter
+	violations   *metrics.Counter
+	relErr       *metrics.Histogram
+	ciWidth      *metrics.Histogram
+	coverageBits atomic.Uint64 // float64 bits: latest snapshot's CI coverage
 }
 
 // New builds a dashboard server over a catalog. opt configures the
@@ -59,6 +70,17 @@ func New(cat *storage.Catalog, opt core.Options) *Server {
 			fmt.Sprintf("fluodb_phase_seconds{phase=%q}", name),
 			"Per-batch time spent in each G-OLA engine phase."))
 	}
+	s.detFlips = s.reg.Counter("gola_deterministic_flips_total",
+		"Committed deterministic decisions contradicted in flight (recovered by replay).")
+	s.violations = s.reg.Counter("gola_invariant_violations_total",
+		"Committed decisions still contradicted when the invariant audit ran (bugs).")
+	s.relErr = s.reg.Histogram("gola_relative_error",
+		"Per-batch mean relative error of audited estimates vs ground truth (unitless).")
+	s.ciWidth = s.reg.Histogram("gola_ci_width",
+		"Per-batch mean relative 95% CI width of audited estimates (unitless).")
+	s.reg.GaugeFunc("gola_ci_coverage",
+		"Fraction of 95% CIs containing ground truth in the most recent audited snapshot.",
+		func() float64 { return math.Float64frombits(s.coverageBits.Load()) })
 	return s
 }
 
@@ -103,7 +125,15 @@ type SnapshotJSON struct {
 	Columns   []string           `json:"columns"`
 	Rows      [][]CellJS         `json:"rows"`
 	Blocks    []BlockJS          `json:"blocks,omitempty"`
-	Err       string             `json:"error,omitempty"`
+	// Accuracy series (present when the query was audited against the
+	// batch executor's exact answer): mean/max relative error, mean
+	// relative CI width, and the fraction of CIs covering truth.
+	Audited  bool    `json:"audited,omitempty"`
+	RelErr   float64 `json:"rel_err,omitempty"`
+	MaxErr   float64 `json:"max_err,omitempty"`
+	CIWidth  float64 `json:"ci_width,omitempty"`
+	Coverage float64 `json:"coverage,omitempty"`
+	Err      string  `json:"error,omitempty"`
 }
 
 // BlockJS profiles one lineage block on the wire. PhaseMS is the
@@ -162,9 +192,18 @@ func (s *Server) Query(w http.ResponseWriter, r *http.Request) {
 	s.queries.Inc()
 	s.active.Add(1)
 	defer s.active.Add(-1)
+	// Audit every dashboard query against the exact batch answer: the
+	// console's tables are laptop-scale, so the oracle costs one batch
+	// execution up front and buys live accuracy series. A query the
+	// batch executor cannot run (it should not exist) just streams
+	// unaudited.
+	oracle, oerr := audit.NewOracle(q, s.cat)
+	if oerr != nil {
+		oracle = nil
+	}
 	ctx := r.Context()
 	var prevRows int64
-	var prevRecomputes int
+	var prevRecomputes, prevFlips int
 	for !eng.Done() {
 		select {
 		case <-ctx.Done():
@@ -180,7 +219,8 @@ func (s *Server) Query(w http.ResponseWriter, r *http.Request) {
 		s.batches.Inc()
 		s.rows.Add(m.RowsProcessed - prevRows)
 		s.recomputes.Add(int64(m.Recomputes - prevRecomputes))
-		prevRows, prevRecomputes = m.RowsProcessed, m.Recomputes
+		s.detFlips.Add(int64(m.DetFlips - prevFlips))
+		prevRows, prevRecomputes, prevFlips = m.RowsProcessed, m.Recomputes, m.DetFlips
 		s.uncertain.Set(int64(snap.UncertainRows))
 		s.batchSeconds.Observe(snap.Elapsed)
 		for i, d := range snap.Phases.Durations() {
@@ -188,8 +228,25 @@ func (s *Server) Query(w http.ResponseWriter, r *http.Request) {
 				s.phaseSeconds[i].Observe(d)
 			}
 		}
-		send(EncodeSnapshot(snap))
+		out := EncodeSnapshot(snap)
+		if oracle != nil {
+			tp := oracle.Compare(snap)
+			out.Audited = true
+			out.RelErr = tp.MeanRelErr
+			out.MaxErr = tp.MaxRelErr
+			out.CIWidth = tp.MeanCIWidth
+			if tp.CICells > 0 {
+				out.Coverage = float64(tp.Covered) / float64(tp.CICells)
+				s.coverageBits.Store(math.Float64bits(out.Coverage))
+			}
+			s.relErr.ObserveValue(tp.MeanRelErr)
+			s.ciWidth.ObserveValue(tp.MeanCIWidth)
+		}
+		send(out)
 	}
+	// End-of-run consistency audit: every surviving committed decision
+	// must agree with the exact final state.
+	s.violations.Add(int64(len(eng.AuditInvariants())))
 }
 
 // EncodeSnapshot converts an engine snapshot to its wire form.
@@ -237,6 +294,8 @@ th { background: #f4f4f4; }
 .ci { color: #888; font-size: 0.85em; }
 #status { margin-top: .5rem; color: #555; }
 #phases { margin-top: .25rem; color: #777; font-size: 0.85em; font-family: monospace; }
+#accuracy { margin-top: .25rem; color: #777; font-size: 0.85em; font-family: monospace; }
+#accuracy .spark { color: #36c; letter-spacing: 1px; }
 progress { width: 100%; }
 </style></head><body>
 <h1>FluoDB — G-OLA online SQL console</h1>
@@ -248,14 +307,24 @@ WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)</textarea><br>
 <button onclick="stop()">Stop (accept current accuracy)</button>
 <div id="status"></div>
 <div id="phases"></div>
+<div id="accuracy"></div>
 <progress id="prog" value="0" max="1"></progress>
 <div id="out"></div>
 <p><a href="/metrics">/metrics</a> — Prometheus · <a href="/debug/pprof/">/debug/pprof/</a> — Go profiler</p>
 <script>
 let es = null;
+let errSeries = [];
 function stop() { if (es) { es.close(); es = null; } }
+function sparkline(xs) {
+  const bars = '▁▂▃▄▅▆▇█';
+  const max = Math.max(...xs, 1e-12);
+  return xs.map(x => bars[Math.min(bars.length - 1,
+    Math.round((x / max) * (bars.length - 1)))]).join('');
+}
 function run() {
   stop();
+  errSeries = [];
+  document.getElementById('accuracy').textContent = '';
   const sql = document.getElementById('sql').value;
   es = new EventSource('/query?sql=' + encodeURIComponent(sql));
   es.onmessage = (ev) => {
@@ -272,6 +341,13 @@ function run() {
       const top = Object.entries(s.phases).sort((a, b) => b[1] - a[1]).slice(0, 4)
         .map(([k, v]) => k + ' ' + v.toFixed(1) + 'ms').join(' · ');
       document.getElementById('phases').textContent = top ? 'batch phases: ' + top : '';
+    }
+    if (s.audited) {
+      errSeries.push(s.rel_err || 0);
+      document.getElementById('accuracy').innerHTML =
+        'rel err <span class="spark">' + sparkline(errSeries) + '</span> ' +
+        (100*(s.rel_err||0)).toFixed(2) + '% — ci width ' + (100*(s.ci_width||0)).toFixed(2) +
+        '% — ci coverage ' + (100*(s.coverage||0)).toFixed(0) + '%';
     }
     let html = '<table><tr>';
     for (const c of s.columns) html += '<th>' + c + '</th>';

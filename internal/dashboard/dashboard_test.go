@@ -314,3 +314,68 @@ func TestPprofEndpoints(t *testing.T) {
 		}
 	}
 }
+
+// TestAccuracySeriesAndGolaMetrics: dashboard queries are audited
+// against the batch executor's exact answer, so SSE events must carry
+// the accuracy series and /metrics the gola_* statistical families.
+func TestAccuracySeriesAndGolaMetrics(t *testing.T) {
+	s := testServer(t)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/query?sql=" +
+		"SELECT+AVG(play_time)+FROM+sessions+WHERE+buffer_time+%3E+(SELECT+AVG(buffer_time)+FROM+sessions)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var snaps []SnapshotJSON
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var sj SnapshotJSON
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &sj); err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, sj)
+	}
+	resp.Body.Close()
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots")
+	}
+	for _, sj := range snaps {
+		if !sj.Audited {
+			t.Fatalf("snapshot %d not audited", sj.Batch)
+		}
+	}
+	// Early batches estimate, so relative error is nonzero; the final
+	// batch is exact.
+	if snaps[0].RelErr == 0 && snaps[0].CIWidth == 0 {
+		t.Error("first snapshot carries no accuracy series")
+	}
+	last := snaps[len(snaps)-1]
+	if last.RelErr > 1e-9 {
+		t.Errorf("final snapshot rel_err = %g, want ~0 (exactness)", last.RelErr)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE gola_deterministic_flips_total counter",
+		"gola_invariant_violations_total 0",
+		"# TYPE gola_relative_error histogram",
+		"gola_relative_error_count 5",
+		"gola_ci_width_count 5",
+		"# TYPE gola_ci_coverage gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+}

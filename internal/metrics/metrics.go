@@ -81,6 +81,23 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.sumNs.Add(int64(d))
 }
 
+// ObserveValue records one unitless observation, reading the bucket
+// ladder as plain numbers (1e-6 … 10) rather than seconds — relative
+// errors and CI widths span exactly that range. Negative and non-finite
+// values clamp to zero so a degenerate stat can never corrupt the
+// histogram sum.
+func (h *Histogram) ObserveValue(v float64) {
+	if !(v > 0) { // catches negatives and NaN
+		v = 0
+	} else if v > 1e9 {
+		v = 1e9 // keep the ns-scaled sum far from int64 overflow
+	}
+	i := sort.SearchFloat64s(DurationBuckets, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(int64(v * 1e9))
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -124,5 +125,37 @@ func TestConcurrentObserve(t *testing.T) {
 	wg.Wait()
 	if c.Load() != 8000 || h.Count() != 8000 {
 		t.Errorf("counts: %d, %d", c.Load(), h.Count())
+	}
+}
+
+func TestObserveValueUnitless(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("rel_err", "relative error")
+	h.ObserveValue(0.0000015) // → le=2e-06
+	h.ObserveValue(0.003)     // → le=0.005
+	h.ObserveValue(42)        // → +Inf
+	h.ObserveValue(-1)        // clamps to the smallest bucket
+	h.ObserveValue(math.NaN())
+	h.ObserveValue(math.Inf(1)) // clamps finite: sum must stay finite
+	if h.Count() != 6 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`rel_err_bucket{le="2e-06"} 3`, // 1.5e-6 plus the two clamped zeros
+		`rel_err_bucket{le="0.005"} 4`,
+		`rel_err_bucket{le="+Inf"} 6`,
+		"rel_err_count 6",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// _sum renders through Seconds(), which for unitless observations
+	// must give back the plain total.
+	if s := h.Sum().Seconds(); s < 42 || s > 2e9 {
+		t.Fatalf("unitless sum round-trip broken: %g", s)
 	}
 }

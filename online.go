@@ -99,6 +99,19 @@ func (oq *OnlineQuery) Run(fn func(*Snapshot) bool) (*Snapshot, error) {
 // Metrics returns accumulated execution statistics.
 func (oq *OnlineQuery) Metrics() OnlineMetrics { return oq.eng.Metrics() }
 
+// Violation is one committed deterministic decision contradicted by the
+// engine's current point state (see AuditInvariants).
+type Violation = core.Violation
+
+// AuditInvariants re-checks every committed deterministic decision
+// (scalar/group variation ranges, IN-subquery memberships) against the
+// engine's current point estimates — the G-OLA consistency invariant.
+// After the final mini-batch the point state is exact, so a correct run
+// returns nil; any violation means the engine stood by a decision the
+// data contradicts. Violations are also emitted as trace events and
+// counted in Metrics().InvariantViolations.
+func (oq *OnlineQuery) AuditInvariants() []Violation { return oq.eng.AuditInvariants() }
+
 // Report renders an EXPLAIN-ANALYZE-style text profile of the execution
 // so far: run totals, the per-phase time breakdown, each lineage block's
 // cumulative cost, and the per-batch trajectory. Enable

@@ -26,6 +26,12 @@ echo "== alloc regression with instrumentation on (profiled subtests)"
 go test ./internal/core -run 'TestFoldSteadyStateAllocs/.+/profiled' -count=1
 
 echo "== go vet (observability packages)"
-go vet ./internal/metrics/ ./internal/dashboard/
+go vet ./internal/metrics/ ./internal/dashboard/ ./internal/audit/
+
+echo "== statistical gate (go test ./internal/audit -run TestAuditGate)"
+# Fails if bootstrap-CI coverage on the small fixed-seed workload drops
+# below 0.90, if any committed deterministic decision stands
+# contradicted, or if the uncertain set stops draining monotonically.
+go test ./internal/audit -run TestAuditGate -count=1
 
 echo "== check OK"

@@ -1,4 +1,4 @@
-.PHONY: check test bench-fold audit
+.PHONY: check test bench-fold bench-compare audit
 
 # Tier-1 gate: vet + build + race-enabled tests + fold alloc regression.
 check:
@@ -12,6 +12,11 @@ test:
 bench-fold:
 	go test ./internal/core -bench BenchmarkFold -benchmem
 	go run ./cmd/flbench -experiment fold -rows 100000 $(ARGS)
+
+# Advisory perf diff: fresh fold run vs the committed BENCH_fold.json;
+# warns above 10% ns/row regression, never fails (see benchdiff.sh).
+bench-compare:
+	sh scripts/benchdiff.sh
 
 # Statistical-correctness audit: 20 seeded replications measuring
 # empirical CI coverage, relative-error trajectories, and the

@@ -9,6 +9,7 @@
 //	flbench -experiment boots   # ablation: bootstrap trial count sweep
 //	flbench -experiment k       # ablation: mini-batch granularity sweep
 //	flbench -experiment fold    # fold-path throughput (see BENCH_fold.json)
+//	flbench -experiment scaling # parallel scaling: pool vs per-batch spawn, P∈{1,2,4,8}
 //	flbench -experiment audit   # statistical-correctness audit (BENCH_accuracy.json)
 //	flbench -experiment all     # everything
 //
@@ -29,7 +30,12 @@
 // The fold experiment maintains the repo's perf trajectory: running it
 // with -json BENCH_fold.json demotes the file's previous "current"
 // measurement into "baselines" and installs the new one, so each PR
-// appends one point to the history.
+// appends one point to the history. The scaling experiment writes its
+// pool-vs-spawn worker sweep into the same file's "scaling" series.
+// `-experiment fold -compare BENCH_fold.json` diffs a fresh run against
+// the committed trajectory and prints WARN lines for >10% ns/row
+// regressions (advisory: the exit status stays 0; see
+// scripts/benchdiff.sh and `make bench-compare`).
 package main
 
 import (
@@ -45,9 +51,10 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig3a|fig3b|t1|t2|eps|boots|k|fold|audit|all")
-		jsonOut    = flag.String("json", "", "write the experiment result as a JSON artifact (fold: updates a BENCH_fold.json trajectory; audit: defaults to BENCH_accuracy.json)")
-		label      = flag.String("label", "", "fold only: label for the -json entry (e.g. a PR name)")
+		experiment = flag.String("experiment", "all", "fig3a|fig3b|t1|t2|eps|boots|k|fold|scaling|audit|all")
+		jsonOut    = flag.String("json", "", "write the experiment result as a JSON artifact (fold/scaling: updates a BENCH_fold.json trajectory; audit: defaults to BENCH_accuracy.json)")
+		label      = flag.String("label", "", "fold/scaling only: label for the -json entry (e.g. a PR name)")
+		compare    = flag.String("compare", "", "fold only: diff the fresh run against this committed BENCH_fold.json and print WARN lines for >10% ns/row regressions (always exits 0)")
 		rows       = flag.Int("rows", 100000, "fact-table rows per dataset (audit default: 20000)")
 		parts      = flag.Int("parts", 0, "distinct parts (default rows/150)")
 		batches    = flag.Int("batches", 10, "mini-batches (k)")
@@ -86,7 +93,9 @@ func main() {
 	var err error
 	switch {
 	case *experiment == "fold":
-		err = runFold(cfg, *jsonOut, *label)
+		err = runFold(cfg, *jsonOut, *label, *compare)
+	case *experiment == "scaling":
+		err = runScaling(cfg, *jsonOut, *label)
 	case *experiment == "audit":
 		err = runAudit(cfg, rowsSet, *reps, *jsonOut)
 	case *format == "csv":
@@ -163,14 +172,29 @@ func runTrace(cfg bench.Config, query, path string) error {
 	return nil
 }
 
-// runFold measures fold-path throughput and optionally updates the
-// BENCH_fold.json perf trajectory.
-func runFold(cfg bench.Config, jsonOut, label string) error {
+// runFold measures fold-path throughput, optionally diffs it against a
+// committed trajectory (-compare, advisory) and optionally updates the
+// BENCH_fold.json perf trajectory (-json).
+func runFold(cfg bench.Config, jsonOut, label, compare string) error {
 	points, err := bench.FoldBench(cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Print(bench.FormatFold(points))
+	if compare != "" {
+		warnings, err := bench.CompareFold(compare, points, 10)
+		if err != nil {
+			// Advisory: a missing or unparsable baseline must not fail
+			// check.sh.
+			fmt.Printf("benchdiff: cannot compare against %s: %v\n", compare, err)
+		} else if len(warnings) == 0 {
+			fmt.Printf("benchdiff: no scenario regressed >10%% ns/row vs %s\n", compare)
+		} else {
+			for _, w := range warnings {
+				fmt.Println(w)
+			}
+		}
+	}
 	if jsonOut == "" {
 		return nil
 	}
@@ -181,6 +205,24 @@ func runFold(cfg bench.Config, jsonOut, label string) error {
 		return err
 	}
 	fmt.Printf("wrote %s (label %q)\n", jsonOut, label)
+	return nil
+}
+
+// runScaling measures the pool-vs-spawn worker sweep and optionally
+// installs it as the BENCH_fold.json scaling series.
+func runScaling(cfg bench.Config, jsonOut, label string) error {
+	points, err := bench.ScalingBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatScaling(points))
+	if jsonOut == "" {
+		return nil
+	}
+	if err := bench.WriteScalingJSON(jsonOut, label, points); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s scaling series\n", jsonOut)
 	return nil
 }
 

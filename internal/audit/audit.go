@@ -78,6 +78,7 @@ func RunQuery(name, sql string, cat *storage.Catalog, opt core.Options) (*QueryR
 	if err != nil {
 		return nil, fmt.Errorf("audit: engine %s: %w", name, err)
 	}
+	defer eng.Close()
 	run := &QueryRun{Query: name, Seed: opt.Seed}
 	for !eng.Done() {
 		snap, err := eng.Step()

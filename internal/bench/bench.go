@@ -126,6 +126,7 @@ func Figure3a(cfg Config) (*Fig3aResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer eng.Close()
 	res := &Fig3aResult{Query: wq.Name, BatchEngineMS: batchMS, TimeTo2PctMS: -1}
 	var cum float64
 	start := time.Now()
@@ -204,6 +205,7 @@ func Figure3b(cfg Config) ([]Fig3bSeries, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer eng.Close()
 		for i := 0; i < window; i++ {
 			t0 := time.Now()
 			if _, err := eng.Step(); err != nil {
@@ -297,6 +299,7 @@ func Table2(cfg Config) ([]T2Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer eng.Close()
 		row := T2Row{Query: wq.Name}
 		rowsPerBatch := cfg.Rows / cfg.Batches
 		for !eng.Done() {
@@ -360,6 +363,7 @@ func AblationEpsilon(cfg Config, epsilons []float64) ([]EpsPoint, error) {
 			if err != nil {
 				return nil, err
 			}
+			defer eng.Close()
 			p := EpsPoint{Query: name, EpsilonSigma: eps}
 			t0 := time.Now()
 			for !eng.Done() {
@@ -411,6 +415,7 @@ func AblationBootstrap(cfg Config, trialCounts []int) ([]TrialPoint, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer eng.Close()
 		p := TrialPoint{Trials: b}
 		t0 := time.Now()
 		first := true
@@ -463,6 +468,7 @@ func AblationBatches(cfg Config, ks []int) ([]BatchPoint, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer eng.Close()
 		p := BatchPoint{Batches: k}
 		t0 := time.Now()
 		for !eng.Done() {

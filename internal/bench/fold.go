@@ -45,14 +45,28 @@ type FoldBaseline struct {
 	Points []FoldPoint `json:"points"`
 }
 
+// ScalingPoint is one parallel-scaling measurement: a fold scenario run
+// at a fixed worker count under either the persistent worker pool
+// ("pool") or the legacy per-batch goroutine-spawn runtime ("spawn").
+type ScalingPoint struct {
+	Scenario    string  `json:"scenario"`
+	Parallelism int     `json:"parallelism"`
+	Runtime     string  `json:"runtime"` // "pool" | "spawn"
+	Rows        int     `json:"rows"`
+	NsPerRow    float64 `json:"ns_per_row"`
+	RowsPerSec  float64 `json:"rows_per_sec"`
+}
+
 // FoldResult is the BENCH_fold.json document: the current measurement
 // plus every previous "current" this file has carried, so successive
-// PRs accumulate a perf trajectory.
+// PRs accumulate a perf trajectory. Scaling holds the parallel-scaling
+// series (P sweep, pool vs spawn) of the current label.
 type FoldResult struct {
 	GeneratedBy string         `json:"generated_by"`
 	GoVersion   string         `json:"go_version"`
 	Label       string         `json:"label"`
 	Current     []FoldPoint    `json:"current"`
+	Scaling     []ScalingPoint `json:"scaling,omitempty"`
 	Baselines   []FoldBaseline `json:"baselines,omitempty"`
 }
 
@@ -123,10 +137,12 @@ func FoldBench(cfg Config) ([]FoldPoint, error) {
 				return nil, err
 			}
 			t0 := time.Now()
-			if _, err := eng.Run(nil); err != nil {
+			_, err = eng.Run(nil)
+			d := time.Since(t0)
+			eng.Close()
+			if err != nil {
 				return nil, err
 			}
-			d := time.Since(t0)
 			if rep < 0 {
 				profiled = eng.Metrics()
 				continue
@@ -147,9 +163,77 @@ func FoldBench(cfg Config) ([]FoldPoint, error) {
 	return out, nil
 }
 
+// ScalingBench sweeps the mini-batch runtime across worker counts
+// P∈{1,2,4,8}, comparing the persistent worker pool (cross-batch shard
+// reuse + parallel reclassification + pipelined weight prefetch)
+// against the legacy per-batch goroutine-spawn path on the sampled-all
+// scenarios (every tuple folds into all B replicas — the configuration
+// where per-batch shard setup cost is proportionally smallest, i.e. the
+// hardest one for the pool to win). ParallelThreshold is lowered to 512
+// so all worker counts engage on cfg.Rows/cfg.Batches-row batches.
+func ScalingBench(cfg Config) ([]ScalingPoint, error) {
+	cfg = cfg.WithDefaults()
+	scenarios := []struct {
+		name string
+		sql  string
+	}{
+		{"single-key/sampled-all", `SELECT a, COUNT(x), SUM(x), AVG(x) FROM facts GROUP BY a`},
+		{"multi-key/sampled-all", `SELECT a, b, COUNT(x), SUM(x), AVG(x) FROM facts GROUP BY a, b`},
+	}
+	runtimes := []struct {
+		name  string
+		spawn bool
+	}{
+		{"pool", false},
+		{"spawn", true},
+	}
+	cat := foldBenchCatalog(cfg.Rows, cfg.EngineSeed())
+	var out []ScalingPoint
+	for _, sc := range scenarios {
+		for _, p := range []int{1, 2, 4, 8} {
+			for _, rt := range runtimes {
+				best := time.Duration(0)
+				for rep := 0; rep < FoldReps; rep++ {
+					q, err := plan.Compile(sc.sql, cat)
+					if err != nil {
+						return nil, fmt.Errorf("bench scaling %s: %w", sc.name, err)
+					}
+					eng, err := core.New(q, cat, core.Options{
+						Batches: cfg.Batches, Trials: cfg.Trials, Seed: cfg.EngineSeed(),
+						BootstrapSampleCap: -1,
+						Parallelism:        p, ParallelThreshold: 512,
+						PerBatchSpawn: rt.spawn,
+					})
+					if err != nil {
+						return nil, err
+					}
+					t0 := time.Now()
+					_, err = eng.Run(nil)
+					d := time.Since(t0)
+					eng.Close()
+					if err != nil {
+						return nil, err
+					}
+					if best == 0 || d < best {
+						best = d
+					}
+				}
+				ns := float64(best.Nanoseconds()) / float64(cfg.Rows)
+				out = append(out, ScalingPoint{
+					Scenario: sc.name, Parallelism: p, Runtime: rt.name,
+					Rows: cfg.Rows, NsPerRow: ns, RowsPerSec: 1e9 / ns,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
 // WriteFoldJSON writes (or updates) a BENCH_fold.json trajectory file:
 // if path already holds a result, its "current" entry is demoted into
-// "baselines" before the new measurement is installed.
+// "baselines" before the new measurement is installed. An existing
+// scaling series carries over only when the label is unchanged (a new
+// label's scaling numbers must be re-measured under that label).
 func WriteFoldJSON(path, label string, points []FoldPoint) error {
 	res := FoldResult{
 		GeneratedBy: "cmd/flbench -experiment fold",
@@ -161,6 +245,9 @@ func WriteFoldJSON(path, label string, points []FoldPoint) error {
 		var old FoldResult
 		if err := json.Unmarshal(prev, &old); err == nil && len(old.Current) > 0 {
 			res.Baselines = append(old.Baselines, FoldBaseline{Label: old.Label, Points: old.Current})
+			if old.Label == label {
+				res.Scaling = old.Scaling
+			}
 		}
 	}
 	data, err := json.MarshalIndent(res, "", "  ")
@@ -168,6 +255,70 @@ func WriteFoldJSON(path, label string, points []FoldPoint) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// WriteScalingJSON installs a parallel-scaling series into an existing
+// (or fresh) BENCH_fold.json, leaving the current points and baseline
+// trajectory untouched.
+func WriteScalingJSON(path, label string, points []ScalingPoint) error {
+	res := FoldResult{
+		GeneratedBy: "cmd/flbench -experiment fold",
+		GoVersion:   runtime.Version(),
+		Label:       label,
+	}
+	if prev, err := os.ReadFile(path); err == nil {
+		var old FoldResult
+		if err := json.Unmarshal(prev, &old); err == nil {
+			res.Current = old.Current
+			res.Baselines = old.Baselines
+			if label == "" {
+				res.Label = old.Label
+			}
+		}
+	}
+	res.Scaling = points
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// CompareFold diffs freshly measured fold points against the committed
+// trajectory at path and returns one warning line per scenario whose
+// ns/row regressed by more than warnPct percent (plus a line per
+// scenario that cannot be compared). It never fails the caller: perf
+// diffs on shared machines are advisory.
+func CompareFold(path string, points []FoldPoint, warnPct float64) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var committed FoldResult
+	if err := json.Unmarshal(data, &committed); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	base := map[string]FoldPoint{}
+	for _, p := range committed.Current {
+		base[p.Scenario] = p
+	}
+	var warnings []string
+	for _, p := range points {
+		b, ok := base[p.Scenario]
+		if !ok {
+			warnings = append(warnings, fmt.Sprintf(
+				"NOTE  %-26s not in committed %s (label %q); no baseline to compare",
+				p.Scenario, path, committed.Label))
+			continue
+		}
+		delta := 100 * (p.NsPerRow - b.NsPerRow) / b.NsPerRow
+		if delta > warnPct {
+			warnings = append(warnings, fmt.Sprintf(
+				"WARN  %-26s %.1f ns/row vs committed %.1f (%+.1f%% > %.0f%% threshold)",
+				p.Scenario, p.NsPerRow, b.NsPerRow, delta, warnPct))
+		}
+	}
+	return warnings, nil
 }
 
 // FormatFold renders fold points as an aligned table, with each
@@ -179,6 +330,32 @@ func FormatFold(points []FoldPoint) string {
 	for _, p := range points {
 		s += fmt.Sprintf("%-26s %10d %12.1f %14.0f  %s\n",
 			p.Scenario, p.Rows, p.NsPerRow, p.RowsPerSec, formatPhaseMS(p.PhaseMS))
+	}
+	return s
+}
+
+// FormatScaling renders the parallel-scaling series as an aligned
+// table, pairing pool and spawn rows per (scenario, P) with the pool's
+// advantage.
+func FormatScaling(points []ScalingPoint) string {
+	s := "Parallel scaling (sampled-all, ParallelThreshold=512, best of reps)\n"
+	s += fmt.Sprintf("%-26s %4s %10s %12s %14s %10s\n",
+		"scenario", "P", "runtime", "ns/row", "rows/sec", "pool vs spawn")
+	spawn := map[string]float64{}
+	for _, p := range points {
+		if p.Runtime == "spawn" {
+			spawn[fmt.Sprintf("%s/%d", p.Scenario, p.Parallelism)] = p.NsPerRow
+		}
+	}
+	for _, p := range points {
+		adv := ""
+		if p.Runtime == "pool" {
+			if sp, ok := spawn[fmt.Sprintf("%s/%d", p.Scenario, p.Parallelism)]; ok && p.NsPerRow > 0 {
+				adv = fmt.Sprintf("%+.1f%%", 100*(sp-p.NsPerRow)/p.NsPerRow)
+			}
+		}
+		s += fmt.Sprintf("%-26s %4d %10s %12.1f %14.0f %10s\n",
+			p.Scenario, p.Parallelism, p.Runtime, p.NsPerRow, p.RowsPerSec, adv)
 	}
 	return s
 }

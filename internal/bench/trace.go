@@ -53,6 +53,7 @@ func TraceRun(cfg Config, queryName string, w io.Writer) (*TraceResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer eng.Close()
 	if _, err := eng.Run(nil); err != nil {
 		return nil, err
 	}

@@ -285,6 +285,76 @@ func (b *bindings) triEnv() *triEnv {
 	return te
 }
 
+// workerPointCtx builds a point-estimate context for a persistent
+// worker. Unlike pointCtx, the group and set lookups dereference the
+// binding slot (b.groups[i], b.sets[i]) at call time: reset() replaces
+// the binding structs wholesale during failure-recovery replay, which
+// would strand closures that captured the old pointers. Scalar values
+// are by-value snapshots; refreshTriEnv re-fills them before each task.
+func (b *bindings) workerPointCtx() *expr.Ctx {
+	ctx := &expr.Ctx{Scalars: make([]types.Value, len(b.scalars))}
+	ctx.Groups = make([]func(string) (types.Value, bool), len(b.groups))
+	for i := range b.groups {
+		ctx.Groups[i] = func(key string) (types.Value, bool) {
+			v, ok := b.groups[i].point[key]
+			return v, ok
+		}
+	}
+	ctx.SetsFns = make([]expr.SetLookup, len(b.sets))
+	for i := range b.sets {
+		ctx.SetsFns[i] = func(key string) bool { return b.sets[i].point[key] }
+	}
+	return ctx
+}
+
+// workerTriEnv is triEnv for a persistent worker: group/set lookups are
+// dynamic (they survive bindings.reset), the scalar snapshots are
+// filled by refreshTriEnv before each batch of tasks.
+func (b *bindings) workerTriEnv() *triEnv {
+	te := &triEnv{pointCtx: b.workerPointCtx()}
+	te.scalarRanges = make([]paramRange, len(b.scalars))
+	te.groupRanges = make([]func(string) paramRange, len(b.groups))
+	for i := range b.groups {
+		te.groupRanges[i] = func(key string) paramRange {
+			g := b.groups[i]
+			if r, ok := g.rng[key]; ok {
+				return r
+			}
+			if g.complete {
+				// Missing group on a fully-consumed table: the nested
+				// aggregate is NULL for this key, so predicates fail.
+				return paramRange{status: rsNull}
+			}
+			return paramRange{status: rsUnknown}
+		}
+	}
+	te.setTri = make([]func(string) tri, len(b.sets))
+	for i := range b.sets {
+		te.setTri[i] = func(key string) tri {
+			s := b.sets[i]
+			if t, ok := s.tri[key]; ok {
+				return t
+			}
+			if s.complete {
+				return triFalse
+			}
+			return triUnknown
+		}
+	}
+	return te
+}
+
+// refreshTriEnv re-snapshots the by-value state of a worker triEnv —
+// scalar points and variation ranges — from the current bindings.
+// Everything else in the environment reads the live bindings at call
+// time and needs no refresh.
+func (b *bindings) refreshTriEnv(te *triEnv) {
+	for i, s := range b.scalars {
+		te.scalarRanges[i] = s.rng
+		te.pointCtx.Scalars[i] = s.point
+	}
+}
+
 // updateScalar installs a fresh estimate and variation range for scalar
 // param idx; it reports whether a committed-range failure was detected.
 func (b *bindings) updateScalar(idx int, point types.Value, reps []types.Value, rng paramRange) bool {

@@ -64,6 +64,18 @@ type Options struct {
 	// 0 = GOMAXPROCS; 1 = serial. Results are identical up to group
 	// ordering; full run-to-run determinism requires a fixed value.
 	Parallelism int
+	// ParallelThreshold is the minimum shard size (rows) worth a worker:
+	// batches below 2×threshold run serially, and the worker count is
+	// clamped to rows/threshold. ≤0 resolves to the default (2048).
+	// Lower it to engage more workers on small batches (the scaling
+	// bench sweeps it); raise it when per-tuple work is very cheap.
+	ParallelThreshold int
+	// PerBatchSpawn selects the legacy parallel runtime that spawns
+	// fresh goroutines and allocates fresh shard tables every mini-batch
+	// instead of using the persistent worker pool. Kept as the A/B
+	// baseline for the scaling benchmark; it also disables uncertain-set
+	// reclassification parallelism and weight prefetch.
+	PerBatchSpawn bool
 	// Seed makes the run deterministic.
 	Seed uint64
 	// Profile enables fine-grained phase timing inside the per-tuple
@@ -100,6 +112,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Parallelism <= 0 {
 		o.Parallelism = defaultParallelism()
+	}
+	if o.ParallelThreshold <= 0 {
+		o.ParallelThreshold = 2048
 	}
 	if o.Seed == 0 {
 		o.Seed = 0x60A11DB
@@ -170,6 +185,12 @@ type Engine struct {
 	stepAcc  phaseAcc
 	blockAcc []phaseAcc
 	cumAcc   phaseAcc
+	// Persistent parallel runtime (see pool.go / pipeline.go): pool is
+	// the lazily created worker pool, prefetch the per-table
+	// double-buffered bootstrap-weight pipeline, closed the Close latch.
+	pool     *workerPool
+	closed   bool
+	prefetch map[string]*weightPrefetch
 }
 
 // triEnv builds the classification environment with memoized
@@ -240,7 +261,8 @@ func New(q *plan.Query, cat *storage.Catalog, opt Options) (*Engine, error) {
 			"(projection-only queries have no converging result to refine)")
 	}
 	e := &Engine{q: q, cat: cat, opt: opt, tables: map[string]*tableStream{},
-		hpCache: map[expr.Expr]bool{}, colCache: map[expr.Expr]bool{}}
+		hpCache: map[expr.Expr]bool{}, colCache: map[expr.Expr]bool{},
+		prefetch: map[string]*weightPrefetch{}}
 	e.bind = newBindings(len(q.ScalarBlocks), len(q.GroupBlocks), len(q.SetBlocks), opt.Trials)
 	for _, b := range q.Blocks {
 		if _, ok := e.tables[b.Input.Fact]; ok {
@@ -298,6 +320,7 @@ func New(q *plan.Query, cat *storage.Catalog, opt Options) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
+		r.idx = len(e.runners)
 		e.runners = append(e.runners, r)
 	}
 	e.warmExprCaches()
@@ -522,7 +545,7 @@ func (e *Engine) processBatch(bi int) bool {
 			if r.b == e.q.Root {
 				e.metrics.RowsProcessed += int64(len(rows))
 			}
-			r.feedBatchParallel(rows, ts.starts[bi], ts, te)
+			r.feedBatchParallel(rows, ts.starts[bi], ts, te, e.prefetched(ts, bi))
 		}
 		if r.b.Kind != plan.RootBlock {
 			t1 := time.Now()
@@ -533,6 +556,9 @@ func (e *Engine) processBatch(bi int) bool {
 			}
 		}
 	}
+	// Pipeline the next batch's bootstrap weights onto the workers while
+	// the controller runs this batch's snapshot tail.
+	e.launchPrefetch(bi + 1)
 	return true
 }
 
@@ -540,6 +566,10 @@ func (e *Engine) processBatch(bi int) bool {
 // Epsilon boosts persist across attempts, guaranteeing termination.
 func (e *Engine) replayUpTo(upto int) {
 	for attempt := 0; attempt < 16; attempt++ {
+		// Weight prefetch may hold (or still be filling) a buffer for a
+		// batch the replay restarts behind; drain and discard it so the
+		// replayed prefix re-pipelines from batch 0.
+		e.invalidatePrefetch()
 		if attempt == 15 {
 			// Guaranteed termination: repeated failures mean the
 			// variation ranges cannot be trusted for this workload;

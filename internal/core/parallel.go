@@ -9,16 +9,20 @@ import (
 )
 
 // Intra-batch parallelism. FluoDB is "a parallel online query execution
-// framework" (§1); here each mini-batch is sharded across workers, each
-// folding into a private aggregate table and uncertain buffer, merged
-// deterministically (worker 0..P−1) afterwards. All aggregate states
-// are mergeable by construction (internal/agg), the CLT moments merge
-// with the parallel-variance formula, and per-tuple resamples are
-// counter-based hashes, so the statistics are identical to a serial run
-// up to group insertion order.
-
-// parallelThreshold is the minimum shard size worth a goroutine.
-const parallelThreshold = 2048
+// framework" (§1); here each mini-batch is sharded across the engine's
+// persistent workers (pool.go), each folding into a private aggregate
+// table and uncertain buffer, merged deterministically (worker 0..P−1)
+// afterwards. All aggregate states are mergeable by construction
+// (internal/agg), the CLT moments merge with the parallel-variance
+// formula, and per-tuple resamples are counter-based hashes, so the
+// statistics are identical to a serial run up to group insertion order.
+//
+// Worker shard state persists across batches: tables are reset (entry
+// free list), not reallocated, and the weights scratch, uncertain
+// buffers and classification environments are reused. The pre-pool
+// runtime that spawned fresh goroutines and tables per batch survives
+// as feedBatchSpawn behind Options.PerBatchSpawn, as the A/B baseline
+// for the scaling benchmark.
 
 // merge folds another accumulator into a (Chan et al. parallel
 // variance).
@@ -38,12 +42,15 @@ func (a *cltAcc) merge(b cltAcc) {
 }
 
 // feedShard folds rows[lo:hi) of a mini-batch into a private table and
-// uncertain buffer. te, tab, uncertain, arena, acc and the weights
-// scratch must be private to the worker.
-func (r *blockRunner) feedShard(rows []types.Row, baseIdx int, ts *tableStream, te *triEnv, tab *onlineTable, uncertain *[]uncertainRow, arena *weightArena, folds *int64, acc *phaseAcc) {
+// uncertain buffer. te, tab, uncertain, arena, acc and the wbuf weights
+// scratch must be private to the worker; the (possibly grown) scratch
+// is returned for reuse. pf, when non-nil, supplies prefetched
+// subsample membership and weight vectors for the whole batch
+// (read-only, safely shared across shards).
+func (r *blockRunner) feedShard(rows []types.Row, baseIdx int, ts *tableStream, te *triEnv, tab *onlineTable, uncertain *[]uncertainRow, arena *weightArena, folds *int64, acc *phaseAcc, wbuf []uint8, pf *weightPrefetch) []uint8 {
 	e := r.eng
 	prof := e.profile
-	var wbuf []uint8
+	trials := e.opt.Trials
 	for i, fact := range rows {
 		var weights []uint8
 		repW := 0.0
@@ -51,7 +58,12 @@ func (r *blockRunner) feedShard(rows []types.Row, baseIdx int, ts *tableStream, 
 		if prof {
 			t0 = time.Now()
 		}
-		if e.sampled(ts, baseIdx+i) {
+		if pf != nil {
+			if ri := baseIdx + i - pf.start; pf.sampled[ri] {
+				weights = pf.weights[ri*trials : (ri+1)*trials]
+				repW = ts.invP
+			}
+		} else if e.sampled(ts, baseIdx+i) {
 			wbuf = e.weightsInto(wbuf, ts, baseIdx+i)
 			weights = wbuf
 			repW = ts.invP
@@ -61,12 +73,14 @@ func (r *blockRunner) feedShard(rows []types.Row, baseIdx int, ts *tableStream, 
 		}
 		r.feedTupleTo(fact, weights, repW, te, tab, uncertain, arena, folds, acc)
 	}
+	return wbuf
 }
 
 // feedBatchSerial folds a mini-batch on the caller's goroutine, reusing
 // the runner's weights scratch.
-func (r *blockRunner) feedBatchSerial(rows []types.Row, baseIdx int, ts *tableStream, te *triEnv) {
+func (r *blockRunner) feedBatchSerial(rows []types.Row, baseIdx int, ts *tableStream, te *triEnv, pf *weightPrefetch) {
 	prof := r.eng.profile
+	trials := r.eng.opt.Trials
 	for i, fact := range rows {
 		var weights []uint8
 		repW := 0.0
@@ -74,7 +88,12 @@ func (r *blockRunner) feedBatchSerial(rows []types.Row, baseIdx int, ts *tableSt
 		if prof {
 			t0 = time.Now()
 		}
-		if r.eng.sampled(ts, baseIdx+i) {
+		if pf != nil {
+			if ri := baseIdx + i - pf.start; pf.sampled[ri] {
+				weights = pf.weights[ri*trials : (ri+1)*trials]
+				repW = ts.invP
+			}
+		} else if r.eng.sampled(ts, baseIdx+i) {
 			r.wbuf = r.eng.weightsInto(r.wbuf, ts, baseIdx+i)
 			weights = r.wbuf
 			repW = ts.invP
@@ -88,21 +107,78 @@ func (r *blockRunner) feedBatchSerial(rows []types.Row, baseIdx int, ts *tableSt
 
 // feedBatchParallel shards one mini-batch across the engine's workers.
 // It falls back to serial feeding for small batches, or when the shard
-// clamp leaves a single worker (one goroutine with full shard/merge
+// clamp leaves a single worker (one worker with full shard/merge
 // overhead would only be slower).
-func (r *blockRunner) feedBatchParallel(rows []types.Row, baseIdx int, ts *tableStream, te *triEnv) {
-	workers := r.eng.opt.Parallelism
-	if workers <= 1 || len(rows) < 2*parallelThreshold {
-		r.feedBatchSerial(rows, baseIdx, ts, te)
+func (r *blockRunner) feedBatchParallel(rows []types.Row, baseIdx int, ts *tableStream, te *triEnv, pf *weightPrefetch) {
+	e := r.eng
+	workers := e.opt.Parallelism
+	thr := e.opt.ParallelThreshold
+	if workers <= 1 || len(rows) < 2*thr {
+		r.feedBatchSerial(rows, baseIdx, ts, te, pf)
 		return
 	}
-	if max := len(rows) / parallelThreshold; workers > max {
+	if max := len(rows) / thr; workers > max {
 		workers = max
 	}
 	if workers <= 1 {
-		r.feedBatchSerial(rows, baseIdx, ts, te)
+		r.feedBatchSerial(rows, baseIdx, ts, te, pf)
 		return
 	}
+	if e.opt.PerBatchSpawn {
+		r.feedBatchSpawn(rows, baseIdx, ts, workers, pf)
+		return
+	}
+	pool := e.ensurePool()
+	if pool == nil { // engine closed: degrade to serial, stay correct
+		r.feedBatchSerial(rows, baseIdx, ts, te, pf)
+		return
+	}
+	var wg sync.WaitGroup
+	size := len(rows) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * size
+		hi := lo + size
+		if w == workers-1 {
+			hi = len(rows)
+		}
+		pool.submit(w, &wg, func(wc *workerCtx) {
+			sh := wc.shard(r)
+			wte := wc.refresh(e)
+			wr := *r // shallow: shares block/engine, swaps per-worker scratch
+			wr.joiner = sh.joiner
+			wc.wbuf = wr.feedShard(rows[lo:hi], baseIdx+lo, ts, wte,
+				sh.tab, &sh.uncertain, &sh.arena, &sh.folds, &sh.acc, wc.wbuf, pf)
+		})
+	}
+	wg.Wait()
+	// Drain worker shards in worker order (0..P−1): with shard
+	// boundaries fixed by row position this reproduces the group
+	// insertion order of the per-batch-spawn runtime exactly.
+	for w := 0; w < workers; w++ {
+		sh := pool.ctxs[w].shards[r.idx]
+		r.tab.merge(sh.tab)
+		r.uncertain = append(r.uncertain, sh.uncertain...)
+		r.arena.adopt(&sh.arena)
+		e.metrics.DeterministicFolds += sh.folds
+		sh.folds = 0
+		r.acc.merge(&sh.acc)
+		sh.acc.reset()
+		// The uncertain rows now live in r.uncertain; keep the worker
+		// buffer (zeroed so dropped rows stay collectable) and recycle
+		// the shard table's entries for the next batch.
+		for i := range sh.uncertain {
+			sh.uncertain[i] = uncertainRow{}
+		}
+		sh.uncertain = sh.uncertain[:0]
+		sh.tab.recycle()
+	}
+	r.sampledIdxValid = false
+}
+
+// feedBatchSpawn is the legacy parallel runtime: fresh goroutines,
+// tables and uncertain buffers every batch. workers has already been
+// clamped by feedBatchParallel.
+func (r *blockRunner) feedBatchSpawn(rows []types.Row, baseIdx int, ts *tableStream, workers int, pf *weightPrefetch) {
 	type shardOut struct {
 		tab       *onlineTable
 		uncertain *[]uncertainRow
@@ -137,7 +213,7 @@ func (r *blockRunner) feedBatchParallel(rows []types.Row, baseIdx int, ts *table
 			out := &outs[w]
 			out.tab = tab
 			out.uncertain = unc
-			wr.feedShard(rows[lo:hi], baseIdx+lo, ts, wte, tab, unc, &out.arena, &out.folds, &out.acc)
+			wr.feedShard(rows[lo:hi], baseIdx+lo, ts, wte, tab, unc, &out.arena, &out.folds, &out.acc, nil, pf)
 		}(w, lo, hi)
 	}
 	wg.Wait()

@@ -54,19 +54,17 @@ func determinismCatalog(n int, seed uint64) *storage.Catalog {
 	return cat
 }
 
-func runSnapshots(t *testing.T, cat *storage.Catalog, seed uint64, parallelism int) []*Snapshot {
+func runSnapshots(t *testing.T, cat *storage.Catalog, sql string, o Options) []*Snapshot {
 	t.Helper()
-	q, err := plan.Compile(`SELECT a, b, COUNT(x), SUM(x), AVG(x) FROM facts GROUP BY a, b`, cat)
+	q, err := plan.Compile(sql, cat)
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := New(q, cat, Options{
-		Batches: 3, Trials: 50, Seed: seed,
-		BootstrapSampleCap: -1, Parallelism: parallelism,
-	})
+	eng, err := New(q, cat, o)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer eng.Close()
 	var snaps []*Snapshot
 	for {
 		snap, err := eng.Step()
@@ -80,27 +78,130 @@ func runSnapshots(t *testing.T, cat *storage.Catalog, seed uint64, parallelism i
 	}
 }
 
+// compareSnapshots asserts two snapshot series are bit-identical row by
+// row (group order included).
+func compareSnapshots(t *testing.T, label string, serial, parallel []*Snapshot) {
+	t.Helper()
+	if len(serial) != len(parallel) {
+		t.Fatalf("%s: snapshot count: serial %d, parallel %d", label, len(serial), len(parallel))
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if len(s.Rows) != len(p.Rows) {
+			t.Fatalf("%s: batch %d: row count: serial %d, parallel %d", label, i+1, len(s.Rows), len(p.Rows))
+		}
+		for r := range s.Rows {
+			if !reflect.DeepEqual(s.Rows[r], p.Rows[r]) {
+				t.Errorf("%s: batch %d row %d differs:\n serial:   %+v\n parallel: %+v",
+					label, i+1, r, s.Rows[r], p.Rows[r])
+			}
+		}
+	}
+}
+
+const determinismSQL = `SELECT a, b, COUNT(x), SUM(x), AVG(x) FROM facts GROUP BY a, b`
+
+func determinismOptions(seed uint64) Options {
+	return Options{
+		Batches: 3, Trials: 50, Seed: seed,
+		BootstrapSampleCap: -1, Parallelism: 1,
+		// Threshold low enough that P=8 engages on the 8192-row batches
+		// (the worker clamp caps workers at rows/threshold).
+		ParallelThreshold: 512,
+	}
+}
+
+// TestParallelFoldBitIdentical sweeps the pooled runtime across
+// P∈{1,2,4,8} (pipelined weight prefetch included — it activates with
+// the pool) and the legacy per-batch-spawn runtime, asserting every
+// configuration reproduces the serial snapshots bit for bit.
 func TestParallelFoldBitIdentical(t *testing.T) {
 	for _, seed := range []uint64{1, 7, 23} {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			cat := determinismCatalog(3*8192, seed)
-			serial := runSnapshots(t, cat, seed, 1)
-			parallel := runSnapshots(t, cat, seed, 4)
-			if len(serial) != len(parallel) {
-				t.Fatalf("snapshot count: serial %d, parallel %d", len(serial), len(parallel))
+			serial := runSnapshots(t, cat, determinismSQL, determinismOptions(seed))
+			for _, p := range []int{2, 4, 8} {
+				o := determinismOptions(seed)
+				o.Parallelism = p
+				compareSnapshots(t, fmt.Sprintf("pool P=%d", p),
+					serial, runSnapshots(t, cat, determinismSQL, o))
 			}
-			for i := range serial {
-				s, p := serial[i], parallel[i]
-				if len(s.Rows) != len(p.Rows) {
-					t.Fatalf("batch %d: row count: serial %d, parallel %d", i+1, len(s.Rows), len(p.Rows))
-				}
-				for r := range s.Rows {
-					if !reflect.DeepEqual(s.Rows[r], p.Rows[r]) {
-						t.Errorf("batch %d row %d differs:\n serial:   %+v\n parallel: %+v",
-							i+1, r, s.Rows[r], p.Rows[r])
-					}
-				}
-			}
+			o := determinismOptions(seed)
+			o.Parallelism = 4
+			o.PerBatchSpawn = true
+			compareSnapshots(t, "spawn P=4",
+				serial, runSnapshots(t, cat, determinismSQL, o))
 		})
 	}
+}
+
+// TestRecomputeReplayBitIdentical forces a variation-range failure
+// mid-run and asserts the replayed parallel result is byte-identical to
+// a serial run — the guard for prefetch invalidation and pool draining
+// across replayUpTo (meaningful under -race too: replay overlaps the
+// in-flight prefetch of the batch that failed).
+//
+// The fixture streams an ascending integer measure, so the scalar
+// subquery's prefix AVG drifts upward monotonically: a range committed
+// against an early prefix must fail as later batches arrive. Integer
+// measures keep every float operation exact (see the package comment on
+// determinismCatalog), so bit-identity is a meaningful assertion.
+func TestRecomputeReplayBitIdentical(t *testing.T) {
+	const sql = `SELECT a, COUNT(x), SUM(x) FROM drift
+		WHERE x < (SELECT 0.6 * AVG(x) FROM drift) GROUP BY a`
+	cat := storage.NewCatalog()
+	tb := storage.NewTable("drift", types.NewSchema(
+		"a", types.KindString,
+		"x", types.KindFloat,
+	))
+	as := []string{"aa", "bb", "cc", "dd", "ee", "ff", "gg", "hh"}
+	n := 8 * 2048
+	for i := 0; i < n; i++ {
+		_ = tb.Append(types.Row{
+			types.NewString(as[i%len(as)]),
+			types.NewFloat(float64(i)),
+		})
+	}
+	cat.Put(tb)
+
+	opts := func(parallelism int) Options {
+		return Options{
+			Batches: 8, Trials: 40, Seed: 11,
+			BootstrapSampleCap: -1,
+			EpsilonSigma:       0.25, // tight ranges: the drifting AVG must escape
+			Parallelism:        parallelism,
+			ParallelThreshold:  256,
+		}
+	}
+	recomputes := func(t *testing.T, o Options) ([]*Snapshot, int) {
+		q, err := plan.Compile(sql, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := New(q, cat, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		var snaps []*Snapshot
+		for {
+			snap, err := eng.Step()
+			if err == ErrDone {
+				return snaps, eng.Metrics().Recomputes
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			snaps = append(snaps, snap)
+		}
+	}
+	serial, sRec := recomputes(t, opts(1))
+	parallel, pRec := recomputes(t, opts(4))
+	if sRec == 0 {
+		t.Fatal("fixture chosen to force a variation-range failure reported Recomputes = 0")
+	}
+	if sRec != pRec {
+		t.Fatalf("recompute count: serial %d, parallel %d", sRec, pRec)
+	}
+	compareSnapshots(t, "recompute P=4", serial, parallel)
 }

@@ -1,0 +1,116 @@
+package core
+
+import "sync"
+
+// Pipelined bootstrap-weight generation. Per-tuple resamples are
+// counter-based hashes — a pure function of (seed, table, row index,
+// trial) independent of any engine state — so batch k+1's weight
+// vectors and subsample membership can be computed on the worker pool
+// while the controller runs batch k's serial ranges/snapshot tail. The
+// per-table buffer is double-buffered by construction: a fill is
+// launched only after the previous fill has been fully consumed
+// (launchPrefetch waits on ready before reusing the arrays), and every
+// consumer waits on ready and validates the (table, batch) identity
+// before reading. Failure-recovery replay restarts the prefix at batch
+// 0, so replayUpTo invalidates the buffers up front; because the
+// derivation is pure, a discarded prefetch costs nothing but the work.
+
+// weightPrefetch is one table's prefetched weight block for a single
+// upcoming mini-batch.
+type weightPrefetch struct {
+	ts    *tableStream
+	batch int
+	start int // global row index of the batch's first row
+	// sampled[i] reports subsample membership of row start+i; weights
+	// holds the per-trial multiplicities of sampled rows, laid out
+	// [row][trial] (rows outside the subsample keep stale bytes — they
+	// are never read).
+	sampled []bool
+	weights []uint8
+	// ready is the fill barrier: launchPrefetch adds the worker tasks,
+	// every reader (consumer, relaunch, invalidate, Close) waits on it.
+	ready sync.WaitGroup
+	valid bool
+}
+
+// launchPrefetch schedules batch bi's weight generation on the worker
+// pool for every streamed table. It is a no-op until the pool exists
+// (serial engines never pay for it) and under the legacy per-batch
+// spawn runtime.
+func (e *Engine) launchPrefetch(bi int) {
+	if e.pool == nil || e.closed || e.opt.PerBatchSpawn || bi >= e.opt.Batches {
+		return
+	}
+	trials := e.opt.Trials
+	for _, ts := range e.tables {
+		if bi >= len(ts.batches) || len(ts.batches[bi]) == 0 {
+			continue
+		}
+		pf := e.prefetch[ts.name]
+		if pf == nil {
+			pf = &weightPrefetch{}
+			e.prefetch[ts.name] = pf
+		}
+		// The previous fill must be fully drained before its arrays are
+		// reused (consumers waited on ready before reading, and the batch
+		// that read them has already been processed by the time the next
+		// launch happens).
+		pf.ready.Wait()
+		n := len(ts.batches[bi])
+		pf.ts, pf.batch, pf.start, pf.valid = ts, bi, ts.starts[bi], true
+		if cap(pf.sampled) < n {
+			pf.sampled = make([]bool, n)
+		}
+		pf.sampled = pf.sampled[:n]
+		if cap(pf.weights) < n*trials {
+			pf.weights = make([]uint8, n*trials)
+		}
+		pf.weights = pf.weights[:n*trials]
+		workers := e.pool.size()
+		if workers > n {
+			workers = n
+		}
+		size := n / workers
+		for w := 0; w < workers; w++ {
+			lo := w * size
+			hi := lo + size
+			if w == workers-1 {
+				hi = n
+			}
+			e.pool.submit(w, &pf.ready, func(*workerCtx) {
+				for i := lo; i < hi; i++ {
+					s := e.sampled(ts, pf.start+i)
+					pf.sampled[i] = s
+					if s {
+						e.weightsInto(pf.weights[i*trials:i*trials:(i+1)*trials], ts, pf.start+i)
+					}
+				}
+			})
+		}
+	}
+}
+
+// prefetched returns the prefetch buffer for (ts, bi) once its fill has
+// completed, or nil when no matching prefetch exists (the feed path
+// then derives weights inline, producing byte-identical values).
+func (e *Engine) prefetched(ts *tableStream, bi int) *weightPrefetch {
+	pf := e.prefetch[ts.name]
+	if pf == nil {
+		return nil
+	}
+	pf.ready.Wait()
+	if !pf.valid || pf.ts != ts || pf.batch != bi {
+		return nil
+	}
+	return pf
+}
+
+// invalidatePrefetch drains in-flight fills and marks every buffer
+// stale. Called before each replay attempt: the replayed prefix
+// restarts at batch 0 and must re-pipeline from there.
+func (e *Engine) invalidatePrefetch() {
+	for _, pf := range e.prefetch {
+		pf.ready.Wait()
+		pf.valid = false
+	}
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"fluodb/internal/exec"
+	"fluodb/internal/expr"
+)
+
+// The persistent worker pool. PF-OLA's lesson (and our own PR 2
+// profiles) is that parallel OLA pays off only when estimation work is
+// overlapped with execution instead of re-set-up at every barrier: the
+// previous runtime re-spawned goroutines and re-allocated per-worker
+// group tables for every mini-batch, and ran reclassification and
+// bootstrap-weight generation serially on the controller. Here each
+// engine owns P long-lived workers, each with a reusable shard context
+// (group table reset — not reallocated — across batches, a refreshable
+// classification environment, weight arena, uncertain buffer, joiner
+// clone, phase accumulator). The controller feeds work descriptors over
+// per-worker channels; shard k always runs on worker k and results are
+// merged in worker order, so the pooled runtime is bit-identical to the
+// per-batch-spawn path it replaces (and to a serial run, up to the same
+// group-ordering caveats as before).
+//
+// Lifecycle: the pool is created lazily on first parallel work and
+// stopped by Engine.Close. A finalizer backstops engines that are
+// dropped without Close — workers hold no reference to the engine
+// between tasks (contexts are delivered inside each task, and the task
+// value is cleared before the next blocking receive), so an abandoned
+// engine becomes collectable and its finalizer shuts the workers down.
+
+// poolTask is one unit of work: fn runs on the worker's goroutine with
+// the worker's reusable context; wg is the submitter's barrier.
+type poolTask struct {
+	fn  func(*workerCtx)
+	wg  *sync.WaitGroup
+	ctx *workerCtx
+}
+
+// workerShard is one worker's per-block reusable fold state. Everything
+// here is private to the worker during a batch and drained by the
+// controller at the merge barrier.
+type workerShard struct {
+	tab       *onlineTable
+	uncertain []uncertainRow
+	arena     weightArena
+	joiner    *exec.Joiner
+	folds     int64
+	acc       phaseAcc
+}
+
+// workerCtx is one worker's cross-batch scratch. It deliberately holds
+// no *Engine or *blockRunner: the pool must not keep an abandoned
+// engine reachable, or the shutdown finalizer could never run.
+type workerCtx struct {
+	id     int
+	te     *triEnv
+	wbuf   []uint8
+	shards []*workerShard
+}
+
+// shard returns (creating on first use) the worker's reusable fold
+// state for runner r.
+func (wc *workerCtx) shard(r *blockRunner) *workerShard {
+	for len(wc.shards) <= r.idx {
+		wc.shards = append(wc.shards, nil)
+	}
+	sh := wc.shards[r.idx]
+	if sh == nil {
+		sh = &workerShard{
+			tab: newShardTable(r.eng.opt.Trials),
+			// joiner shares the (read-only) dimension hash tables but its
+			// one-row scratch is per-call state: each worker owns a clone.
+			joiner: r.joiner.CloneForWorker(),
+		}
+		sh.tab.configure(r.cltKinds)
+		wc.shards[r.idx] = sh
+	}
+	return sh
+}
+
+// refresh returns the worker's classification environment, rebinding it
+// to the engine's current parameter estimates. The environment is built
+// once per worker; per-batch refresh only re-snapshots the scalar
+// values/ranges (group and set lookups read the live bindings). Its
+// expression-fact memos capture the engine's read-only cache maps, not
+// the engine itself.
+func (wc *workerCtx) refresh(e *Engine) *triEnv {
+	if wc.te == nil {
+		wc.te = e.bind.workerTriEnv()
+		hp, hc := e.hpCache, e.colCache
+		wc.te.hp = func(x expr.Expr) bool {
+			if v, ok := hp[x]; ok {
+				return v
+			}
+			return expr.HasParams(x)
+		}
+		wc.te.hc = func(x expr.Expr) bool {
+			if v, ok := hc[x]; ok {
+				return v
+			}
+			return hasCols(x)
+		}
+	}
+	e.bind.refreshTriEnv(wc.te)
+	return wc.te
+}
+
+// workerPool is a set of long-lived worker goroutines with per-worker
+// task channels. Shard i of any batch is always submitted to worker i,
+// which pins shard scratch to one goroutine and makes merge order (and
+// therefore output) deterministic.
+type workerPool struct {
+	chans []chan poolTask
+	ctxs  []*workerCtx
+	stopO sync.Once
+}
+
+func newWorkerPool(size int) *workerPool {
+	p := &workerPool{
+		chans: make([]chan poolTask, size),
+		ctxs:  make([]*workerCtx, size),
+	}
+	for i := range p.chans {
+		// A small buffer lets the controller enqueue the whole batch's
+		// shards (and async prefetch work) without blocking.
+		ch := make(chan poolTask, 4)
+		p.chans[i] = ch
+		p.ctxs[i] = &workerCtx{id: i}
+		go poolWorker(ch)
+	}
+	return p
+}
+
+// poolWorker is the worker loop. It intentionally references nothing
+// but its channel between tasks (the task value is zeroed before the
+// next blocking receive), so an idle pool keeps only its channels alive.
+func poolWorker(ch chan poolTask) {
+	for {
+		t, ok := <-ch
+		if !ok {
+			return
+		}
+		t.fn(t.ctx)
+		t.wg.Done()
+		t = poolTask{}
+		_ = t
+	}
+}
+
+// size returns the number of workers.
+func (p *workerPool) size() int { return len(p.chans) }
+
+// submit schedules fn on worker w under the given barrier.
+func (p *workerPool) submit(w int, wg *sync.WaitGroup, fn func(*workerCtx)) {
+	wg.Add(1)
+	p.chans[w] <- poolTask{fn: fn, wg: wg, ctx: p.ctxs[w]}
+}
+
+// stop closes every worker channel. The caller must have drained all
+// outstanding barriers first; submit after stop panics.
+func (p *workerPool) stop() {
+	p.stopO.Do(func() {
+		for _, ch := range p.chans {
+			close(ch)
+		}
+	})
+}
+
+// ensurePool returns the engine's worker pool, creating it (and
+// arming the shutdown finalizer) on first use; nil after Close.
+func (e *Engine) ensurePool() *workerPool {
+	if e.closed {
+		return nil
+	}
+	if e.pool == nil {
+		e.pool = newWorkerPool(e.opt.Parallelism)
+		runtime.SetFinalizer(e, (*Engine).Close)
+	}
+	return e.pool
+}
+
+// Close stops the engine's persistent worker pool and releases its
+// scratch. It is idempotent and safe on engines that never went
+// parallel. Further Steps fall back to serial execution. Engines
+// dropped without Close are backstopped by a finalizer, but explicit
+// Close releases the worker goroutines deterministically.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	// Pipelined prefetch work may still be in flight on the workers;
+	// drain it before closing their channels.
+	for _, pf := range e.prefetch {
+		pf.ready.Wait()
+	}
+	if e.pool != nil {
+		e.pool.stop()
+		e.pool = nil
+	}
+	runtime.SetFinalizer(e, nil)
+}

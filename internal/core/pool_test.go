@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"fluodb/internal/plan"
+)
+
+// pooledBatchEnv builds a warmed pooled engine over the fold catalog:
+// one Step creates the worker pool and every group, so repeated batch
+// feeds exercise the steady state.
+func pooledBatchEnv(tb testing.TB) (*Engine, *blockRunner, *tableStream, *triEnv) {
+	cat := foldCatalog(3*8192, 71)
+	q, err := plan.Compile(`SELECT a, b, SUM(x), AVG(x) FROM facts GROUP BY a, b`, cat)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	eng, err := New(q, cat, Options{
+		Batches: 3, Trials: 100, Seed: 72,
+		Parallelism: 4, ParallelThreshold: 512,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := eng.Step(); err != nil {
+		tb.Fatal(err)
+	}
+	r := eng.runners[len(eng.runners)-1]
+	return eng, r, eng.tables["facts"], eng.triEnv()
+}
+
+// TestPooledFeedBatchAllocs pins the pooled batch feed to amortized
+// ~zero allocations per tuple: after warmup, a batch costs only the
+// per-worker task closures (a handful of allocations amortized over
+// thousands of rows) — no fresh shard tables, goroutines, weight
+// scratch or uncertain buffers. The legacy spawn runtime allocated all
+// of those every batch; this gate keeps the pool honest.
+func TestPooledFeedBatchAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	eng, r, ts, te := pooledBatchEnv(t)
+	defer eng.Close()
+	rows := ts.batches[1]
+	// Warm the shard scratch (first pooled batch builds worker tables,
+	// joiner clones and classification environments).
+	r.feedBatchParallel(rows, ts.starts[1], ts, te, nil)
+	allocs := testing.AllocsPerRun(20, func() {
+		r.feedBatchParallel(rows, ts.starts[1], ts, te, nil)
+	})
+	perRow := allocs / float64(len(rows))
+	if perRow > 0.01 {
+		t.Fatalf("pooled batch feed allocates %.1f allocs/batch (%.4f/tuple) over %d rows, want ≤0.01/tuple",
+			allocs, perRow, len(rows))
+	}
+}
+
+// benchPooledBatch measures a full batch feed through either runtime;
+// the pooled path reuses warmed shard scratch, the spawn path pays
+// per-batch goroutine + shard-table setup.
+func benchPooledBatch(b *testing.B, spawn bool) {
+	cat := foldCatalog(3*8192, 71)
+	q, err := plan.Compile(`SELECT a, b, SUM(x), AVG(x) FROM facts GROUP BY a, b`, cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := New(q, cat, Options{
+		Batches: 3, Trials: 100, Seed: 72,
+		Parallelism: 4, ParallelThreshold: 512,
+		PerBatchSpawn: spawn,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.Step(); err != nil {
+		b.Fatal(err)
+	}
+	r := eng.runners[len(eng.runners)-1]
+	ts, te := eng.tables["facts"], eng.triEnv()
+	rows := ts.batches[1]
+	r.feedBatchParallel(rows, ts.starts[1], ts, te, nil)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(rows)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.feedBatchParallel(rows, ts.starts[1], ts, te, nil)
+	}
+}
+
+func BenchmarkFoldBatchPooled(b *testing.B) { benchPooledBatch(b, false) }
+func BenchmarkFoldBatchSpawn(b *testing.B)  { benchPooledBatch(b, true) }
+
+// TestEngineCloseIdempotent checks the pool lifecycle: Close is
+// idempotent, and a closed engine degrades to serial feeding instead of
+// panicking on its stopped pool.
+func TestEngineCloseIdempotent(t *testing.T) {
+	eng, r, ts, te := pooledBatchEnv(t)
+	eng.Close()
+	eng.Close()
+	// The pooled path must fall back to serial on a closed engine.
+	r.feedBatchParallel(ts.batches[1], ts.starts[1], ts, te, nil)
+	if eng.pool != nil {
+		t.Fatal("closed engine rebuilt its worker pool")
+	}
+}

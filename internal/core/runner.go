@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"fluodb/internal/agg"
@@ -29,6 +30,10 @@ type blockRunner struct {
 	b      *plan.Block
 	eng    *Engine
 	joiner *exec.Joiner
+	// idx is the runner's position in Engine.runners; worker contexts
+	// index their per-runner shard scratch by it (they must not hold
+	// runner pointers between tasks, see pool.go).
+	idx int
 
 	// WHERE split into certain conjuncts (no uncertain placeholders;
 	// evaluated exactly per tuple) and uncertain conjuncts (classified
@@ -47,6 +52,9 @@ type blockRunner struct {
 	// bootstrap subsample; trial overlays only visit those.
 	sampledIdx      []int
 	sampledIdxValid bool
+	// reclassBuf is the reusable per-row decision buffer of the parallel
+	// reclassification pass (one tri per cached uncertain row).
+	reclassBuf []uint8
 
 	// cltKinds classifies each aggregate for closed-form ranges;
 	// allCLT reports whether every aggregate in the block is estimable,
@@ -136,9 +144,20 @@ func (r *blockRunner) reclassify(te *triEnv) (folded, dropped int) {
 	if len(r.uncertain) == 0 {
 		return 0, 0
 	}
+	// For large uncertain sets the tri-state decisions are computed on
+	// the worker pool; the fold/drop applications below then run
+	// serially in original cache order, so the result is bit-identical
+	// to the fully serial scan.
+	decisions := r.reclassifyDecisions()
 	kept := r.uncertain[:0]
-	for _, u := range r.uncertain {
-		switch te.evalTri(r.uncertainWhere, u.row) {
+	for i, u := range r.uncertain {
+		d := triUnknown
+		if decisions != nil {
+			d = tri(decisions[i])
+		} else {
+			d = te.evalTri(r.uncertainWhere, u.row)
+		}
+		switch d {
 		case triTrue:
 			te.pointCtx.Row = u.row
 			r.tab.fold(r.b, te.pointCtx, u.weights, u.repW)
@@ -162,6 +181,55 @@ func (r *blockRunner) reclassify(te *triEnv) (folded, dropped int) {
 	}
 	r.sampledIdxValid = false
 	return folded, dropped
+}
+
+// reclassifyDecisions evaluates the uncertain predicate over the cached
+// uncertain set on the worker pool, one tri decision per row, or nil
+// when the set is too small (or parallelism is off / legacy spawn mode
+// is selected) — the caller then evaluates inline. Sharding uses the
+// same threshold-clamped split as the batch feed; decisions land in a
+// fixed per-row buffer, so worker completion order cannot reorder them.
+func (r *blockRunner) reclassifyDecisions() []uint8 {
+	e := r.eng
+	n := len(r.uncertain)
+	workers := e.opt.Parallelism
+	thr := e.opt.ParallelThreshold
+	if workers <= 1 || e.opt.PerBatchSpawn || n < 2*thr {
+		return nil
+	}
+	if max := n / thr; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		return nil
+	}
+	pool := e.ensurePool()
+	if pool == nil {
+		return nil
+	}
+	if cap(r.reclassBuf) < n {
+		r.reclassBuf = make([]uint8, n)
+	}
+	buf := r.reclassBuf[:n]
+	unc := r.uncertain
+	where := r.uncertainWhere
+	var wg sync.WaitGroup
+	size := n / workers
+	for w := 0; w < workers; w++ {
+		lo := w * size
+		hi := lo + size
+		if w == workers-1 {
+			hi = n
+		}
+		pool.submit(w, &wg, func(wc *workerCtx) {
+			wte := wc.refresh(e)
+			for i := lo; i < hi; i++ {
+				buf[i] = uint8(wte.evalTri(where, unc[i].row))
+			}
+		})
+	}
+	wg.Wait()
+	return buf
 }
 
 // feedTuple pushes one fact tuple (with its per-trial bootstrap

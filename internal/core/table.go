@@ -30,8 +30,8 @@ import (
 // state sets).
 type onlineEntry struct {
 	key  types.Row
-	skey string // canonical key string (computed once, at creation)
-	hash uint64 // HashKey of key (cached for probing and rehash)
+	skey string      // canonical key string (computed once, at creation)
+	hash uint64      // HashKey of key (cached for probing and rehash)
 	main []agg.State // nil when the table is banked
 	// mainW/mainV are the banked main accumulators (same per-kind
 	// semantics as bankW/bankV, weight 1 per tuple), so the
@@ -69,9 +69,13 @@ type onlineTable struct {
 	slots []int32
 	mask  uint64
 	// String-keyed view for binding/overlay/snapshot code; maintained at
-	// group creation only.
+	// group creation only. Shard tables (worker-private, merged into a
+	// runner table after every batch) have m == nil: they skip the
+	// string view entirely — skey is computed lazily at adoption time by
+	// merge — and recycle their entries across batches through free.
 	m     map[string]*onlineEntry
 	order []string
+	free  []*onlineEntry
 
 	trials   int
 	cltKinds []cltKind // per-aggregate CLT class (shared with the runner)
@@ -94,6 +98,13 @@ type onlineTable struct {
 
 func newOnlineTable(trials int) *onlineTable {
 	return &onlineTable{m: map[string]*onlineEntry{}, trials: trials}
+}
+
+// newShardTable builds a worker-private shard table: no string-keyed
+// view (nobody navigates a shard by key string; merge computes skey at
+// adoption), entries recycled batch to batch via recycle().
+func newShardTable(trials int) *onlineTable {
+	return &onlineTable{trials: trials}
 }
 
 // colIdx returns the source column index of a plain column reference,
@@ -131,7 +142,34 @@ func newEntryStates(b *plan.Block) []agg.State {
 }
 
 func (t *onlineTable) newEntry(b *plan.Block, key types.Row, hash uint64) *onlineEntry {
-	e := &onlineEntry{key: key, hash: hash}
+	if n := len(t.free); n > 0 {
+		// Recycled (banked-only, see recycle) entry: zero the
+		// accumulators, take over the key. The bank slices keep their
+		// backing arrays — this is the cross-batch allocation the shard
+		// tables exist to avoid.
+		e := t.free[n-1]
+		t.free = t.free[:n-1]
+		if cap(e.key) >= len(key) {
+			e.key = e.key[:len(key)]
+			copy(e.key, key)
+		} else {
+			e.key = key.Clone()
+		}
+		e.skey = ""
+		e.hash = hash
+		for i := range e.mainW {
+			e.mainW[i], e.mainV[i] = 0, 0
+		}
+		for i := range e.bankW {
+			e.bankW[i], e.bankV[i] = 0, 0
+		}
+		for i := range e.clt {
+			e.clt[i] = cltAcc{}
+		}
+		e.n, e.ns = 0, 0
+		return e
+	}
+	e := &onlineEntry{key: key.Clone(), hash: hash}
 	if t.banked {
 		na := len(b.Aggs)
 		mw := make([]float64, 2*na)
@@ -231,11 +269,13 @@ func (t *onlineTable) entry(b *plan.Block, ctx *expr.Ctx) *onlineEntry {
 	if e := t.find(h, t.keyRow, t.cols); e != nil {
 		return e
 	}
-	e := t.newEntry(b, t.keyRow.Clone(), h)
-	e.skey = t.keyRow.KeyString(t.cols)
+	e := t.newEntry(b, t.keyRow, h)
 	t.insert(e)
-	t.m[e.skey] = e
-	t.order = append(t.order, e.skey)
+	if t.m != nil {
+		e.skey = t.keyRow.KeyString(t.cols)
+		t.m[e.skey] = e
+		t.order = append(t.order, e.skey)
+	}
 	return e
 }
 
@@ -433,19 +473,46 @@ func (e *onlineEntry) mergeEntry(o *onlineEntry) {
 
 // merge folds a worker table into t, preserving t's insertion order for
 // existing groups and appending new groups in the worker's order.
+// Adopted entries (new groups moving wholesale into t) are nil'ed out
+// of o so a following o.recycle() cannot hand them back out.
 func (t *onlineTable) merge(o *onlineTable) {
 	cols := t.cols
 	if cols == nil {
 		cols = o.cols // t may not have seen a tuple yet
 	}
-	for _, oe := range o.entries {
+	for k, oe := range o.entries {
 		e := t.find(oe.hash, oe.key, cols)
 		if e == nil {
+			if oe.skey == "" && len(oe.key) > 0 {
+				// Shard tables skip the string key; compute it once, at
+				// adoption. (A scalar block's sole group legitimately has
+				// skey "", and recomputing it would yield "" again.)
+				oe.skey = oe.key.KeyString(cols)
+			}
 			t.insert(oe)
 			t.m[oe.skey] = oe
 			t.order = append(t.order, oe.skey)
+			o.entries[k] = nil
 			continue
 		}
 		e.mergeEntry(oe)
+	}
+}
+
+// recycle resets a shard table for the next batch: entries not adopted
+// by the merge target return to the free list (banked tables only —
+// generic agg.States have no reset), probe slots clear, the entry list
+// truncates. The backing arrays all survive, so a steady-state batch
+// creates no per-group garbage.
+func (t *onlineTable) recycle() {
+	for i, e := range t.entries {
+		if e != nil && t.banked {
+			t.free = append(t.free, e)
+		}
+		t.entries[i] = nil
+	}
+	t.entries = t.entries[:0]
+	for i := range t.slots {
+		t.slots[i] = 0
 	}
 }

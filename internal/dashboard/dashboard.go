@@ -189,6 +189,7 @@ func (s *Server) Query(w http.ResponseWriter, r *http.Request) {
 		send(SnapshotJSON{Err: err.Error()})
 		return
 	}
+	defer eng.Close()
 	s.queries.Inc()
 	s.active.Add(1)
 	defer s.active.Add(-1)

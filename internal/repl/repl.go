@@ -286,6 +286,7 @@ func (c *Console) runOnline(sql string) error {
 	if err != nil {
 		return err
 	}
+	defer eng.Close()
 	start := c.Now()
 	for !eng.Done() {
 		s, err := eng.Step()

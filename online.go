@@ -99,6 +99,14 @@ func (oq *OnlineQuery) Run(fn func(*Snapshot) bool) (*Snapshot, error) {
 // Metrics returns accumulated execution statistics.
 func (oq *OnlineQuery) Metrics() OnlineMetrics { return oq.eng.Metrics() }
 
+// Close releases the query's persistent worker pool. It is idempotent
+// and safe to call at any point — a closed query keeps answering
+// Metrics/Report, and any further Steps degrade to serial execution. A
+// finalizer reclaims the pool of an abandoned query eventually, but
+// callers that create many queries should Close each one (or defer it)
+// to bound live goroutines.
+func (oq *OnlineQuery) Close() { oq.eng.Close() }
+
 // Violation is one committed deterministic decision contradicted by the
 // engine's current point state (see AuditInvariants).
 type Violation = core.Violation

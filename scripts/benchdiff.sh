@@ -1,0 +1,14 @@
+#!/bin/sh
+# Advisory perf diff: run the fold benchmark fresh and compare ns/row
+# per scenario against the committed BENCH_fold.json trajectory.
+# Prints WARN lines for regressions above 10% and always exits 0 —
+# benchmark noise on shared CI machines must not fail the tier-1 gate,
+# but a warning in the check.sh output tells the author to re-measure.
+#
+# Usage: scripts/benchdiff.sh [baseline.json]   (default BENCH_fold.json)
+set -u
+cd "$(dirname "$0")/.."
+
+baseline="${1:-BENCH_fold.json}"
+go run ./cmd/flbench -experiment fold -rows 100000 -compare "$baseline" || true
+exit 0

@@ -4,9 +4,12 @@
 #   go vet           static checks
 #   go build         the whole tree compiles
 #   go test -race    full suite under the race detector
-#   alloc regression steady-state fold stays allocation-free
+#   determinism      pooled/spawned parallel runs bit-identical to serial
+#   alloc regression steady-state fold stays allocation-free; pooled
+#                    batch feed stays amortized-zero
 #                    (run without -race: its instrumentation allocates,
 #                    so the alloc tests skip themselves under it)
+#   benchdiff        advisory fold ns/row diff vs BENCH_fold.json
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -19,11 +22,22 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== parallel determinism (pool P in {1,2,4,8} + spawn vs serial, recompute replay)"
+# TestParallelFoldBitIdentical sweeps the pooled runtime across
+# P∈{2,4,8} plus the legacy per-batch-spawn path against the serial
+# (P=1) snapshots; TestRecomputeReplayBitIdentical forces a mid-run
+# variation-range failure with Parallelism 4 and asserts the replayed
+# result is byte-identical to serial (the prefetch-invalidation guard).
+go test ./internal/core -run 'TestParallelFoldBitIdentical|TestRecomputeReplayBitIdentical' -count=1
+
 echo "== alloc regression (go test ./internal/core -run TestFoldSteadyStateAllocs)"
 go test ./internal/core -run TestFoldSteadyStateAllocs -count=1
 
 echo "== alloc regression with instrumentation on (profiled subtests)"
 go test ./internal/core -run 'TestFoldSteadyStateAllocs/.+/profiled' -count=1
+
+echo "== pooled batch alloc gate (go test ./internal/core -run TestPooledFeedBatchAllocs)"
+go test ./internal/core -run TestPooledFeedBatchAllocs -count=1
 
 echo "== go vet (observability packages)"
 go vet ./internal/metrics/ ./internal/dashboard/ ./internal/audit/
@@ -33,5 +47,8 @@ echo "== statistical gate (go test ./internal/audit -run TestAuditGate)"
 # below 0.90, if any committed deterministic decision stands
 # contradicted, or if the uncertain set stops draining monotonically.
 go test ./internal/audit -run TestAuditGate -count=1
+
+echo "== benchdiff (advisory, never fails the gate)"
+sh scripts/benchdiff.sh || true
 
 echo "== check OK"

@@ -1,4 +1,4 @@
-.PHONY: check test bench-fold bench-compare audit
+.PHONY: check test bench-fold bench-compare audit chaos
 
 # Tier-1 gate: vet + build + race-enabled tests + fold alloc regression.
 check:
@@ -23,3 +23,11 @@ bench-compare:
 # deterministic-set invariant; regenerates BENCH_accuracy.json.
 audit:
 	go run ./cmd/flbench -experiment audit $(ARGS)
+
+# Robustness soak: 1000+ deterministically seeded fault schedules
+# (worker panics, stragglers, shard corruption, prefetch loss) against
+# the chaos-hardened runtime; every run must be bit-identical to its
+# fault-free reference, every checkpoint round-trip byte-identical, and
+# no goroutine may leak. Scale with ARGS="-schedules 5000".
+chaos:
+	go run ./cmd/flbench -experiment chaos $(ARGS)

@@ -11,6 +11,7 @@
 //	flbench -experiment fold    # fold-path throughput (see BENCH_fold.json)
 //	flbench -experiment scaling # parallel scaling: pool vs per-batch spawn, P∈{1,2,4,8}
 //	flbench -experiment audit   # statistical-correctness audit (BENCH_accuracy.json)
+//	flbench -experiment chaos   # robustness soak: seeded fault schedules (-schedules N)
 //	flbench -experiment all     # everything
 //
 // Scale with -rows, -batches, -trials; fix randomness with -seed.
@@ -51,7 +52,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig3a|fig3b|t1|t2|eps|boots|k|fold|scaling|audit|all")
+		experiment = flag.String("experiment", "all", "fig3a|fig3b|t1|t2|eps|boots|k|fold|scaling|audit|chaos|all")
 		jsonOut    = flag.String("json", "", "write the experiment result as a JSON artifact (fold/scaling: updates a BENCH_fold.json trajectory; audit: defaults to BENCH_accuracy.json)")
 		label      = flag.String("label", "", "fold/scaling only: label for the -json entry (e.g. a PR name)")
 		compare    = flag.String("compare", "", "fold only: diff the fresh run against this committed BENCH_fold.json and print WARN lines for >10% ns/row regressions (always exits 0)")
@@ -61,6 +62,7 @@ func main() {
 		trials     = flag.Int("trials", 100, "bootstrap trials (B)")
 		seed       = flag.String("seed", "", "RNG seed, any uint64 including an explicit 0 (default: fixed 20150531)")
 		reps       = flag.Int("reps", 20, "audit only: seeded replications")
+		schedules  = flag.Int("schedules", 1000, "chaos only: seeded fault schedules to run")
 		format     = flag.String("format", "table", "table|csv (csv: plot-ready series for fig3a/fig3b)")
 		traceOut   = flag.String("trace", "", "run one traced query and write G-OLA events to this JSONL file")
 		traceQuery = flag.String("tracequery", "Q17", "suite query for -trace")
@@ -98,6 +100,8 @@ func main() {
 		err = runScaling(cfg, *jsonOut, *label)
 	case *experiment == "audit":
 		err = runAudit(cfg, rowsSet, *reps, *jsonOut)
+	case *experiment == "chaos":
+		err = runChaos(cfg, *schedules, *jsonOut)
 	case *format == "csv":
 		err = runCSV(*experiment, cfg)
 	default:
@@ -151,6 +155,25 @@ func runAudit(cfg bench.Config, rowsSet bool, reps int, jsonOut string) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", jsonOut)
+	return nil
+}
+
+// runChaos runs the robustness soak: -schedules seeded fault schedules,
+// each verified bit-identical against a fault-free reference (or
+// honoring the deadline/checkpoint degraded contracts). Any violation
+// exits non-zero with the offending schedule's index, which replays the
+// exact faults.
+func runChaos(cfg bench.Config, schedules int, jsonOut string) error {
+	res, err := bench.ChaosSoak(cfg, schedules)
+	if res != nil {
+		fmt.Print(bench.FormatChaos(res))
+	}
+	if err != nil {
+		return err
+	}
+	if jsonOut != "" {
+		return writeJSON(jsonOut, res)
+	}
 	return nil
 }
 

@@ -234,3 +234,35 @@ func TestAsciiChart(t *testing.T) {
 		t.Error("empty result should yield empty chart")
 	}
 }
+
+// TestChaosGate is the CI slice of the robustness soak: enough seeded
+// schedules to cover every (profile, mode, query) combination several
+// times over, small enough to run under -race in the tier-1 suite. The
+// full soak is `flbench -experiment chaos` (or `make chaos`).
+func TestChaosGate(t *testing.T) {
+	n := 90 // covers 5 profiles × 3 modes × 2 queries threefold
+	if testing.Short() {
+		n = 30
+	}
+	res, err := ChaosSoak(tiny, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BitIdentical != res.Schedules {
+		t.Fatalf("%d/%d schedules bit-identical", res.BitIdentical, res.Schedules)
+	}
+	var fired int64
+	for _, c := range res.FaultCounts {
+		fired += c
+	}
+	if fired == 0 {
+		t.Fatal("soak fired no faults")
+	}
+	if res.CheckpointRoundTrips == 0 || res.CancelResumes == 0 {
+		t.Fatalf("modes not exercised: %+v", res.ModeCounts)
+	}
+	out := FormatChaos(res)
+	if !strings.Contains(out, "bit-identical") {
+		t.Fatalf("FormatChaos output malformed:\n%s", out)
+	}
+}

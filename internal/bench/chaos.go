@@ -1,0 +1,319 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"time"
+
+	"fluodb/internal/chaos"
+	"fluodb/internal/core"
+	"fluodb/internal/plan"
+	"fluodb/internal/storage"
+)
+
+// The chaos soak: thousands of deterministically seeded fault schedules
+// thrown at the online runtime, each run checked against a fault-free
+// reference for bit-identical snapshots (or, for the deadline and
+// checkpoint modes, for the documented degraded contract). A schedule
+// is fully named by its index — re-running the soak with the same base
+// seed replays the exact same faults at the exact same (batch, worker)
+// sites, so any failure is reproducible in isolation.
+
+// chaosProfiles are the fault mixes the soak rotates through.
+var chaosProfiles = []struct {
+	name string
+	cfg  chaos.Config
+}{
+	{"panic", chaos.Config{PanicProb: 0.3}},
+	{"straggler", chaos.Config{StragglerProb: 0.5, StragglerDelay: 50 * time.Microsecond}},
+	{"corrupt", chaos.Config{CorruptProb: 0.3}},
+	{"prefetch-drop", chaos.Config{PrefetchDropProb: 0.5}},
+	{"mixed", chaos.Config{PanicProb: 0.15, StragglerProb: 0.2, CorruptProb: 0.15,
+		PrefetchDropProb: 0.25, StragglerDelay: 50 * time.Microsecond}},
+}
+
+// chaosModes are the run shapes: a plain run compared snapshot-for-
+// snapshot; a deadline cancellation mid-prefix followed by a resume; a
+// checkpoint/resume round-trip verified byte-identical.
+var chaosModes = []string{"plain", "cancel", "checkpoint"}
+
+// chaosQueries exercise both runtime shapes: a banked grouped aggregate
+// (full-checkpoint path) and a nested-subquery query with a live
+// uncertain cache (classification, reclassification, replay path).
+var chaosQueries = []string{
+	`SELECT a, COUNT(x), SUM(x), AVG(x) FROM facts GROUP BY a`,
+	`SELECT a, SUM(x), AVG(x) FROM facts
+		WHERE x < (SELECT 0.8 * AVG(x) FROM facts) GROUP BY a`,
+}
+
+// ChaosResult summarizes a soak.
+type ChaosResult struct {
+	Schedules            int              `json:"schedules"`
+	BitIdentical         int              `json:"bit_identical"` // schedules whose outputs matched the reference exactly
+	FaultCounts          map[string]int64 `json:"fault_counts"`  // fired faults by kind
+	ModeCounts           map[string]int   `json:"mode_counts"`
+	Profiles             map[string]int   `json:"profiles"`
+	CancelResumes        int              `json:"cancel_resumes"`
+	CheckpointRoundTrips int              `json:"checkpoint_round_trips"`
+	GoroutinesBefore     int              `json:"goroutines_before"`
+	GoroutinesAfter      int              `json:"goroutines_after"`
+	ElapsedMS            float64          `json:"elapsed_ms"`
+}
+
+// chaosEnv is the fixed workload the soak runs every schedule against.
+type chaosEnv struct {
+	cat  *storage.Catalog
+	qs   []*plan.Query
+	refs [][]*core.Snapshot // fault-free reference snapshots per query
+	opt  core.Options
+}
+
+func chaosBase(cfg Config) (*chaosEnv, error) {
+	cfg = cfg.WithDefaults()
+	// Small fixture: the soak's power comes from schedule count, not data
+	// volume. 4 batches × 4 workers gives 16+ injection sites per pass.
+	rows := 4096
+	env := &chaosEnv{
+		cat: foldBenchCatalog(rows, cfg.EngineSeed()),
+		opt: core.Options{
+			Batches: 4, Trials: 16, Seed: cfg.EngineSeed(),
+			Parallelism: 4, ParallelThreshold: 64,
+		},
+	}
+	for _, sql := range chaosQueries {
+		q, err := plan.Compile(sql, env.cat)
+		if err != nil {
+			return nil, err
+		}
+		env.qs = append(env.qs, q)
+		ref, err := runAll(q, env.cat, env.opt)
+		if err != nil {
+			return nil, err
+		}
+		env.refs = append(env.refs, ref)
+	}
+	return env, nil
+}
+
+// runAll drains a fresh engine and returns every snapshot.
+func runAll(q *plan.Query, cat *storage.Catalog, opt core.Options) ([]*core.Snapshot, error) {
+	eng, err := core.New(q, cat, opt)
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	var snaps []*core.Snapshot
+	for !eng.Done() {
+		s, err := eng.Step()
+		if err != nil {
+			return nil, err
+		}
+		snaps = append(snaps, s)
+	}
+	return snaps, nil
+}
+
+// snapsEqual demands bit-identical result rows (values, CIs, RSDs).
+func snapsEqual(a, b []*core.Snapshot) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("snapshot count %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i].Rows, b[i].Rows) {
+			return fmt.Errorf("batch %d rows differ", a[i].Batch)
+		}
+	}
+	return nil
+}
+
+// runSchedule executes one seeded schedule and verifies its contract.
+func runSchedule(env *chaosEnv, i int, r *ChaosResult) error {
+	prof := chaosProfiles[i%len(chaosProfiles)]
+	mode := chaosModes[(i/len(chaosProfiles))%len(chaosModes)]
+	qi := (i / (len(chaosProfiles) * len(chaosModes))) % len(env.qs)
+	q, ref := env.qs[qi], env.refs[qi]
+
+	ccfg := prof.cfg
+	ccfg.Seed = uint64(i)*0x9E3779B97F4A7C15 + 1
+	inj := chaos.New(ccfg)
+	opt := env.opt
+	opt.Chaos = inj
+
+	r.ModeCounts[mode]++
+	r.Profiles[prof.name]++
+	defer func() {
+		counts := inj.Counts()
+		for k := chaos.Kind(1); int(k) < len(counts); k++ {
+			r.FaultCounts[k.String()] += counts[k]
+		}
+	}()
+
+	switch mode {
+	case "plain":
+		got, err := runAll(q, env.cat, opt)
+		if err != nil {
+			return fmt.Errorf("schedule %d (%s/%s): %w", i, prof.name, mode, err)
+		}
+		if err := snapsEqual(ref, got); err != nil {
+			return fmt.Errorf("schedule %d (%s/%s): %w", i, prof.name, mode, err)
+		}
+		r.BitIdentical++
+
+	case "cancel":
+		eng, err := core.New(q, env.cat, opt)
+		if err != nil {
+			return err
+		}
+		defer eng.Close()
+		stop := i % (env.opt.Batches + 1) // cancel after 0..Batches batches
+		var got []*core.Snapshot
+		for b := 0; b < stop; b++ {
+			s, err := eng.Step()
+			if err != nil {
+				return fmt.Errorf("schedule %d (%s/%s) step %d: %w", i, prof.name, mode, b, err)
+			}
+			got = append(got, s)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		bounded, err := eng.StepContext(ctx)
+		if !eng.Done() {
+			if !core.IsInterrupted(err) {
+				return fmt.Errorf("schedule %d (%s/%s): cancelled step returned %v", i, prof.name, mode, err)
+			}
+			if bounded == nil || !bounded.Interrupted {
+				return fmt.Errorf("schedule %d (%s/%s): bounded answer not marked Interrupted", i, prof.name, mode)
+			}
+			if stop > 0 && !reflect.DeepEqual(bounded.Rows, got[stop-1].Rows) {
+				return fmt.Errorf("schedule %d (%s/%s): bounded answer != last committed snapshot", i, prof.name, mode)
+			}
+		}
+		// Resume to completion; the whole stream must match the reference.
+		for !eng.Done() {
+			s, err := eng.Step()
+			if err != nil {
+				return fmt.Errorf("schedule %d (%s/%s) resume: %w", i, prof.name, mode, err)
+			}
+			got = append(got, s)
+		}
+		if err := snapsEqual(ref, got); err != nil {
+			return fmt.Errorf("schedule %d (%s/%s) post-cancel: %w", i, prof.name, mode, err)
+		}
+		r.BitIdentical++
+		r.CancelResumes++
+
+	case "checkpoint":
+		eng, err := core.New(q, env.cat, opt)
+		if err != nil {
+			return err
+		}
+		defer eng.Close()
+		k := 1 + i%env.opt.Batches // checkpoint after 1..Batches batches
+		var got []*core.Snapshot
+		for b := 0; b < k; b++ {
+			s, err := eng.Step()
+			if err != nil {
+				return fmt.Errorf("schedule %d (%s/%s) step %d: %w", i, prof.name, mode, b, err)
+			}
+			got = append(got, s)
+		}
+		ck1, err := eng.Checkpoint()
+		if err != nil {
+			return fmt.Errorf("schedule %d (%s/%s) checkpoint: %w", i, prof.name, mode, err)
+		}
+		res, err := core.Resume(q, env.cat, opt, ck1)
+		if err != nil {
+			return fmt.Errorf("schedule %d (%s/%s) resume: %w", i, prof.name, mode, err)
+		}
+		defer res.Close()
+		ck2, err := res.Checkpoint()
+		if err != nil {
+			return fmt.Errorf("schedule %d (%s/%s) re-checkpoint: %w", i, prof.name, mode, err)
+		}
+		if !bytes.Equal(ck1, ck2) {
+			return fmt.Errorf("schedule %d (%s/%s): checkpoint round-trip not byte-identical (%d vs %d bytes)",
+				i, prof.name, mode, len(ck1), len(ck2))
+		}
+		for !res.Done() {
+			s, err := res.Step()
+			if err != nil {
+				return fmt.Errorf("schedule %d (%s/%s) continue: %w", i, prof.name, mode, err)
+			}
+			got = append(got, s)
+		}
+		if err := snapsEqual(ref, got); err != nil {
+			return fmt.Errorf("schedule %d (%s/%s) post-resume: %w", i, prof.name, mode, err)
+		}
+		r.BitIdentical++
+		r.CheckpointRoundTrips++
+	}
+	return nil
+}
+
+// ChaosSoak runs the given number of seeded fault schedules and fails
+// on the first contract violation: a non-bit-identical answer, a
+// mis-typed error, a broken checkpoint round-trip, or leaked
+// goroutines.
+func ChaosSoak(cfg Config, schedules int) (*ChaosResult, error) {
+	if schedules <= 0 {
+		schedules = 1000
+	}
+	env, err := chaosBase(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := &ChaosResult{
+		Schedules:   schedules,
+		FaultCounts: map[string]int64{},
+		ModeCounts:  map[string]int{},
+		Profiles:    map[string]int{},
+	}
+	runtime.GC()
+	r.GoroutinesBefore = runtime.NumGoroutine()
+	start := time.Now()
+	for i := 0; i < schedules; i++ {
+		if err := runSchedule(env, i, r); err != nil {
+			return r, err
+		}
+	}
+	r.ElapsedMS = ms(time.Since(start))
+	// Engine pools close synchronously, but worker goroutines need a
+	// moment to observe their closed channels; settle before judging.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		r.GoroutinesAfter = runtime.NumGoroutine()
+		if r.GoroutinesAfter <= r.GoroutinesBefore || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if r.GoroutinesAfter > r.GoroutinesBefore {
+		return r, fmt.Errorf("goroutine leak: %d before soak, %d after", r.GoroutinesBefore, r.GoroutinesAfter)
+	}
+	return r, nil
+}
+
+// FormatChaos renders a soak summary.
+func FormatChaos(r *ChaosResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos soak: %d schedules in %.0f ms\n", r.Schedules, r.ElapsedMS)
+	fmt.Fprintf(&b, "  bit-identical runs:     %d/%d\n", r.BitIdentical, r.Schedules)
+	fmt.Fprintf(&b, "  cancel+resume cycles:   %d\n", r.CancelResumes)
+	fmt.Fprintf(&b, "  checkpoint round-trips: %d (all byte-identical)\n", r.CheckpointRoundTrips)
+	fmt.Fprintf(&b, "  goroutines before/after: %d/%d\n", r.GoroutinesBefore, r.GoroutinesAfter)
+	b.WriteString("  faults fired:\n")
+	for _, k := range []string{"panic", "straggler", "corrupt", "prefetch-drop"} {
+		fmt.Fprintf(&b, "    %-14s %d\n", k, r.FaultCounts[k])
+	}
+	b.WriteString("  schedules by profile:")
+	for _, p := range chaosProfiles {
+		fmt.Fprintf(&b, " %s=%d", p.name, r.Profiles[p.name])
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"fluodb/internal/chaos"
+	"fluodb/internal/plan"
+)
+
+// The chaos SQL exercises every containment surface at once: a scalar
+// subquery parameter keeps a live uncertain cache (reclassification +
+// bindings), grouped SUM/AVG/COUNT keeps the tables banked, and the
+// WHERE predicate keeps classification meaningful.
+const chaosSQL = `SELECT a, COUNT(x), SUM(x), AVG(x) FROM facts
+	WHERE x < (SELECT 0.8 * AVG(x) FROM facts) GROUP BY a`
+
+func chaosOptions(inj *chaos.Injector) Options {
+	return Options{
+		Batches: 6, Trials: 32, Seed: 411,
+		Parallelism: 4, ParallelThreshold: 128,
+		Chaos: inj,
+	}
+}
+
+// TestChaosPanicContainment: every injected worker panic is contained
+// and redone serially, and the run stays bit-identical to a fault-free
+// run of the same seed — the core tentpole guarantee.
+func TestChaosPanicContainment(t *testing.T) {
+	cat := determinismCatalog(6*2048, 311)
+	clean := runSnapshots(t, cat, chaosSQL, chaosOptions(nil))
+	inj := chaos.New(chaos.Config{Seed: 7, PanicProb: 0.3})
+	faulty := runSnapshots(t, cat, chaosSQL, chaosOptions(inj))
+	if inj.Counts()[chaos.KindPanic] == 0 {
+		t.Fatal("injector never fired a panic; test exercised nothing")
+	}
+	compareSnapshots(t, "panic-chaos", clean, faulty)
+}
+
+// TestChaosAllFaultKinds layers panics, stragglers, shard corruption
+// and prefetch drops in one run and still demands bit-identity.
+func TestChaosAllFaultKinds(t *testing.T) {
+	cat := determinismCatalog(6*2048, 313)
+	clean := runSnapshots(t, cat, chaosSQL, chaosOptions(nil))
+	inj := chaos.New(chaos.Config{
+		Seed: 99, PanicProb: 0.15, StragglerProb: 0.2,
+		CorruptProb: 0.15, PrefetchDropProb: 0.3,
+	})
+	faulty := runSnapshots(t, cat, chaosSQL, chaosOptions(inj))
+	if inj.Fired() == 0 {
+		t.Fatal("no faults fired")
+	}
+	compareSnapshots(t, "mixed-chaos", clean, faulty)
+}
+
+// TestPoolSubmitAfterStop pins the satellite fix: submission to a
+// stopped pool returns the typed sentinel instead of panicking on a
+// closed channel.
+func TestPoolSubmitAfterStop(t *testing.T) {
+	p := newWorkerPool(2)
+	g := &taskGroup{}
+	if err := p.submit(0, g, func(*workerCtx) {}); err != nil {
+		t.Fatalf("submit before stop: %v", err)
+	}
+	if panics := g.wait(); panics != nil {
+		t.Fatalf("unexpected panics: %v", panics)
+	}
+	p.stop()
+	p.stop() // idempotent
+	err := p.submit(0, g, func(*workerCtx) {})
+	var qe *QueryError
+	if !errors.As(err, &qe) || qe.Kind != ErrKindPoolStopped {
+		t.Fatalf("submit after stop: got %v, want ErrKindPoolStopped", err)
+	}
+}
+
+// TestWorkerPanicReleasesBarrier checks containment mechanics directly:
+// a panicking task must still release the barrier and surface its
+// panic value (a bare WaitGroup would deadlock here).
+func TestWorkerPanicReleasesBarrier(t *testing.T) {
+	p := newWorkerPool(2)
+	defer p.stop()
+	g := &taskGroup{}
+	if err := p.submit(0, g, func(*workerCtx) { panic("boom") }); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.submit(1, g, func(*workerCtx) {}); err != nil {
+		t.Fatal(err)
+	}
+	panics := g.wait()
+	if len(panics) != 1 {
+		t.Fatalf("got %d panics, want 1", len(panics))
+	}
+	if panics[0].worker != 0 || panics[0].val != "boom" {
+		t.Fatalf("panic record = %+v", panics[0])
+	}
+	if len(panics[0].stack) == 0 {
+		t.Fatal("panic stack not captured")
+	}
+	// The pool must stay serviceable for the next barrier.
+	g2 := &taskGroup{}
+	ran := false
+	if err := p.submit(0, g2, func(*workerCtx) { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	if panics := g2.wait(); panics != nil || !ran {
+		t.Fatalf("pool dead after contained panic (ran=%v, panics=%v)", ran, panics)
+	}
+}
+
+// TestOptionsValidate pins the satellite: explicitly negative or
+// impossible option values are rejected with a typed error, while zero
+// sentinels still resolve to defaults.
+func TestOptionsValidate(t *testing.T) {
+	cat := determinismCatalog(1024, 1)
+	q, err := plan.Compile(`SELECT SUM(x) FROM facts`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Options{
+		{Parallelism: -2},
+		{Batches: -1},
+		{Trials: -5},
+		{ParallelThreshold: -1},
+		{Confidence: 1.5},
+		{Confidence: -0.5},
+		{EpsilonSigma: -1},
+		{MinGroupSupport: -3},
+		{MaxUncertainRows: -1},
+	}
+	for _, o := range bad {
+		if _, err := New(q, cat, o); err == nil {
+			t.Fatalf("Options %+v accepted, want invalid-options error", o)
+		} else {
+			var qe *QueryError
+			if !errors.As(err, &qe) || qe.Kind != ErrKindInvalidOptions {
+				t.Fatalf("Options %+v: got %v, want ErrKindInvalidOptions", o, err)
+			}
+		}
+	}
+	// Zero values remain "use defaults".
+	eng, err := New(q, cat, Options{})
+	if err != nil {
+		t.Fatalf("zero options rejected: %v", err)
+	}
+	eng.Close()
+}
+
+// TestDeadlineReturnsBoundedAnswer: a cancelled context stops the
+// prefix at a batch boundary and hands back the last committed snapshot
+// as a bounded-time answer; a fresh context resumes the same engine and
+// the completed run is bit-identical to an uninterrupted one.
+func TestDeadlineReturnsBoundedAnswer(t *testing.T) {
+	cat := determinismCatalog(6*2048, 317)
+	clean := runSnapshots(t, cat, chaosSQL, chaosOptions(nil))
+
+	q, err := plan.Compile(chaosSQL, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(q, cat, chaosOptions(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	var snaps []*Snapshot
+	for i := 0; i < 2; i++ {
+		s, err := eng.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, s)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	bounded, err := eng.StepContext(ctx)
+	if !IsInterrupted(err) {
+		t.Fatalf("cancelled StepContext: got %v, want interrupted QueryError", err)
+	}
+	if bounded == nil || !bounded.Interrupted || bounded.InterruptReason == "" {
+		t.Fatalf("bounded snapshot = %+v, want Interrupted with reason", bounded)
+	}
+	// The bounded answer is the last committed snapshot (same rows, CIs
+	// intact).
+	compareSnapshots(t, "bounded-answer", []*Snapshot{snaps[1]}, []*Snapshot{bounded})
+	// The engine is not poisoned: resume with a live context.
+	for !eng.Done() {
+		s, err := eng.StepContext(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, s)
+	}
+	compareSnapshots(t, "post-interrupt-resume", clean, snaps)
+
+	// RunContext converts interruption into (snapshot, nil).
+	eng2, err := New(q, cat, chaosOptions(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	if _, err := eng2.Step(); err != nil {
+		t.Fatal(err)
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	last, err := eng2.RunContext(ctx2, nil)
+	if err != nil {
+		t.Fatalf("RunContext under cancel: %v", err)
+	}
+	if last == nil || !last.Interrupted {
+		t.Fatalf("RunContext bounded answer = %+v", last)
+	}
+}
+
+// TestUncertainEviction pins the MaxUncertainRows budget: the cache
+// stays bounded, evictions are counted and surfaced as Degraded, and
+// the engine still completes with a plausible answer.
+func TestUncertainEviction(t *testing.T) {
+	cat := determinismCatalog(6*2048, 331)
+	q, err := plan.Compile(chaosSQL, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 64
+	eng, err := New(q, cat, Options{
+		Batches: 6, Trials: 32, Seed: 411,
+		Parallelism: 2, ParallelThreshold: 128,
+		MaxUncertainRows: budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	var last *Snapshot
+	for !eng.Done() {
+		s, err := eng.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := eng.UncertainRows(); got > budget {
+			t.Fatalf("uncertain cache %d exceeds budget %d after batch %d", got, budget, s.Batch)
+		}
+		last = s
+	}
+	m := eng.Metrics()
+	if m.UncertainEvictions == 0 {
+		t.Skip("workload kept uncertain cache under budget; eviction path not reached")
+	}
+	if !last.Degraded {
+		t.Fatal("snapshot not marked Degraded despite evictions")
+	}
+	if len(last.Rows) == 0 {
+		t.Fatal("degraded run produced no rows")
+	}
+	found := false
+	for _, ev := range eng.trace.Events() {
+		if ev.Kind == EvEvict {
+			found = true
+		}
+	}
+	_ = found // trace is nil-tracer by default; eviction metric is the contract
+}
+
+// TestUncertainEvictionTraced re-runs the eviction scenario with a
+// tracer and checks the EvEvict events carry fold/drop counts.
+func TestUncertainEvictionTraced(t *testing.T) {
+	cat := determinismCatalog(6*2048, 331)
+	q, err := plan.Compile(chaosSQL, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracer(0)
+	eng, err := New(q, cat, Options{
+		Batches: 6, Trials: 32, Seed: 411,
+		Parallelism: 1, MaxUncertainRows: 32, Tracer: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for !eng.Done() {
+		if _, err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if eng.Metrics().UncertainEvictions == 0 {
+		t.Skip("no evictions under this workload")
+	}
+	evicts := 0
+	for _, ev := range tr.Events() {
+		if ev.Kind == EvEvict {
+			evicts++
+			if ev.Folded+ev.Dropped == 0 {
+				t.Fatalf("EvEvict with zero resolved rows: %+v", ev)
+			}
+		}
+	}
+	if evicts == 0 {
+		t.Fatal("evictions counted but no EvEvict events traced")
+	}
+}
+
+// TestChaosTraceEvents checks injected faults surface as EvFault /
+// EvWorkerPanic / EvSerialRetry events.
+func TestChaosTraceEvents(t *testing.T) {
+	cat := determinismCatalog(6*2048, 311)
+	tr := NewTracer(0)
+	o := chaosOptions(chaos.New(chaos.Config{Seed: 7, PanicProb: 0.3}))
+	o.Tracer = tr
+	runSnapshots(t, cat, chaosSQL, o)
+	var faults, contained, retries int
+	for _, ev := range tr.Events() {
+		switch ev.Kind {
+		case EvFault:
+			faults++
+		case EvWorkerPanic:
+			contained++
+		case EvSerialRetry:
+			retries++
+		}
+	}
+	if faults == 0 || contained == 0 || retries == 0 {
+		t.Fatalf("trace incomplete: %d faults, %d contained panics, %d serial retries",
+			faults, contained, retries)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"fluodb/internal/bootstrap"
+	"fluodb/internal/chaos"
 	"fluodb/internal/exec"
 	"fluodb/internal/expr"
 	"fluodb/internal/plan"
@@ -88,6 +90,54 @@ type Options struct {
 	// Tracer, when non-nil, receives structured G-OLA events (range
 	// failures, commits, uncertain flips, recomputes). See Tracer.
 	Tracer *Tracer
+	// MaxUncertainRows bounds the cached uncertain set across all blocks
+	// (0 = unbounded). When a batch pushes past the budget, the oldest
+	// cached tuples are force-resolved by their point-estimate truth
+	// (folded or dropped) instead of waiting for their ranges to decide;
+	// snapshots are then marked Degraded. A later contradiction still
+	// triggers the usual failure-recovery replay, so results stay
+	// correct — the degradation is in deterministic-set precision, not
+	// in the answer.
+	MaxUncertainRows int
+	// Chaos, when non-nil, injects deterministic faults (worker panics,
+	// stragglers, shard corruption, prefetch drops) into the runtime for
+	// robustness testing. Production queries leave it nil.
+	Chaos *chaos.Injector
+}
+
+// Validate rejects nonsensical option values with a typed error.
+// Zero values are untouched — they remain "use the default" sentinels
+// (withDefaults) — but explicitly negative or impossible settings no
+// longer silently snap to defaults.
+func (o Options) Validate() error {
+	bad := func(field string, v any) error {
+		return queryErr(ErrKindInvalidOptions, fmt.Sprintf("%s = %v", field, v))
+	}
+	if o.Batches < 0 {
+		return bad("Batches", o.Batches)
+	}
+	if o.Trials < 0 {
+		return bad("Trials", o.Trials)
+	}
+	if o.Confidence < 0 || o.Confidence >= 1 {
+		return bad("Confidence", o.Confidence)
+	}
+	if o.EpsilonSigma < 0 {
+		return bad("EpsilonSigma", o.EpsilonSigma)
+	}
+	if o.MinGroupSupport < 0 {
+		return bad("MinGroupSupport", o.MinGroupSupport)
+	}
+	if o.Parallelism < 0 {
+		return bad("Parallelism", o.Parallelism)
+	}
+	if o.ParallelThreshold < 0 {
+		return bad("ParallelThreshold", o.ParallelThreshold)
+	}
+	if o.MaxUncertainRows < 0 {
+		return bad("MaxUncertainRows", o.MaxUncertainRows)
+	}
+	return nil
 }
 
 // withDefaults fills unset options.
@@ -137,6 +187,9 @@ type Metrics struct {
 	// decision it never corrected (a statistical-correctness bug).
 	DetFlips            int
 	InvariantViolations int
+	// UncertainEvictions counts cached uncertain tuples force-resolved
+	// by the MaxUncertainRows budget; nonzero marks snapshots Degraded.
+	UncertainEvictions int64
 	// Phases is the cumulative per-phase time breakdown across the run;
 	// PhasePerBatch holds one breakdown per processed batch (aligned
 	// with BatchDurations). Fine phases require Options.Profile.
@@ -191,6 +244,12 @@ type Engine struct {
 	pool     *workerPool
 	closed   bool
 	prefetch map[string]*weightPrefetch
+	// Fault surfaces: fatal latches a QueryError that exhausted
+	// containment (the engine refuses further Steps); lastSnap is the
+	// most recent committed snapshot, returned as the bounded-time
+	// answer on deadline/cancel.
+	fatal    error
+	lastSnap *Snapshot
 }
 
 // triEnv builds the classification environment with memoized
@@ -255,6 +314,9 @@ var ErrDone = errors.New("core: all mini-batches processed")
 
 // New builds an engine for a compiled query.
 func New(q *plan.Query, cat *storage.Catalog, opt Options) (*Engine, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	opt = opt.withDefaults()
 	if !q.Root.Aggregating {
 		return nil, fmt.Errorf("core: online execution requires an aggregate query " +
@@ -447,11 +509,37 @@ func (e *Engine) scaleFor(b *plan.Block) float64 {
 
 // Step processes the next mini-batch and returns a refined snapshot.
 func (e *Engine) Step() (*Snapshot, error) {
+	return e.StepContext(context.Background())
+}
+
+// StepContext is Step with deadline/cancellation support, honored at
+// mini-batch boundaries (BlinkDB-style bounded response time): when ctx
+// expires the engine stops mid-prefix and returns the last committed
+// snapshot — marked Interrupted, with its CI intact — alongside a typed
+// ErrKindInterrupted error. The engine itself is not poisoned: a later
+// StepContext with a live context resumes where the prefix stopped.
+func (e *Engine) StepContext(ctx context.Context) (*Snapshot, error) {
+	if e.fatal != nil {
+		return nil, e.fatal
+	}
 	if e.Done() {
 		return nil, ErrDone
 	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			e.trace.Emit(Event{Kind: EvInterrupt, Note: err.Error()})
+			return e.boundedSnapshot(err), &QueryError{Kind: ErrKindInterrupted,
+				Batch: e.batch, Worker: -1, Err: err,
+				Note: "stopped at mini-batch boundary; snapshot is the bounded-time answer"}
+		}
+	}
 	start := time.Now()
-	if !e.processBatch(e.batch) {
+	ok, perr := e.processBatch(e.batch)
+	if perr != nil {
+		e.fatal = perr
+		return nil, perr
+	}
+	if !ok {
 		// Variation-range failure: recompute over all data seen so far
 		// with re-widened ranges (§3.2). The controller replays the
 		// processed prefix; per-tuple resamples are regenerated
@@ -459,8 +547,12 @@ func (e *Engine) Step() (*Snapshot, error) {
 		e.metrics.Recomputes++
 		e.trace.Emit(Event{Kind: EvRecompute, Note: "variation-range failure; replaying processed prefix"})
 		rs := time.Now()
-		e.replayUpTo(e.batch)
+		rerr := e.replayUpTo(e.batch)
 		e.stepAcc.ns[phaseRecompute] += int64(time.Since(rs))
+		if rerr != nil {
+			e.fatal = rerr
+			return nil, rerr
+		}
 	}
 	e.batch++
 	e.metrics.Batches = e.batch
@@ -488,7 +580,23 @@ func (e *Engine) Step() (*Snapshot, error) {
 	e.cumAcc.merge(&bp)
 	e.metrics.PhasePerBatch = append(e.metrics.PhasePerBatch, bp.times())
 	snap.Phases = bp.times()
+	e.lastSnap = snap
 	return snap, nil
+}
+
+// boundedSnapshot materializes the bounded-time answer for an
+// interrupted query: a copy of the last committed snapshot (or a fresh
+// empty one when no batch has completed), marked Interrupted.
+func (e *Engine) boundedSnapshot(cause error) *Snapshot {
+	var snap Snapshot
+	if e.lastSnap != nil {
+		snap = *e.lastSnap
+	} else {
+		snap = *e.snapshot(0)
+	}
+	snap.Interrupted = true
+	snap.InterruptReason = cause.Error()
+	return &snap
 }
 
 // Run executes all remaining batches, invoking fn (if non-nil) per
@@ -499,6 +607,32 @@ func (e *Engine) Run(fn func(*Snapshot) bool) (*Snapshot, error) {
 	for !e.Done() {
 		s, err := e.Step()
 		if err != nil {
+			return last, err
+		}
+		last = s
+		if fn != nil && !fn(s) {
+			break
+		}
+	}
+	return last, nil
+}
+
+// RunContext is Run under a deadline: when ctx expires mid-prefix the
+// partial answer is returned with a nil error — interruption is a
+// bounded-time result (check Snapshot.Interrupted), not a failure.
+// Other errors (fatal containment exhaustion, invalid state) pass
+// through.
+func (e *Engine) RunContext(ctx context.Context, fn func(*Snapshot) bool) (*Snapshot, error) {
+	var last *Snapshot
+	for !e.Done() {
+		s, err := e.StepContext(ctx)
+		if err != nil {
+			if IsInterrupted(err) {
+				if s != nil {
+					return s, nil
+				}
+				return last, nil
+			}
 			return last, err
 		}
 		last = s
@@ -520,8 +654,10 @@ func (e *Engine) UncertainRows() int {
 }
 
 // processBatch feeds mini-batch bi through every block in dependency
-// order. It returns false if a committed variation range failed.
-func (e *Engine) processBatch(bi int) bool {
+// order. It returns ok=false if a committed variation range failed; a
+// non-nil error means a fault exhausted its containment (worker panic
+// surviving every serial retry) and the batch did not complete.
+func (e *Engine) processBatch(bi int) (bool, error) {
 	e.trace.setBatch(bi + 1)
 	// Advance per-table progress first so estimates computed this batch
 	// use the correct multiplicity.
@@ -545,26 +681,68 @@ func (e *Engine) processBatch(bi int) bool {
 			if r.b == e.q.Root {
 				e.metrics.RowsProcessed += int64(len(rows))
 			}
-			r.feedBatchParallel(rows, ts.starts[bi], ts, te, e.prefetched(ts, bi))
+			if err := r.feedBatchParallel(rows, ts.starts[bi], ts, te, e.prefetched(ts, bi)); err != nil {
+				return false, err
+			}
 		}
 		if r.b.Kind != plan.RootBlock {
 			t1 := time.Now()
 			failed := e.updateBinding(r)
 			r.acc.ns[phaseRanges] += int64(time.Since(t1))
 			if failed {
-				return false
+				return false, nil
 			}
 		}
 	}
+	// Enforce the uncertain-cache budget before the batch commits: the
+	// eviction point is deterministic (same state → same evictions), so
+	// failure-recovery replay re-evicts identically.
+	e.enforceUncertainBudget()
 	// Pipeline the next batch's bootstrap weights onto the workers while
 	// the controller runs this batch's snapshot tail.
 	e.launchPrefetch(bi + 1)
-	return true
+	return true, nil
+}
+
+// enforceUncertainBudget applies Options.MaxUncertainRows: while the
+// cached uncertain set exceeds the budget, the oldest tuples of the
+// largest block cache are force-resolved by point-estimate truth
+// (graceful degradation — bounded memory at the cost of deterministic-
+// set precision, surfaced via Metrics.UncertainEvictions and
+// Snapshot.Degraded).
+func (e *Engine) enforceUncertainBudget() {
+	budget := e.opt.MaxUncertainRows
+	if budget <= 0 {
+		return
+	}
+	total := e.UncertainRows()
+	for total > budget {
+		var victim *blockRunner
+		for _, r := range e.runners {
+			if victim == nil || len(r.uncertain) > len(victim.uncertain) {
+				victim = r
+			}
+		}
+		if victim == nil || len(victim.uncertain) == 0 {
+			return
+		}
+		evict := total - budget
+		if evict > len(victim.uncertain) {
+			evict = len(victim.uncertain)
+		}
+		folded, dropped := victim.evictOldest(evict, e.triEnv())
+		e.metrics.UncertainEvictions += int64(evict)
+		e.trace.Emit(Event{Kind: EvEvict, Block: victim.b.ID,
+			Folded: folded, Dropped: dropped, Kept: len(victim.uncertain)})
+		total -= evict
+	}
 }
 
 // replayUpTo resets all online state and reprocesses batches 0..upto.
-// Epsilon boosts persist across attempts, guaranteeing termination.
-func (e *Engine) replayUpTo(upto int) {
+// Epsilon boosts persist across attempts, guaranteeing termination. A
+// non-nil error means a containment-exhausting fault aborted the
+// replay.
+func (e *Engine) replayUpTo(upto int) error {
 	for attempt := 0; attempt < 16; attempt++ {
 		// Weight prefetch may hold (or still be filling) a buffer for a
 		// batch the replay restarts behind; drain and discard it so the
@@ -589,17 +767,22 @@ func (e *Engine) replayUpTo(upto int) {
 		}
 		ok := true
 		for bi := 0; bi <= upto; bi++ {
-			if !e.processBatch(bi) {
+			bok, err := e.processBatch(bi)
+			if err != nil {
+				return err
+			}
+			if !bok {
 				ok = false
 				break
 			}
 		}
 		if ok {
-			return
+			return nil
 		}
 		e.metrics.Recomputes++
 		e.trace.Emit(Event{Kind: EvRecompute, Note: "replay failed; ranges re-widened"})
 	}
+	return nil
 }
 
 // updateBinding recomputes a parameter block's estimate, replicas and

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
+	"fluodb/internal/chaos"
 	"fluodb/internal/types"
 )
 
@@ -105,43 +107,88 @@ func (r *blockRunner) feedBatchSerial(rows []types.Row, baseIdx int, ts *tableSt
 	}
 }
 
+// chaosFault is the panic value of an injected fault, so containment
+// diagnostics can tell injected faults from real bugs.
+type chaosFault struct{ kind chaos.Kind }
+
+func (c *chaosFault) String() string { return "chaos: injected " + c.kind.String() }
+
+// panicNote renders a recovered panic value for trace events.
+func panicNote(v any) string {
+	s := fmt.Sprint(v)
+	if len(s) > 200 {
+		s = s[:200]
+	}
+	return s
+}
+
 // feedBatchParallel shards one mini-batch across the engine's workers.
 // It falls back to serial feeding for small batches, or when the shard
 // clamp leaves a single worker (one worker with full shard/merge
-// overhead would only be slower).
-func (r *blockRunner) feedBatchParallel(rows []types.Row, baseIdx int, ts *tableStream, te *triEnv, pf *weightPrefetch) {
+// overhead would only be slower). A worker panic (injected or real) is
+// contained: the affected shard scratch is quarantined and the whole
+// batch is redone serially over the same shard boundaries, which is
+// bit-identical to a clean parallel pass by construction. Only when the
+// serial retries themselves keep panicking does a typed error surface.
+func (r *blockRunner) feedBatchParallel(rows []types.Row, baseIdx int, ts *tableStream, te *triEnv, pf *weightPrefetch) error {
 	e := r.eng
 	workers := e.opt.Parallelism
 	thr := e.opt.ParallelThreshold
 	if workers <= 1 || len(rows) < 2*thr {
 		r.feedBatchSerial(rows, baseIdx, ts, te, pf)
-		return
+		return nil
 	}
 	if max := len(rows) / thr; workers > max {
 		workers = max
 	}
 	if workers <= 1 {
 		r.feedBatchSerial(rows, baseIdx, ts, te, pf)
-		return
+		return nil
 	}
 	if e.opt.PerBatchSpawn {
 		r.feedBatchSpawn(rows, baseIdx, ts, workers, pf)
-		return
+		return nil
 	}
 	pool := e.ensurePool()
 	if pool == nil { // engine closed: degrade to serial, stay correct
 		r.feedBatchSerial(rows, baseIdx, ts, te, pf)
-		return
+		return nil
 	}
-	var wg sync.WaitGroup
+	inj := e.opt.Chaos
+	g := &taskGroup{}
 	size := len(rows) / workers
+	submitted := workers
 	for w := 0; w < workers; w++ {
 		lo := w * size
 		hi := lo + size
 		if w == workers-1 {
 			hi = len(rows)
 		}
-		pool.submit(w, &wg, func(wc *workerCtx) {
+		err := pool.submit(w, g, func(wc *workerCtx) {
+			if inj != nil {
+				switch k := inj.ShardFault(ts.name, baseIdx, wc.id); k {
+				case chaos.KindPanic:
+					e.traceFault("panic", ts.name, wc.id, "injected worker panic")
+					panic(&chaosFault{kind: k})
+				case chaos.KindStraggler:
+					// A straggler is benign for correctness — merge order is
+					// fixed by worker index — but stresses barrier/scheduling.
+					e.traceFault("straggler", ts.name, wc.id, "injected straggler delay")
+					inj.Sleep()
+				case chaos.KindCorrupt:
+					// Poison the private shard (double-fold its rows) and then
+					// fail: the soak's bit-identity check proves the corrupted
+					// scratch is quarantined, never merged.
+					e.traceFault("corrupt", ts.name, wc.id, "injected shard corruption")
+					sh := wc.shard(r)
+					wte := wc.refresh(e)
+					wr := *r
+					wr.joiner = sh.joiner
+					wc.wbuf = wr.feedShard(rows[lo:hi], baseIdx+lo, ts, wte,
+						sh.tab, &sh.uncertain, &sh.arena, &sh.folds, &sh.acc, wc.wbuf, pf)
+					panic(&chaosFault{kind: k})
+				}
+			}
 			sh := wc.shard(r)
 			wte := wc.refresh(e)
 			wr := *r // shallow: shares block/engine, swaps per-worker scratch
@@ -149,8 +196,23 @@ func (r *blockRunner) feedBatchParallel(rows []types.Row, baseIdx int, ts *table
 			wc.wbuf = wr.feedShard(rows[lo:hi], baseIdx+lo, ts, wte,
 				sh.tab, &sh.uncertain, &sh.arena, &sh.folds, &sh.acc, wc.wbuf, pf)
 		})
+		if err != nil {
+			// Pool stopped mid-submit: drain what made it onto the workers,
+			// then redo everything serially.
+			submitted = w
+			break
+		}
 	}
-	wg.Wait()
+	panics := g.wait()
+	if submitted < workers || len(panics) > 0 {
+		for _, p := range panics {
+			e.trace.Emit(Event{Kind: EvWorkerPanic, Key: ts.name, Worker: p.worker, Note: panicNote(p.val)})
+		}
+		// Any worker's shard for this runner may hold a partial or
+		// poisoned fold; discard them all and rebuild on the next batch.
+		pool.quarantine(r.idx)
+		return r.retrySerialShards(rows, baseIdx, ts, te, pf, workers, size)
+	}
 	// Drain worker shards in worker order (0..P−1): with shard
 	// boundaries fixed by row position this reproduces the group
 	// insertion order of the per-batch-spawn runtime exactly.
@@ -173,6 +235,86 @@ func (r *blockRunner) feedBatchParallel(rows []types.Row, baseIdx int, ts *table
 		sh.tab.recycle()
 	}
 	r.sampledIdxValid = false
+	return nil
+}
+
+// maxShardRetries bounds the serial redo ladder after a contained
+// worker failure.
+const maxShardRetries = 3
+
+// retrySerialShards redoes a failed parallel batch on the controller's
+// goroutine with capped exponential backoff. Each attempt folds the
+// exact shard partition of the failed pass into fresh staging tables
+// and merges them in worker order — float addition is non-associative,
+// so replaying the same shard plan (rather than one flat serial fold)
+// is what makes the retry bit-identical to a clean parallel pass. Chaos
+// injection never fires here (faults are keyed to pool workers), so an
+// injected schedule cannot livelock the redo.
+func (r *blockRunner) retrySerialShards(rows []types.Row, baseIdx int, ts *tableStream, te *triEnv, pf *weightPrefetch, workers, size int) error {
+	e := r.eng
+	backoff := time.Millisecond
+	var lastPanic any
+	for attempt := 1; attempt <= maxShardRetries; attempt++ {
+		if attempt > 1 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > 8*time.Millisecond {
+				backoff = 8 * time.Millisecond
+			}
+		}
+		e.trace.Emit(Event{Kind: EvSerialRetry, Key: ts.name, Kept: attempt})
+		ok, pv := r.serialShardPass(rows, baseIdx, ts, te, pf, workers, size)
+		if ok {
+			return nil
+		}
+		lastPanic = pv
+	}
+	return &QueryError{Kind: ErrKindWorkerPanic, Batch: e.batch, Worker: -1,
+		Note: fmt.Sprintf("parallel batch failed and %d serial retries panicked: %s", maxShardRetries, panicNote(lastPanic))}
+}
+
+// serialShardPass folds the batch's shard partition sequentially into
+// staging tables, committing into the runner only when every shard
+// completed — a panic mid-pass (necessarily a real bug, not injection)
+// discards the staging wholesale so the runner's own state is never
+// half-updated and the next attempt starts clean.
+func (r *blockRunner) serialShardPass(rows []types.Row, baseIdx int, ts *tableStream, te *triEnv, pf *weightPrefetch, workers, size int) (ok bool, panicVal any) {
+	e := r.eng
+	type staging struct {
+		tab       *onlineTable
+		uncertain []uncertainRow
+		arena     weightArena
+		folds     int64
+		acc       phaseAcc
+	}
+	outs := make([]staging, workers)
+	defer func() {
+		if v := recover(); v != nil {
+			panicVal = v
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		lo := w * size
+		hi := lo + size
+		if w == workers-1 {
+			hi = len(rows)
+		}
+		st := &outs[w]
+		st.tab = newShardTable(e.opt.Trials)
+		st.tab.configure(r.cltKinds)
+		r.wbuf = r.feedShard(rows[lo:hi], baseIdx+lo, ts, te,
+			st.tab, &st.uncertain, &st.arena, &st.folds, &st.acc, r.wbuf, pf)
+	}
+	for w := 0; w < workers; w++ {
+		st := &outs[w]
+		r.tab.merge(st.tab)
+		r.uncertain = append(r.uncertain, st.uncertain...)
+		r.arena.adopt(&st.arena)
+		e.metrics.DeterministicFolds += st.folds
+		r.acc.merge(&st.acc)
+	}
+	r.sampledIdxValid = false
+	return true, nil
 }
 
 // feedBatchSpawn is the legacy parallel runtime: fresh goroutines,

@@ -1,7 +1,5 @@
 package core
 
-import "sync"
-
 // Pipelined bootstrap-weight generation. Per-tuple resamples are
 // counter-based hashes — a pure function of (seed, table, row index,
 // trial) independent of any engine state — so batch k+1's weight
@@ -9,11 +7,14 @@ import "sync"
 // while the controller runs batch k's serial ranges/snapshot tail. The
 // per-table buffer is double-buffered by construction: a fill is
 // launched only after the previous fill has been fully consumed
-// (launchPrefetch waits on ready before reusing the arrays), and every
-// consumer waits on ready and validates the (table, batch) identity
-// before reading. Failure-recovery replay restarts the prefix at batch
-// 0, so replayUpTo invalidates the buffers up front; because the
-// derivation is pure, a discarded prefetch costs nothing but the work.
+// (launchPrefetch waits on the fill barrier before reusing the arrays),
+// and every consumer waits on it and validates the (table, batch)
+// identity before reading. Failure-recovery replay restarts the prefix
+// at batch 0, so replayUpTo invalidates the buffers up front; because
+// the derivation is pure, a discarded prefetch costs nothing but the
+// work. That same purity is the fault story: a prefetch lost to a
+// worker panic, a pool shutdown, or an injected drop degrades to inline
+// weight derivation with byte-identical results.
 
 // weightPrefetch is one table's prefetched weight block for a single
 // upcoming mini-batch.
@@ -27,10 +28,27 @@ type weightPrefetch struct {
 	// are never read).
 	sampled []bool
 	weights []uint8
-	// ready is the fill barrier: launchPrefetch adds the worker tasks,
-	// every reader (consumer, relaunch, invalidate, Close) waits on it.
-	ready sync.WaitGroup
+	// fill is the fill barrier: launchPrefetch submits the worker tasks
+	// under it, every reader (consumer, relaunch, invalidate, Close)
+	// drains it. A fresh group per launch keeps recovered-panic state
+	// from leaking across batches.
+	fill  *taskGroup
 	valid bool
+}
+
+// drain waits for any in-flight fill and reports whether it completed
+// without a worker panic. A panicked fill leaves undefined bytes in the
+// arrays, so the buffer is invalidated and consumers fall back to
+// inline derivation.
+func (pf *weightPrefetch) drain() bool {
+	if pf.fill == nil {
+		return true
+	}
+	if panics := pf.fill.wait(); len(panics) > 0 {
+		pf.valid = false
+		return false
+	}
+	return true
 }
 
 // launchPrefetch schedules batch bi's weight generation on the worker
@@ -52,12 +70,13 @@ func (e *Engine) launchPrefetch(bi int) {
 			e.prefetch[ts.name] = pf
 		}
 		// The previous fill must be fully drained before its arrays are
-		// reused (consumers waited on ready before reading, and the batch
-		// that read them has already been processed by the time the next
-		// launch happens).
-		pf.ready.Wait()
+		// reused (consumers waited on the barrier before reading, and the
+		// batch that read them has already been processed by the time the
+		// next launch happens).
+		pf.drain()
 		n := len(ts.batches[bi])
 		pf.ts, pf.batch, pf.start, pf.valid = ts, bi, ts.starts[bi], true
+		pf.fill = &taskGroup{}
 		if cap(pf.sampled) < n {
 			pf.sampled = make([]bool, n)
 		}
@@ -77,7 +96,7 @@ func (e *Engine) launchPrefetch(bi int) {
 			if w == workers-1 {
 				hi = n
 			}
-			e.pool.submit(w, &pf.ready, func(*workerCtx) {
+			err := e.pool.submit(w, pf.fill, func(*workerCtx) {
 				for i := lo; i < hi; i++ {
 					s := e.sampled(ts, pf.start+i)
 					pf.sampled[i] = s
@@ -86,20 +105,37 @@ func (e *Engine) launchPrefetch(bi int) {
 					}
 				}
 			})
+			if err != nil {
+				// Pool stopped mid-launch: the rows this worker would have
+				// covered stay stale, so the whole buffer is unusable. The
+				// already-submitted tasks still drain through pf.fill.
+				pf.valid = false
+				break
+			}
 		}
 	}
 }
 
 // prefetched returns the prefetch buffer for (ts, bi) once its fill has
-// completed, or nil when no matching prefetch exists (the feed path
-// then derives weights inline, producing byte-identical values).
+// completed, or nil when no matching (or intact) prefetch exists — the
+// feed path then derives weights inline, producing byte-identical
+// values. An injected prefetch drop discards the buffer here, right at
+// the consumption point it is meant to stress.
 func (e *Engine) prefetched(ts *tableStream, bi int) *weightPrefetch {
 	pf := e.prefetch[ts.name]
 	if pf == nil {
 		return nil
 	}
-	pf.ready.Wait()
+	if !pf.drain() {
+		e.traceFault("prefetch-panic", ts.name, -1, "prefetch fill panicked; deriving weights inline")
+		return nil
+	}
 	if !pf.valid || pf.ts != ts || pf.batch != bi {
+		return nil
+	}
+	if e.opt.Chaos.PrefetchDrop(ts.name, bi) {
+		pf.valid = false
+		e.traceFault("prefetch-drop", ts.name, -1, "injected prefetch invalidation")
 		return nil
 	}
 	return pf
@@ -110,7 +146,7 @@ func (e *Engine) prefetched(ts *tableStream, bi int) *weightPrefetch {
 // restarts at batch 0 and must re-pipeline from there.
 func (e *Engine) invalidatePrefetch() {
 	for _, pf := range e.prefetch {
-		pf.ready.Wait()
+		pf.drain()
 		pf.valid = false
 	}
 }

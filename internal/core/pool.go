@@ -2,6 +2,7 @@ package core
 
 import (
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"fluodb/internal/exec"
@@ -23,18 +24,59 @@ import (
 // per-batch-spawn path it replaces (and to a serial run, up to the same
 // group-ordering caveats as before).
 //
+// Fault containment: a task panic must not take down the worker (its
+// channel would deadlock every later barrier) or the process. Each task
+// runs under recover; the panic value and stack are recorded on the
+// task's group and surfaced to the controller at the barrier, which
+// quarantines the affected shard scratch and redoes the work serially.
+//
 // Lifecycle: the pool is created lazily on first parallel work and
 // stopped by Engine.Close. A finalizer backstops engines that are
 // dropped without Close — workers hold no reference to the engine
 // between tasks (contexts are delivered inside each task, and the task
 // value is cleared before the next blocking receive), so an abandoned
 // engine becomes collectable and its finalizer shuts the workers down.
+// submit after stop returns ErrPoolStopped (never panics); callers fall
+// back to the serial path.
+
+// workerPanic is one recovered task panic, captured for the barrier.
+type workerPanic struct {
+	worker int
+	val    any
+	stack  []byte
+}
+
+// taskGroup is the submission barrier: a WaitGroup plus a panic
+// collector. wait() drains and returns any panics recovered while the
+// group's tasks ran.
+type taskGroup struct {
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	panics []workerPanic
+}
+
+func (g *taskGroup) record(worker int, val any, stack []byte) {
+	g.mu.Lock()
+	g.panics = append(g.panics, workerPanic{worker: worker, val: val, stack: stack})
+	g.mu.Unlock()
+}
+
+// wait blocks for every submitted task and returns recovered panics
+// (nil when all tasks completed cleanly).
+func (g *taskGroup) wait() []workerPanic {
+	g.wg.Wait()
+	g.mu.Lock()
+	p := g.panics
+	g.panics = nil
+	g.mu.Unlock()
+	return p
+}
 
 // poolTask is one unit of work: fn runs on the worker's goroutine with
-// the worker's reusable context; wg is the submitter's barrier.
+// the worker's reusable context; g is the submitter's barrier.
 type poolTask struct {
 	fn  func(*workerCtx)
-	wg  *sync.WaitGroup
+	g   *taskGroup
 	ctx *workerCtx
 }
 
@@ -61,7 +103,8 @@ type workerCtx struct {
 }
 
 // shard returns (creating on first use) the worker's reusable fold
-// state for runner r.
+// state for runner r. A quarantined shard slot (nil after a panic) is
+// simply rebuilt here on the next batch.
 func (wc *workerCtx) shard(r *blockRunner) *workerShard {
 	for len(wc.shards) <= r.idx {
 		wc.shards = append(wc.shards, nil)
@@ -114,7 +157,11 @@ func (wc *workerCtx) refresh(e *Engine) *triEnv {
 type workerPool struct {
 	chans []chan poolTask
 	ctxs  []*workerCtx
-	stopO sync.Once
+	mu    sync.RWMutex
+	// stopped guards the channels: submit holds the read lock while
+	// sending, stop flips the flag under the write lock before closing,
+	// so a send on a closed channel is impossible.
+	stopped bool
 }
 
 func newWorkerPool(size int) *workerPool {
@@ -142,30 +189,70 @@ func poolWorker(ch chan poolTask) {
 		if !ok {
 			return
 		}
-		t.fn(t.ctx)
-		t.wg.Done()
+		runPoolTask(t)
 		t = poolTask{}
 		_ = t
 	}
 }
 
+// runPoolTask executes one task under panic containment: a panicking fn
+// is recorded on its group (with the stack for diagnostics) and the
+// barrier is still released, so the controller observes the failure
+// instead of deadlocking on a dead worker.
+func runPoolTask(t poolTask) {
+	defer func() {
+		if v := recover(); v != nil {
+			t.g.record(t.ctx.id, v, debug.Stack())
+		}
+		t.g.wg.Done()
+	}()
+	t.fn(t.ctx)
+}
+
 // size returns the number of workers.
 func (p *workerPool) size() int { return len(p.chans) }
 
-// submit schedules fn on worker w under the given barrier.
-func (p *workerPool) submit(w int, wg *sync.WaitGroup, fn func(*workerCtx)) {
-	wg.Add(1)
-	p.chans[w] <- poolTask{fn: fn, wg: wg, ctx: p.ctxs[w]}
+// submit schedules fn on worker w under the given barrier. After stop
+// it returns ErrPoolStopped without touching the closed channels; the
+// caller runs the work serially instead. Holding the read lock across
+// the send cannot deadlock stop: workers drain buffered tasks before
+// exiting, so a blocked send always completes.
+func (p *workerPool) submit(w int, g *taskGroup, fn func(*workerCtx)) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.stopped {
+		return ErrPoolStopped
+	}
+	g.wg.Add(1)
+	p.chans[w] <- poolTask{fn: fn, g: g, ctx: p.ctxs[w]}
+	return nil
 }
 
-// stop closes every worker channel. The caller must have drained all
-// outstanding barriers first; submit after stop panics.
+// stop closes every worker channel. Idempotent; the caller must have
+// drained all outstanding barriers first. submit after stop returns
+// ErrPoolStopped.
 func (p *workerPool) stop() {
-	p.stopO.Do(func() {
-		for _, ch := range p.chans {
-			close(ch)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stopped {
+		return
+	}
+	p.stopped = true
+	for _, ch := range p.chans {
+		close(ch)
+	}
+}
+
+// quarantine discards every worker's shard scratch for runner idx after
+// a contained panic: a partially-folded shard table must never be
+// merged or recycled, so the slots are dropped for the collector and
+// rebuilt clean on the next batch.
+func (p *workerPool) quarantine(idx int) {
+	for _, wc := range p.ctxs {
+		if idx < len(wc.shards) {
+			wc.shards[idx] = nil
 		}
-	})
+	}
 }
 
 // ensurePool returns the engine's worker pool, creating it (and
@@ -194,7 +281,7 @@ func (e *Engine) Close() {
 	// Pipelined prefetch work may still be in flight on the workers;
 	// drain it before closing their channels.
 	for _, pf := range e.prefetch {
-		pf.ready.Wait()
+		pf.drain()
 	}
 	if e.pool != nil {
 		e.pool.stop()

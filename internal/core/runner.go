@@ -1,10 +1,10 @@
 package core
 
 import (
-	"sync"
 	"time"
 
 	"fluodb/internal/agg"
+	"fluodb/internal/chaos"
 	"fluodb/internal/exec"
 	"fluodb/internal/expr"
 	"fluodb/internal/plan"
@@ -183,6 +183,39 @@ func (r *blockRunner) reclassify(te *triEnv) (folded, dropped int) {
 	return folded, dropped
 }
 
+// evictOldest force-resolves the n oldest cached uncertain tuples by
+// their current point-estimate truth: tuples whose uncertain predicate
+// holds at the point bindings are folded (with their retained bootstrap
+// weights), the rest dropped. This trades statistical caution for
+// bounded memory — an evicted tuple can no longer flip when ranges
+// tighten, though a contradiction surfacing later still triggers the
+// usual failure-recovery replay.
+func (r *blockRunner) evictOldest(n int, te *triEnv) (folded, dropped int) {
+	if n > len(r.uncertain) {
+		n = len(r.uncertain)
+	}
+	for i := 0; i < n; i++ {
+		u := r.uncertain[i]
+		te.pointCtx.Row = u.row
+		if r.uncertainWhere == nil || r.uncertainWhere.Eval(te.pointCtx).Truthy() {
+			r.tab.fold(r.b, te.pointCtx, u.weights, u.repW)
+			folded++
+		} else {
+			dropped++
+		}
+	}
+	kept := copy(r.uncertain, r.uncertain[n:])
+	for i := kept; i < len(r.uncertain); i++ {
+		r.uncertain[i] = uncertainRow{}
+	}
+	r.uncertain = r.uncertain[:kept]
+	if len(r.uncertain) == 0 {
+		r.arena.release()
+	}
+	r.sampledIdxValid = false
+	return folded, dropped
+}
+
 // reclassifyDecisions evaluates the uncertain predicate over the cached
 // uncertain set on the worker pool, one tri decision per row, or nil
 // when the set is too small (or parallelism is off / legacy spawn mode
@@ -213,22 +246,47 @@ func (r *blockRunner) reclassifyDecisions() []uint8 {
 	buf := r.reclassBuf[:n]
 	unc := r.uncertain
 	where := r.uncertainWhere
-	var wg sync.WaitGroup
+	inj := e.opt.Chaos
+	g := &taskGroup{}
 	size := n / workers
+	failed := false
 	for w := 0; w < workers; w++ {
 		lo := w * size
 		hi := lo + size
 		if w == workers-1 {
 			hi = n
 		}
-		pool.submit(w, &wg, func(wc *workerCtx) {
+		err := pool.submit(w, g, func(wc *workerCtx) {
+			if inj != nil {
+				switch inj.ReclassFault(r.idx, e.batch, wc.id) {
+				case chaos.KindPanic:
+					e.traceFault("panic", "reclassify", wc.id, "injected reclassification panic")
+					panic(&chaosFault{kind: chaos.KindPanic})
+				case chaos.KindStraggler:
+					e.traceFault("straggler", "reclassify", wc.id, "injected reclassification straggler")
+					inj.Sleep()
+				}
+			}
 			wte := wc.refresh(e)
 			for i := lo; i < hi; i++ {
 				buf[i] = uint8(wte.evalTri(where, unc[i].row))
 			}
 		})
+		if err != nil {
+			failed = true
+			break
+		}
 	}
-	wg.Wait()
+	panics := g.wait()
+	if failed || len(panics) > 0 {
+		// Decisions only fill a scratch buffer — no runner state was
+		// touched, so containment is simply "fall back to inline
+		// evaluation", which is bit-identical by definition.
+		for _, p := range panics {
+			e.trace.Emit(Event{Kind: EvWorkerPanic, Key: "reclassify", Worker: p.worker, Note: panicNote(p.val)})
+		}
+		return nil
+	}
 	return buf
 }
 

@@ -51,6 +51,17 @@ type Snapshot struct {
 	// Blocks profiles each lineage block (dependency order, root last) —
 	// the observability the paper's Query Controller exposes (§4).
 	Blocks []BlockStat
+	// Interrupted marks a bounded-time answer: a deadline or cancel
+	// stopped the prefix at a mini-batch boundary and this snapshot is
+	// the last committed result (its CIs remain valid for the processed
+	// prefix). InterruptReason carries the context error.
+	Interrupted     bool
+	InterruptReason string
+	// Degraded marks that the uncertain-cache budget force-resolved
+	// tuples (Metrics.UncertainEvictions > 0): the answer is still a
+	// valid estimate, but deterministic-set precision was traded for
+	// bounded memory.
+	Degraded bool
 }
 
 // RSD returns the mean relative standard deviation across all cells
@@ -116,6 +127,7 @@ func (e *Engine) snapshot(elapsed time.Duration) *Snapshot {
 		UncertainRows: e.UncertainRows(),
 		Recomputes:    e.metrics.Recomputes,
 		Elapsed:       elapsed,
+		Degraded:      e.metrics.UncertainEvictions > 0,
 	}
 	if ts.total > 0 {
 		snap.FractionProcessed = float64(ts.seen) / float64(ts.total)

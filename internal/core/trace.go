@@ -37,6 +37,25 @@ const (
 	// state. Unlike EvRangeFailure this is not recovered by replay — it
 	// means a deterministic decision the engine stood by was wrong.
 	EvDetViolation = "det-violation"
+	// EvFault: a chaos-injected fault fired (or a real worker panic was
+	// contained). Key carries the fault kind, Worker the affected worker.
+	EvFault = "fault-injected"
+	// EvWorkerPanic: a pool task panicked and was contained; the shard
+	// is quarantined and the batch redone serially.
+	EvWorkerPanic = "worker-panic"
+	// EvSerialRetry: a failed parallel pass was redone serially (Kept
+	// carries the attempt number).
+	EvSerialRetry = "serial-retry"
+	// EvEvict: the uncertain cache exceeded Options.MaxUncertainRows and
+	// the oldest cached tuples were force-resolved by point estimate
+	// (Folded/Dropped counts, Kept = rows remaining).
+	EvEvict = "uncertain-evict"
+	// EvInterrupt: a deadline or cancellation stopped the prefix; the
+	// last committed snapshot became the bounded-time answer.
+	EvInterrupt = "deadline-interrupt"
+	// EvCheckpoint / EvResume: engine state was serialized / restored.
+	EvCheckpoint = "checkpoint"
+	EvResume     = "resume"
 )
 
 // Event is one traced engine decision. Numeric fields are meaningful
@@ -57,6 +76,7 @@ type Event struct {
 	Folded  int     `json:"folded,omitempty"`
 	Dropped int     `json:"dropped,omitempty"`
 	Kept    int     `json:"kept,omitempty"`
+	Worker  int     `json:"worker,omitempty"`
 	Note    string  `json:"note,omitempty"`
 }
 
@@ -149,6 +169,13 @@ func (t *Tracer) Dropped() int {
 		return 0
 	}
 	return int(t.next) - cap(t.ring)
+}
+
+// traceFault emits an EvFault event for an injected or contained fault.
+// key identifies the fault class, where the table/site, w the worker
+// (-1 when not worker-scoped).
+func (e *Engine) traceFault(key, where string, w int, note string) {
+	e.trace.Emit(Event{Kind: EvFault, Key: key, Note: where + ": " + note, Worker: w})
 }
 
 // WriteJSONL streams the retained events as JSON Lines, oldest first.

@@ -46,6 +46,7 @@ type Server struct {
 	// answer, so these track the estimator, not just the runtime.
 	detFlips     *metrics.Counter
 	violations   *metrics.Counter
+	evictions    *metrics.Counter
 	relErr       *metrics.Histogram
 	ciWidth      *metrics.Histogram
 	coverageBits atomic.Uint64 // float64 bits: latest snapshot's CI coverage
@@ -74,6 +75,8 @@ func New(cat *storage.Catalog, opt core.Options) *Server {
 		"Committed deterministic decisions contradicted in flight (recovered by replay).")
 	s.violations = s.reg.Counter("gola_invariant_violations_total",
 		"Committed decisions still contradicted when the invariant audit ran (bugs).")
+	s.evictions = s.reg.Counter("gola_uncertain_evictions",
+		"Uncertain tuples force-resolved by the MaxUncertainRows budget (degraded precision).")
 	s.relErr = s.reg.Histogram("gola_relative_error",
 		"Per-batch mean relative error of audited estimates vs ground truth (unitless).")
 	s.ciWidth = s.reg.Histogram("gola_ci_width",
@@ -133,7 +136,11 @@ type SnapshotJSON struct {
 	MaxErr   float64 `json:"max_err,omitempty"`
 	CIWidth  float64 `json:"ci_width,omitempty"`
 	Coverage float64 `json:"coverage,omitempty"`
-	Err      string  `json:"error,omitempty"`
+	// Degraded: the uncertain-cache budget force-resolved tuples; the
+	// answer is still a valid estimate with slightly coarser
+	// deterministic-set precision.
+	Degraded bool   `json:"degraded,omitempty"`
+	Err      string `json:"error,omitempty"`
 }
 
 // BlockJS profiles one lineage block on the wire. PhaseMS is the
@@ -203,15 +210,16 @@ func (s *Server) Query(w http.ResponseWriter, r *http.Request) {
 		oracle = nil
 	}
 	ctx := r.Context()
-	var prevRows int64
+	var prevRows, prevEvictions int64
 	var prevRecomputes, prevFlips int
 	for !eng.Done() {
-		select {
-		case <-ctx.Done():
-			return // user stopped the query at the current accuracy
-		default:
+		snap, err := eng.StepContext(ctx)
+		if core.IsInterrupted(err) {
+			// Client disconnected (or stopped the query): the engine quit
+			// at the mini-batch boundary; the bounded-time answer is snap,
+			// but there is no one left to send it to.
+			return
 		}
-		snap, err := eng.Step()
 		if err != nil {
 			send(SnapshotJSON{Err: err.Error()})
 			return
@@ -221,7 +229,9 @@ func (s *Server) Query(w http.ResponseWriter, r *http.Request) {
 		s.rows.Add(m.RowsProcessed - prevRows)
 		s.recomputes.Add(int64(m.Recomputes - prevRecomputes))
 		s.detFlips.Add(int64(m.DetFlips - prevFlips))
+		s.evictions.Add(m.UncertainEvictions - prevEvictions)
 		prevRows, prevRecomputes, prevFlips = m.RowsProcessed, m.Recomputes, m.DetFlips
+		prevEvictions = m.UncertainEvictions
 		s.uncertain.Set(int64(snap.UncertainRows))
 		s.batchSeconds.Observe(snap.Elapsed)
 		for i, d := range snap.Phases.Durations() {
@@ -259,6 +269,7 @@ func EncodeSnapshot(snap *core.Snapshot) SnapshotJSON {
 		RSD:       snap.RSD(),
 		Uncertain: snap.UncertainRows,
 		Phases:    snap.Phases.Milliseconds(),
+		Degraded:  snap.Degraded,
 	}
 	for _, c := range snap.Schema {
 		out.Columns = append(out.Columns, c.Name)

@@ -7,10 +7,12 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
 
+	"fluodb/internal/chaos"
 	"fluodb/internal/core"
 	"fluodb/internal/workload"
 )
@@ -373,9 +375,65 @@ func TestAccuracySeriesAndGolaMetrics(t *testing.T) {
 		"gola_relative_error_count 5",
 		"gola_ci_width_count 5",
 		"# TYPE gola_ci_coverage gauge",
+		"# TYPE gola_uncertain_evictions counter",
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("/metrics missing %q:\n%s", want, text)
 		}
+	}
+}
+
+// TestClientDisconnectMidChaos is the robustness satellite: a client
+// that hangs up while the engine is absorbing injected worker panics
+// must still release the handler (ActiveQueries drains) and leak no
+// goroutines — the contained-panic path cannot strand pool workers.
+func TestClientDisconnectMidChaos(t *testing.T) {
+	cat := workload.ConvivaCatalog(4000, 9)
+	s := New(cat, core.Options{
+		Batches: 8, Trials: 16, Seed: 3,
+		Parallelism: 4, ParallelThreshold: 64,
+		Chaos: chaos.New(chaos.Config{Seed: 77, PanicProb: 0.3, CorruptProb: 0.2}),
+	})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 4; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL+
+			"/query?sql=SELECT+AVG(play_time)+FROM+sessions+WHERE+buffer_time+%3E+(SELECT+AVG(buffer_time)+FROM+sessions)", nil)
+		resp, err := client.Do(req)
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		// Read one event so the engine is mid-run, then hang up.
+		buf := make([]byte, 256)
+		_, _ = resp.Body.Read(buf)
+		cancel()
+		resp.Body.Close()
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for s.ActiveQueries() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("handlers not released under chaos: %d still active", s.ActiveQueries())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Engine pools close with their handlers; allow the runtime a moment
+	// to reap worker goroutines, then require no leak beyond transient
+	// HTTP conns.
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak after chaos disconnects: %d before, %d after",
+				baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

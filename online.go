@@ -1,7 +1,10 @@
 package fluodb
 
 import (
+	"context"
+
 	"fluodb/internal/bootstrap"
+	"fluodb/internal/chaos"
 	"fluodb/internal/core"
 	"fluodb/internal/plan"
 )
@@ -48,6 +51,47 @@ func NewTracer(capacity int) *Tracer { return core.NewTracer(capacity) }
 // ErrDone is returned by OnlineQuery.Step after the last mini-batch.
 var ErrDone = core.ErrDone
 
+// QueryError is the typed error surface of the online runtime: every
+// non-ErrDone failure is (or wraps) one of these, with Kind naming the
+// failure class and Batch/Worker locating it.
+type QueryError = core.QueryError
+
+// ErrorKind classifies a QueryError.
+type ErrorKind = core.ErrorKind
+
+// Error kinds.
+const (
+	ErrKindInvalidOptions = core.ErrKindInvalidOptions
+	ErrKindWorkerPanic    = core.ErrKindWorkerPanic
+	ErrKindPoolStopped    = core.ErrKindPoolStopped
+	ErrKindInterrupted    = core.ErrKindInterrupted
+	ErrKindCheckpoint     = core.ErrKindCheckpoint
+)
+
+// ErrPoolStopped is returned by internal pool submission after Close;
+// callers see it only wrapped in a QueryError if a race made a Step
+// observe a closing pool (the Step still completes serially).
+var ErrPoolStopped = core.ErrPoolStopped
+
+// IsInterrupted reports whether err is a QueryError carrying a context
+// deadline/cancellation (the snapshot returned alongside it is the
+// bounded-time answer).
+func IsInterrupted(err error) bool { return core.IsInterrupted(err) }
+
+// ChaosConfig configures deterministic fault injection: seeded
+// probabilities for worker panics, stragglers, shard-state corruption
+// and prefetch invalidation. All decisions are pure functions of
+// (Seed, site), so a failing schedule replays exactly from its seed.
+type ChaosConfig = chaos.Config
+
+// ChaosInjector injects faults at the runtime's instrumented sites.
+// Attach one via OnlineOptions.Chaos (tests and the chaos soak only —
+// never in production paths).
+type ChaosInjector = chaos.Injector
+
+// NewChaosInjector builds an injector for the given config.
+func NewChaosInjector(cfg ChaosConfig) *ChaosInjector { return chaos.New(cfg) }
+
 // OnlineQuery is a running G-OLA execution. Each Step processes one
 // mini-batch and returns a refined Snapshot; the caller may stop at any
 // time, trading accuracy for latency on the fly (the OLA control knob).
@@ -83,6 +127,30 @@ func (db *DB) QueryOnline(sql string, opt OnlineOptions) (*OnlineQuery, error) {
 // It returns ErrDone once all batches are processed.
 func (oq *OnlineQuery) Step() (*Snapshot, error) { return oq.eng.Step() }
 
+// StepContext is Step under a deadline: if ctx is done at the
+// mini-batch boundary, the query stops and returns the last committed
+// snapshot (Interrupted=true, CIs valid for the processed prefix) with
+// an ErrKindInterrupted QueryError. The query is not poisoned — a later
+// StepContext with a live context resumes exactly where it stopped.
+func (oq *OnlineQuery) StepContext(ctx context.Context) (*Snapshot, error) {
+	return oq.eng.StepContext(ctx)
+}
+
+// RunContext is Run under a deadline: a context interruption is not an
+// error — the bounded-time answer (last committed snapshot, marked
+// Interrupted) is returned with a nil error, the OLA contract of
+// "cancel any time, keep the best answer so far".
+func (oq *OnlineQuery) RunContext(ctx context.Context, fn func(*Snapshot) bool) (*Snapshot, error) {
+	return oq.eng.RunContext(ctx, fn)
+}
+
+// Checkpoint serializes the query's state at the current mini-batch
+// boundary: the deterministic set, the uncertain cache, parameter
+// bindings and the RNG cursor. The bytes are deterministic (equal
+// states produce equal checkpoints) and integrity-checked on restore.
+// Resume with DB.ResumeOnline.
+func (oq *OnlineQuery) Checkpoint() ([]byte, error) { return oq.eng.Checkpoint() }
+
 // Done reports whether all mini-batches have been processed.
 func (oq *OnlineQuery) Done() bool { return oq.eng.Done() }
 
@@ -106,6 +174,24 @@ func (oq *OnlineQuery) Metrics() OnlineMetrics { return oq.eng.Metrics() }
 // callers that create many queries should Close each one (or defer it)
 // to bound live goroutines.
 func (oq *OnlineQuery) Close() { oq.eng.Close() }
+
+// ResumeOnline rebuilds an online query from a Checkpoint taken against
+// the same catalog with the same SQL and statistics-affecting options
+// (seed, batches, trials, confidence; Parallelism and observability
+// options may differ). The resumed query continues from the checkpoint
+// batch with bit-identical snapshots. Mismatched or corrupted bytes are
+// refused with an ErrKindCheckpoint QueryError.
+func (db *DB) ResumeOnline(sql string, opt OnlineOptions, ckpt []byte) (*OnlineQuery, error) {
+	q, err := plan.Compile(sql, db.cat)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.Resume(q, db.cat, opt, ckpt)
+	if err != nil {
+		return nil, err
+	}
+	return &OnlineQuery{eng: eng}, nil
+}
 
 // Violation is one committed deterministic decision contradicted by the
 // engine's current point state (see AuditInvariants).

@@ -9,6 +9,9 @@
 #                    batch feed stays amortized-zero
 #                    (run without -race: its instrumentation allocates,
 #                    so the alloc tests skip themselves under it)
+#   chaos gate       short seeded fault soak under -race: bit-identical
+#                    answers under injected panics/stragglers/corruption,
+#                    checkpoint round-trips, zero leaked goroutines
 #   benchdiff        advisory fold ns/row diff vs BENCH_fold.json
 set -eu
 cd "$(dirname "$0")/.."
@@ -47,6 +50,14 @@ echo "== statistical gate (go test ./internal/audit -run TestAuditGate)"
 # below 0.90, if any committed deterministic decision stands
 # contradicted, or if the uncertain set stops draining monotonically.
 go test ./internal/audit -run TestAuditGate -count=1
+
+echo "== chaos gate (go test -race ./internal/bench -run TestChaosGate)"
+# 90 seeded fault schedules under the race detector: every (fault
+# profile, run mode, query) combination several times over. Each run
+# must be bit-identical to the fault-free reference, every checkpoint
+# round-trip byte-identical, and runtime.NumGoroutine must return to its
+# pre-soak level. The full soak is `make chaos` (1000+ schedules).
+go test -race ./internal/bench -run TestChaosGate -count=1
 
 echo "== benchdiff (advisory, never fails the gate)"
 sh scripts/benchdiff.sh || true

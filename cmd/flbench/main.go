@@ -62,6 +62,7 @@ func main() {
 		trials     = flag.Int("trials", 100, "bootstrap trials (B)")
 		seed       = flag.String("seed", "", "RNG seed, any uint64 including an explicit 0 (default: fixed 20150531)")
 		reps       = flag.Int("reps", 20, "audit only: seeded replications")
+		rowPath    = flag.Bool("rowpath", false, "fold only: force the legacy row-at-a-time fold path (A/B baseline for the columnar hot path)")
 		schedules  = flag.Int("schedules", 1000, "chaos only: seeded fault schedules to run")
 		format     = flag.String("format", "table", "table|csv (csv: plot-ready series for fig3a/fig3b)")
 		traceOut   = flag.String("trace", "", "run one traced query and write G-OLA events to this JSONL file")
@@ -70,6 +71,7 @@ func main() {
 	flag.Parse()
 	cfg := bench.Config{
 		Rows: *rows, Parts: *parts, Batches: *batches, Trials: *trials,
+		RowPath: *rowPath,
 	}
 	if *seed != "" {
 		v, err := strconv.ParseUint(*seed, 10, 64)

@@ -31,6 +31,10 @@ type Config struct {
 	// SeedSet marks Seed as explicitly chosen, letting a caller request
 	// seed 0 itself (the zero value otherwise means "use the default").
 	SeedSet bool
+	// RowPath forces the engines under measurement onto the legacy
+	// row-at-a-time fold path (core.Options.RowPath), the A/B baseline
+	// for the columnar hot path. Honored by the fold experiment.
+	RowPath bool
 }
 
 // WithDefaults fills unset fields.

@@ -34,6 +34,13 @@ var chaosProfiles = []struct {
 	{"prefetch-drop", chaos.Config{PrefetchDropProb: 0.5}},
 	{"mixed", chaos.Config{PanicProb: 0.15, StragglerProb: 0.2, CorruptProb: 0.15,
 		PrefetchDropProb: 0.25, StragglerDelay: 50 * time.Microsecond}},
+	// colstress targets the columnar hot path's fallback seams: prefetch
+	// drops force the in-loop weight regeneration branch of the segment
+	// sweep, panics force worker containment and shard re-feeds, corrupt
+	// flips rows so reclassification re-runs — all while the reference
+	// ran on the row path, so any divergence between the two fold
+	// implementations under faults is caught, not just fault handling.
+	{"colstress", chaos.Config{PanicProb: 0.2, CorruptProb: 0.1, PrefetchDropProb: 0.5}},
 }
 
 // chaosModes are the run shapes: a plain run compared snapshot-for-
@@ -84,13 +91,20 @@ func chaosBase(cfg Config) (*chaosEnv, error) {
 			Parallelism: 4, ParallelThreshold: 64,
 		},
 	}
+	// References run fault-free on the legacy row-at-a-time fold path;
+	// scheduled runs use the default (columnar) path. Every bit-identical
+	// check in the soak is therefore also a cross-path equivalence check:
+	// the vectorized classify/fold pipeline must agree with the row loop
+	// exactly, under every fault mix.
+	refOpt := env.opt
+	refOpt.RowPath = true
 	for _, sql := range chaosQueries {
 		q, err := plan.Compile(sql, env.cat)
 		if err != nil {
 			return nil, err
 		}
 		env.qs = append(env.qs, q)
-		ref, err := runAll(q, env.cat, env.opt)
+		ref, err := runAll(q, env.cat, refOpt)
 		if err != nil {
 			return nil, err
 		}

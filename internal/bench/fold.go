@@ -131,7 +131,7 @@ func FoldBench(cfg Config) ([]FoldPoint, error) {
 			eng, err := core.New(q, cat, core.Options{
 				Batches: cfg.Batches, Trials: cfg.Trials, Seed: cfg.EngineSeed(),
 				BootstrapSampleCap: sc.sampleCap, Parallelism: 1,
-				Profile: rep < 0,
+				Profile: rep < 0, RowPath: cfg.RowPath,
 			})
 			if err != nil {
 				return nil, err

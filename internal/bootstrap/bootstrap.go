@@ -215,8 +215,19 @@ func PercentileCI(replicas []float64, confidence float64) Interval {
 }
 
 // PercentileCIInPlace is PercentileCI without the defensive copy: it
-// sorts the caller's slice in place. For reusable scratch buffers on
+// reorders the caller's slice in place. For reusable scratch buffers on
 // per-snapshot hot paths.
+//
+// The interval only needs four order statistics (the two quantile
+// positions and their interpolation neighbors), so instead of fully
+// sorting it quickselects them — O(n) instead of O(n log n), which is
+// the dominant per-group snapshot cost with many groups. The selected
+// values are the exact order statistics a full sort would place at
+// those positions, so the interval equals the sorted computation (bit
+// for bit, except that -0.0/0.0 ties — unordered under < — may land in
+// either position, a difference invisible to ==); inputs containing
+// NaN (no total order) fall back to the sort so legacy behavior is
+// preserved exactly.
 func PercentileCIInPlace(replicas []float64, confidence float64) Interval {
 	if len(replicas) == 0 {
 		return Interval{}
@@ -224,11 +235,164 @@ func PercentileCIInPlace(replicas []float64, confidence float64) Interval {
 	if confidence <= 0 || confidence >= 1 {
 		confidence = 0.95
 	}
-	sort.Float64s(replicas)
+	n := len(replicas)
 	alpha := (1 - confidence) / 2
+	if n >= 32 && !hasNaN(replicas) {
+		// The same floor arithmetic as quantileSorted: the interval reads
+		// s[iLo], s[iLo+1], s[iHi] and s[iHi+1].
+		iLo := int(math.Floor(alpha * float64(n-1)))
+		iHi := int(math.Floor((1 - alpha) * float64(n-1)))
+		if iLo+2 <= iHi && iHi+1 < n {
+			// Both quantiles sit near the extremes at the usual confidence
+			// levels (a 95% interval on n replicas reads ranks ~n/40 from
+			// each end), so a bounded scan keeping the kL smallest and kH
+			// largest values beats a general selection: one pass, and the
+			// running bound rejects almost every element with one compare.
+			kL, kH := iLo+2, n-iHi
+			if kL+kH <= n/2 && kL <= 64 && kH <= 64 {
+				var lows, highs [64]float64
+				tailExtremes(replicas, lows[:kL], highs[:kH])
+				pLo := alpha * float64(n-1)
+				pHi := (1 - alpha) * float64(n-1)
+				lo := interpPair(lows[iLo], lows[iLo+1], pLo, iLo)
+				hi := interpPair(highs[kH-1], highs[kH-2], pHi, iHi)
+				return Interval{Lo: lo, Hi: hi}
+			}
+			selectFloat(replicas, iLo)
+			selectFloat(replicas[iLo+1:], 0)
+			selectFloat(replicas[iLo+2:], iHi-(iLo+2))
+			selectFloat(replicas[iHi+1:], 0)
+			lo := quantileSorted(replicas, alpha)
+			hi := quantileSorted(replicas, 1-alpha)
+			return Interval{Lo: lo, Hi: hi}
+		}
+	}
+	sort.Float64s(replicas)
 	lo := quantileSorted(replicas, alpha)
 	hi := quantileSorted(replicas, 1-alpha)
 	return Interval{Lo: lo, Hi: hi}
+}
+
+// tailExtremes fills lows with the len(lows) smallest elements of s in
+// ascending order and highs with the len(highs) largest in descending
+// order (so highs[k-1] is the k-th largest). One pass; each element is
+// usually rejected by a single compare against the current bound.
+// NaN-free input required.
+func tailExtremes(s []float64, lows, highs []float64) {
+	kL, kH := len(lows), len(highs)
+	// Seed from the prefix: the first max(kL, kH) elements initialize
+	// both bounds via insertion.
+	nl, nh := 0, 0
+	for _, x := range s {
+		if nl < kL {
+			j := nl
+			for j > 0 && lows[j-1] > x {
+				lows[j] = lows[j-1]
+				j--
+			}
+			lows[j] = x
+			nl++
+		} else if x < lows[kL-1] {
+			j := kL - 1
+			for j > 0 && lows[j-1] > x {
+				lows[j] = lows[j-1]
+				j--
+			}
+			lows[j] = x
+		}
+		if nh < kH {
+			j := nh
+			for j > 0 && highs[j-1] < x {
+				highs[j] = highs[j-1]
+				j--
+			}
+			highs[j] = x
+			nh++
+		} else if x > highs[kH-1] {
+			j := kH - 1
+			for j > 0 && highs[j-1] < x {
+				highs[j] = highs[j-1]
+				j--
+			}
+			highs[j] = x
+		}
+	}
+}
+
+// interpPair is quantileSorted's interpolation given the two order
+// statistics s[i] and s[i+1] directly (pos = q·(n-1), i = floor(pos)):
+// the identical expression, so results match bit for bit.
+func interpPair(a, b, pos float64, i int) float64 {
+	frac := pos - float64(i)
+	return a*(1-frac) + b*frac
+}
+
+// hasNaN reports whether any element is NaN (which has no total order,
+// so selection and sorting could disagree on placement).
+func hasNaN(s []float64) bool {
+	for _, x := range s {
+		if x != x {
+			return true
+		}
+	}
+	return false
+}
+
+// selectFloat partially orders s so that s[k] holds the k-th smallest
+// element, everything before it is <= s[k] and everything after is
+// >= s[k] (the classic Hoare quickselect with a median-of-three pivot).
+// NaN-free input required.
+func selectFloat(s []float64, k int) {
+	lo, hi := 0, len(s)-1
+	for hi-lo >= 16 {
+		mid := lo + (hi-lo)/2
+		pv := median3(s[lo], s[mid], s[hi])
+		i, j := lo, hi
+		for i <= j {
+			for s[i] < pv {
+				i++
+			}
+			for s[j] > pv {
+				j--
+			}
+			if i <= j {
+				s[i], s[j] = s[j], s[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			return // j < k < i: s[k] already equals the pivot value
+		}
+	}
+	// Small range: insertion sort places every element exactly.
+	for i := lo + 1; i <= hi; i++ {
+		x := s[i]
+		j := i - 1
+		for j >= lo && s[j] > x {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = x
+	}
+}
+
+// median3 returns the median of three values.
+func median3(a, b, c float64) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+		if a > b {
+			b = a
+		}
+	}
+	return b
 }
 
 // quantileSorted returns the q-quantile of a sorted slice with linear

@@ -1,0 +1,120 @@
+package bootstrap
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// referenceCI is the pre-quickselect implementation: full sort, then
+// interpolated quantiles. PercentileCIInPlace promises bit-identical
+// intervals to this.
+func referenceCI(replicas []float64, confidence float64) Interval {
+	if len(replicas) == 0 {
+		return Interval{}
+	}
+	if confidence <= 0 || confidence >= 1 {
+		confidence = 0.95
+	}
+	s := append([]float64(nil), replicas...)
+	sort.Float64s(s)
+	alpha := (1 - confidence) / 2
+	return Interval{Lo: quantileSorted(s, alpha), Hi: quantileSorted(s, 1-alpha)}
+}
+
+func bitsEq(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// ciEq compares interval endpoints by numeric equality: selection may
+// place -0.0/0.0 ties at different positions than the sort (they are
+// unordered under <), so endpoints can differ in zero sign while being
+// equal under ==, which is the equality every consumer uses.
+func ciEq(a, b float64) bool {
+	return a == b || bitsEq(a, b)
+}
+
+// TestPercentileCISelectMatchesSort pins the quickselect fast path to
+// the sort reference across sizes straddling the n >= 32 cutoff,
+// duplicate-heavy and signed-zero inputs, and a spread of confidence
+// levels.
+func TestPercentileCISelectMatchesSort(t *testing.T) {
+	rng := NewRNG(20150531)
+	confs := []float64{0.5, 0.8, 0.9, 0.95, 0.99}
+	for trial := 0; trial < 5000; trial++ {
+		n := 1 + rng.Intn(300)
+		xs := make([]float64, n)
+		mode := rng.Intn(4)
+		for i := range xs {
+			switch mode {
+			case 0: // continuous
+				xs[i] = rng.Float64()*2000 - 1000
+			case 1: // heavy ties
+				xs[i] = float64(rng.Intn(8))
+			case 2: // signed zeros and ties
+				xs[i] = []float64{0.0, math.Copysign(0, -1), 1, -1}[rng.Intn(4)]
+			default: // mixed magnitudes
+				xs[i] = math.Ldexp(rng.Float64()-0.5, rng.Intn(40)-20)
+			}
+		}
+		conf := confs[rng.Intn(len(confs))]
+		want := referenceCI(xs, conf)
+		got := PercentileCIInPlace(append([]float64(nil), xs...), conf)
+		if !ciEq(got.Lo, want.Lo) || !ciEq(got.Hi, want.Hi) {
+			t.Fatalf("trial %d (n=%d conf=%v mode=%d): select %+v vs sort %+v",
+				trial, n, conf, mode, got, want)
+		}
+	}
+}
+
+// TestPercentileCINaNFallsBackToSort pins the NaN escape hatch: inputs
+// with NaN take the legacy full-sort path, so behavior is unchanged.
+func TestPercentileCINaNFallsBackToSort(t *testing.T) {
+	rng := NewRNG(7)
+	for trial := 0; trial < 200; trial++ {
+		n := 32 + rng.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		xs[rng.Intn(n)] = math.NaN()
+		want := referenceCI(xs, 0.95)
+		got := PercentileCIInPlace(append([]float64(nil), xs...), 0.95)
+		// sort.Float64s and the reference sort NaNs identically, so the
+		// intervals must match bitwise (NaN compares via bits).
+		if !bitsEq(got.Lo, want.Lo) || !bitsEq(got.Hi, want.Hi) {
+			t.Fatalf("trial %d: select %+v vs sort %+v", trial, got, want)
+		}
+	}
+}
+
+// TestSelectFloatPlacesOrderStatistic checks the quickselect invariant
+// directly: s[k] is the k-th smallest, with a <=/>= partition around it.
+func TestSelectFloatPlacesOrderStatistic(t *testing.T) {
+	rng := NewRNG(99)
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(rng.Intn(20))
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		k := rng.Intn(n)
+		s := append([]float64(nil), xs...)
+		selectFloat(s, k)
+		if !ciEq(s[k], sorted[k]) {
+			t.Fatalf("trial %d: s[%d]=%v want %v", trial, k, s[k], sorted[k])
+		}
+		for i := 0; i < k; i++ {
+			if s[i] > s[k] {
+				t.Fatalf("trial %d: s[%d]=%v > s[%d]=%v", trial, i, s[i], k, s[k])
+			}
+		}
+		for i := k + 1; i < n; i++ {
+			if s[i] < s[k] {
+				t.Fatalf("trial %d: s[%d]=%v < s[%d]=%v", trial, i, s[i], k, s[k])
+			}
+		}
+	}
+}

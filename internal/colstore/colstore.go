@@ -1,0 +1,293 @@
+// Package colstore is FluoDB's typed columnar layout: a storage.Table's
+// rows re-encoded once into fixed-size segments of flat typed banks —
+// []int64 for BIGINT/BOOLEAN, []float64 for DOUBLE, dictionary codes for
+// VARCHAR — plus per-column null bitmaps. The mini-batch hot loops in
+// internal/core sweep these banks directly (vectorized classification
+// into selection vectors, fused banked folds) instead of walking boxed
+// types.Row values; OLA-RAW's chunked in-situ layout is the same segment
+// abstraction, and PF-OLA's lesson is that online aggregation lives or
+// dies on the tightness of this per-chunk loop.
+//
+// The encoding is strictly a cache: the source rows stay authoritative
+// (segments alias them for row-path fallback and uncertain-set lineage),
+// and scanning a column back yields values equal to the originals —
+// including NULLs and dictionary strings — which is what licenses the
+// engine to switch between the row and columnar paths per batch with
+// bit-identical results.
+package colstore
+
+import (
+	"math"
+
+	"fluodb/internal/types"
+)
+
+// DefaultSegmentSize is the number of rows per segment. Batches need not
+// align with segments: sweeps address half-open local row ranges.
+const DefaultSegmentSize = 4096
+
+// Dict is a table-level dictionary for one VARCHAR column. Codes are
+// assigned in first-occurrence order and are stable across segments, so
+// a (column, code) pair identifies one distinct string table-wide —
+// per-code predicate tables and group keys never touch string bytes.
+type Dict struct {
+	Vals []string
+	idx  map[string]uint32
+}
+
+func newDict() *Dict { return &Dict{idx: map[string]uint32{}} }
+
+func (d *Dict) code(s string) uint32 {
+	if c, ok := d.idx[s]; ok {
+		return c
+	}
+	c := uint32(len(d.Vals))
+	d.Vals = append(d.Vals, s)
+	d.idx[s] = c
+	return c
+}
+
+// Col is one column's typed bank within a segment. Exactly one of Ints,
+// Floats or Codes is populated, per the declared schema kind (BOOLEAN
+// packs into Ints as 0/1); a mixed column (see Table.Mixed) populates
+// none. NULL slots hold zero in the bank and are flagged in the bitmap.
+type Col struct {
+	Ints   []int64
+	Floats []float64
+	Codes  []uint32
+	nulls  []uint64 // 1 bit per row; nil = segment has no NULLs here
+}
+
+// Null reports whether the column's local row i is SQL NULL.
+func (c *Col) Null(i int) bool {
+	return c.nulls != nil && c.nulls[i>>6]>>(uint(i)&63)&1 == 1
+}
+
+// HasNulls reports whether the segment holds any NULL in this column.
+func (c *Col) HasNulls() bool { return c.nulls != nil }
+
+func (c *Col) setNull(i, n int) {
+	if c.nulls == nil {
+		c.nulls = make([]uint64, (n+63)/64)
+	}
+	c.nulls[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Segment is a fixed-size run of rows in columnar form. Rows aliases
+// the source rows it was built from (never copied), so the row-oriented
+// fallback and uncertain-set lineage read the exact same tuples.
+type Segment struct {
+	Base int // global index of the segment's first row
+	N    int
+	Cols []Col
+	Rows []types.Row
+}
+
+// Table is the columnar encoding of one relation.
+type Table struct {
+	Schema  types.Schema
+	Dicts   []*Dict // per column; nil for non-VARCHAR columns
+	Segs    []*Segment
+	SegSize int
+	// Mixed flags columns holding at least one non-NULL value whose kind
+	// differs from the declared schema kind (rows are not kind-checked on
+	// append). A mixed column carries no typed bank; readers must fall
+	// back to the source rows for it.
+	Mixed []bool
+	src   []types.Row
+}
+
+// Build encodes rows (not copied; segments alias them) under the given
+// schema. segSize <= 0 selects DefaultSegmentSize.
+func Build(schema types.Schema, rows []types.Row, segSize int) *Table {
+	if segSize <= 0 {
+		segSize = DefaultSegmentSize
+	}
+	t := &Table{
+		Schema:  schema,
+		Dicts:   make([]*Dict, len(schema)),
+		SegSize: segSize,
+		Mixed:   make([]bool, len(schema)),
+		src:     rows,
+	}
+	for c, col := range schema {
+		if col.Type == types.KindString {
+			t.Dicts[c] = newDict()
+		}
+	}
+	// First pass: find mixed columns, so their banks are never built
+	// half-filled.
+	for _, row := range rows {
+		for c := range schema {
+			if c >= len(row) {
+				continue
+			}
+			v := row[c]
+			if !v.IsNull() && v.Kind() != schema[c].Type {
+				t.Mixed[c] = true
+			}
+		}
+	}
+	for base := 0; base < len(rows); base += segSize {
+		hi := base + segSize
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		t.Segs = append(t.Segs, t.buildSegment(rows[base:hi], base))
+	}
+	return t
+}
+
+func (t *Table) buildSegment(rows []types.Row, base int) *Segment {
+	n := len(rows)
+	seg := &Segment{Base: base, N: n, Cols: make([]Col, len(t.Schema)), Rows: rows}
+	for c, sc := range t.Schema {
+		if t.Mixed[c] {
+			continue
+		}
+		col := &seg.Cols[c]
+		switch sc.Type {
+		case types.KindInt, types.KindBool:
+			col.Ints = make([]int64, n)
+		case types.KindFloat:
+			col.Floats = make([]float64, n)
+		case types.KindString:
+			col.Codes = make([]uint32, n)
+		default:
+			// Declared NULL-kind column: every value is NULL (anything else
+			// would have marked it mixed).
+			for i := 0; i < n; i++ {
+				col.setNull(i, n)
+			}
+			continue
+		}
+		for i, row := range rows {
+			var v types.Value
+			if c < len(row) {
+				v = row[c]
+			}
+			if v.IsNull() {
+				col.setNull(i, n)
+				continue
+			}
+			switch sc.Type {
+			case types.KindInt:
+				col.Ints[i] = v.Int()
+			case types.KindBool:
+				if v.Bool() {
+					col.Ints[i] = 1
+				}
+			case types.KindFloat:
+				col.Floats[i] = v.Float()
+			case types.KindString:
+				col.Codes[i] = t.Dicts[c].code(v.Str())
+			}
+		}
+	}
+	return seg
+}
+
+// NumRows returns the number of encoded rows.
+func (t *Table) NumRows() int { return len(t.src) }
+
+// Segment returns the segment containing global row g and g's local
+// index within it.
+func (t *Table) Segment(g int) (*Segment, int) {
+	return t.Segs[g/t.SegSize], g % t.SegSize
+}
+
+// Aligned reports whether rows is exactly the encoded rows [base,
+// base+len(rows)) — same backing array, not merely equal values. The
+// engine uses this to prove a mini-batch slice and the columnar cache
+// describe the same tuples before switching to the columnar path.
+func (t *Table) Aligned(rows []types.Row, base int) bool {
+	if len(rows) == 0 {
+		return true
+	}
+	if base < 0 || base+len(rows) > len(t.src) {
+		return false
+	}
+	return &t.src[base] == &rows[0]
+}
+
+// Value scans one cell back to a types.Value (the round-trip contract:
+// equal to the source row's value, including NULL and dictionary
+// strings). Mixed columns read from the aliased source rows.
+func (t *Table) Value(seg *Segment, c, i int) types.Value {
+	if t.Mixed[c] {
+		row := seg.Rows[i]
+		if c >= len(row) {
+			return types.Null
+		}
+		return row[c]
+	}
+	col := &seg.Cols[c]
+	if col.Null(i) {
+		return types.Null
+	}
+	switch t.Schema[c].Type {
+	case types.KindInt:
+		return types.NewInt(col.Ints[i])
+	case types.KindBool:
+		return types.NewBool(col.Ints[i] != 0)
+	case types.KindFloat:
+		return types.NewFloat(col.Floats[i])
+	case types.KindString:
+		return types.NewString(t.Dicts[c].Vals[col.Codes[i]])
+	default:
+		return types.Null
+	}
+}
+
+// Row scans global row g back into buf (grown as needed).
+func (t *Table) Row(g int, buf types.Row) types.Row {
+	seg, i := t.Segment(g)
+	if cap(buf) < len(t.Schema) {
+		buf = make(types.Row, len(t.Schema))
+	}
+	buf = buf[:len(t.Schema)]
+	for c := range t.Schema {
+		buf[c] = t.Value(seg, c, i)
+	}
+	return buf
+}
+
+// Float reads a numeric/boolean cell as float64 (the aggregate-input
+// view, mirroring types.Value.AsFloat). ok is false for NULL and for
+// non-numeric declared kinds.
+func (t *Table) Float(seg *Segment, c, i int) (float64, bool) {
+	col := &seg.Cols[c]
+	if col.Null(i) {
+		return 0, false
+	}
+	switch t.Schema[c].Type {
+	case types.KindInt, types.KindBool:
+		return float64(col.Ints[i]), true
+	case types.KindFloat:
+		return col.Floats[i], true
+	default:
+		return 0, false
+	}
+}
+
+// KeyWord is the physical group-key code of one cell: a 64-bit word
+// that is equal for equal stored values of the same column (distinct
+// words may still compare equal under types.Equal — e.g. -0.0 and 0.0 —
+// which is why key-word memos must resolve through the canonical path
+// on first sight rather than asserting uniqueness).
+func (t *Table) KeyWord(seg *Segment, c, i int) (word uint64, null bool) {
+	col := &seg.Cols[c]
+	if col.Null(i) {
+		return 0, true
+	}
+	switch t.Schema[c].Type {
+	case types.KindInt, types.KindBool:
+		return uint64(col.Ints[i]), false
+	case types.KindFloat:
+		return math.Float64bits(col.Floats[i]), false
+	case types.KindString:
+		return uint64(col.Codes[i]), false
+	default:
+		return 0, true
+	}
+}

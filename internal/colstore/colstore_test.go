@@ -1,0 +1,205 @@
+package colstore
+
+import (
+	"math/rand"
+	"testing"
+
+	"fluodb/internal/types"
+)
+
+// randValue draws a value of the declared kind, NULL with probability
+// pNull, and (when allowMixed) occasionally a value of the wrong kind to
+// exercise the Mixed-column fallback.
+func randValue(rng *rand.Rand, kind types.Kind, pNull float64, allowMixed bool) types.Value {
+	if rng.Float64() < pNull {
+		return types.Null
+	}
+	if allowMixed && rng.Float64() < 0.05 {
+		// Wrong-kind value: a string in a numeric column or vice versa.
+		if kind == types.KindString {
+			return types.NewInt(rng.Int63n(100))
+		}
+		return types.NewString("stray")
+	}
+	switch kind {
+	case types.KindBool:
+		return types.NewBool(rng.Intn(2) == 1)
+	case types.KindInt:
+		return types.NewInt(rng.Int63n(1000) - 500)
+	case types.KindFloat:
+		f := rng.NormFloat64() * 100
+		switch rng.Intn(20) {
+		case 0:
+			f = 0
+		case 1:
+			return types.NewFloat(negZero())
+		}
+		return types.NewFloat(f)
+	case types.KindString:
+		words := []string{"alpha", "beta", "gamma", "delta", "", "alpha", "épsilon"}
+		return types.NewString(words[rng.Intn(len(words))])
+	default:
+		return types.Null
+	}
+}
+
+func negZero() float64 {
+	z := 0.0
+	return -z
+}
+
+func randSchema(rng *rand.Rand) types.Schema {
+	kinds := []types.Kind{types.KindBool, types.KindInt, types.KindFloat, types.KindString}
+	ncols := 1 + rng.Intn(6)
+	s := make(types.Schema, ncols)
+	for c := range s {
+		s[c] = types.Column{
+			Name: string(rune('a' + c)),
+			Type: kinds[rng.Intn(len(kinds))],
+		}
+	}
+	return s
+}
+
+// TestColstoreRoundTrip is the property test from the PR 6 satellite
+// list: for randomized schemas and data (nulls, dictionary strings,
+// -0.0, and deliberately kind-mismatched "mixed" cells) a columnar build
+// scans back to rows equal to the originals cell-for-cell.
+func TestColstoreRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		schema := randSchema(rng)
+		nrows := rng.Intn(600)
+		allowMixed := seed%3 == 0
+		rows := make([]types.Row, nrows)
+		for i := range rows {
+			row := make(types.Row, len(schema))
+			for c := range schema {
+				row[c] = randValue(rng, schema[c].Type, 0.15, allowMixed)
+			}
+			rows[i] = row
+		}
+		segSize := []int{0, 1, 7, 64, 4096}[rng.Intn(5)]
+		ct := Build(schema, rows, segSize)
+
+		if ct.NumRows() != nrows {
+			t.Fatalf("seed %d: NumRows=%d want %d", seed, ct.NumRows(), nrows)
+		}
+		var buf types.Row
+		for g := 0; g < nrows; g++ {
+			buf = ct.Row(g, buf)
+			for c := range schema {
+				orig, got := rows[g][c], buf[c]
+				if orig.IsNull() != got.IsNull() || (!orig.IsNull() && !types.Equal(orig, got)) {
+					t.Fatalf("seed %d row %d col %d (%s, mixed=%v): got %v want %v",
+						seed, g, c, schema[c].Type, ct.Mixed[c], got, orig)
+				}
+				// Kinds must round-trip exactly too, not merely compare equal
+				// (the fold path branches on declared kind).
+				if orig.Kind() != got.Kind() {
+					t.Fatalf("seed %d row %d col %d: kind %v want %v", seed, g, c, got.Kind(), orig.Kind())
+				}
+			}
+		}
+	}
+}
+
+func TestColstoreAligned(t *testing.T) {
+	schema := types.NewSchema("a", types.KindInt)
+	rows := make([]types.Row, 100)
+	for i := range rows {
+		rows[i] = types.Row{types.NewInt(int64(i))}
+	}
+	ct := Build(schema, rows, 16)
+
+	if !ct.Aligned(rows[10:40], 10) {
+		t.Fatal("subslice of source should be aligned")
+	}
+	if !ct.Aligned(nil, 0) {
+		t.Fatal("empty slice is trivially aligned")
+	}
+	if ct.Aligned(rows[10:40], 11) {
+		t.Fatal("wrong base must not align")
+	}
+	other := make([]types.Row, 30)
+	copy(other, rows[10:40])
+	if ct.Aligned(other, 10) {
+		t.Fatal("copied rows must not align (different backing array)")
+	}
+	if ct.Aligned(rows[90:], 90+20) {
+		t.Fatal("out-of-range base must not align")
+	}
+}
+
+func TestColstoreSegmentLookup(t *testing.T) {
+	schema := types.NewSchema("a", types.KindInt)
+	rows := make([]types.Row, 100)
+	for i := range rows {
+		rows[i] = types.Row{types.NewInt(int64(i))}
+	}
+	ct := Build(schema, rows, 16)
+	if len(ct.Segs) != 7 {
+		t.Fatalf("want 7 segments, got %d", len(ct.Segs))
+	}
+	if last := ct.Segs[6]; last.N != 4 || last.Base != 96 {
+		t.Fatalf("last segment base=%d n=%d, want 96/4", last.Base, last.N)
+	}
+	seg, loc := ct.Segment(53)
+	if seg.Base != 48 || loc != 5 {
+		t.Fatalf("Segment(53) = base %d loc %d", seg.Base, loc)
+	}
+	if got := seg.Cols[0].Ints[loc]; got != 53 {
+		t.Fatalf("bank value %d want 53", got)
+	}
+}
+
+// TestColstoreDictStability: codes are table-wide, so equal strings in
+// different segments share a code.
+func TestColstoreDictStability(t *testing.T) {
+	schema := types.NewSchema("s", types.KindString)
+	words := []string{"x", "y", "z"}
+	rows := make([]types.Row, 50)
+	for i := range rows {
+		rows[i] = types.Row{types.NewString(words[i%3])}
+	}
+	ct := Build(schema, rows, 8)
+	d := ct.Dicts[0]
+	if len(d.Vals) != 3 {
+		t.Fatalf("dict size %d want 3", len(d.Vals))
+	}
+	for g := 0; g < 50; g++ {
+		seg, loc := ct.Segment(g)
+		code := seg.Cols[0].Codes[loc]
+		if d.Vals[code] != words[g%3] {
+			t.Fatalf("row %d: code %d decodes to %q want %q", g, code, d.Vals[code], words[g%3])
+		}
+	}
+}
+
+func TestColstoreKeyWord(t *testing.T) {
+	schema := types.NewSchema("a", types.KindInt, "f", types.KindFloat, "s", types.KindString)
+	rows := []types.Row{
+		{types.NewInt(-7), types.NewFloat(2.5), types.NewString("p")},
+		{types.Null, types.NewFloat(2.5), types.NewString("q")},
+		{types.NewInt(-7), types.Null, types.NewString("p")},
+	}
+	ct := Build(schema, rows, 0)
+	seg := ct.Segs[0]
+	w0, n0 := ct.KeyWord(seg, 0, 0)
+	w2, n2 := ct.KeyWord(seg, 0, 2)
+	if n0 || n2 || w0 != w2 {
+		t.Fatalf("equal ints must share key words: %v/%v null %v/%v", w0, w2, n0, n2)
+	}
+	if _, null := ct.KeyWord(seg, 0, 1); !null {
+		t.Fatal("NULL int must report null key word")
+	}
+	if _, null := ct.KeyWord(seg, 1, 2); !null {
+		t.Fatal("NULL float must report null key word")
+	}
+	ws0, _ := ct.KeyWord(seg, 2, 0)
+	ws1, _ := ct.KeyWord(seg, 2, 1)
+	ws2, _ := ct.KeyWord(seg, 2, 2)
+	if ws0 == ws1 || ws0 != ws2 {
+		t.Fatalf("string key words: %d %d %d", ws0, ws1, ws2)
+	}
+}

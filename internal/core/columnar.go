@@ -1,0 +1,656 @@
+package core
+
+import (
+	"time"
+
+	"fluodb/internal/bootstrap"
+	"fluodb/internal/colstore"
+	"fluodb/internal/expr"
+	"fluodb/internal/types"
+)
+
+// The columnar fold path. When a block's mini-batch hot loop is shaped
+// right — no dimension joins, banked (all-CLT) aggregates, plain-column
+// group keys and aggregate arguments, a vectorizable certain WHERE —
+// each shard sweeps whole colstore segments instead of walking boxed
+// rows: the predicate runs as a compiled kernel into a tri-state vector,
+// the selection feeds the banked accumulators straight from the typed
+// banks, and group keys resolve through a word-code memo that touches
+// the canonical (hash + KeyEqual) path once per distinct key per sweep.
+//
+// The path is strictly an execution strategy, never a semantics change:
+// every accumulator cell receives the same float additions in the same
+// ascending-row order as the row path, groups are created at the same
+// first-occurrence positions, bootstrap weights/subsample membership are
+// the same pure counter hashes, and uncertain rows alias the same source
+// tuples — so snapshots, CIs and uncertain sets are bit-identical
+// (pinned by TestColumnarBitIdentical across seeds and parallelism).
+// Anything outside the shape falls back per batch (or per block) to the
+// row path; Options.RowPath forces the fallback globally.
+
+// colPlan is a block's columnar eligibility decision plus the resolved
+// column layout, built once on the controller and shared read-only by
+// all workers.
+type colPlan struct {
+	ok bool
+	ct *colstore.Table
+	// gbCols is the fact-schema column of each GROUP BY expression.
+	gbCols []int
+	// aggCols is the fact-schema column of each aggregate argument, -1
+	// for constant arguments; aggFloats flags float banks (else int).
+	aggCols   []int
+	aggFloats []bool
+	// Constant-argument values, pre-gated: aggConstNull flags SQL NULL,
+	// aggConstF holds the AsFloat value, aggConstOK its validity.
+	aggConstNull []bool
+	aggConstF    []float64
+	aggConstOK   []bool
+	// Bank-stream aliases: aliasW[i]/aliasV[i] name the aggregate whose
+	// physical bank cells carry aggregate i's replica stream. Aggregates
+	// over the same plain column receive bit-identical bank additions —
+	// COUNT/SUM/AVG all add Σ w·repW to W (their gates coincide on clean
+	// columns: SUM/AVG arguments are numeric by eligibility, so non-NULL
+	// ⟺ folds), and SUM/AVG both add Σ v·w·repW to V — so the columnar
+	// fold writes each distinct stream once; reads redirect through the
+	// same aliases (installed on the runner table).
+	aliasW []int
+	aliasV []int
+	// Fused kernel shape: when every aggregate reads the same plain
+	// column, the whole bank fold collapses to at most one W stream and
+	// one V stream, and weight generation fuses into the fold loop.
+	// fuse is that eligibility; fuseCol the shared column; fusePrimV the
+	// V-stream owner (-1 when all aggregates are COUNTs).
+	fuse      bool
+	fuseCol   int
+	fusePrimV int
+}
+
+// ensureColPlan builds the block's columnar plan on first use. Must run
+// on the controller goroutine before workers are submitted (workers
+// share the runner shallowly and read the plan pointer).
+func (r *blockRunner) ensureColPlan() {
+	if r.colPl != nil {
+		return
+	}
+	r.colPl = r.buildColPlan()
+}
+
+func (r *blockRunner) buildColPlan() *colPlan {
+	p := &colPlan{}
+	e := r.eng
+	b := r.b
+	if e.opt.RowPath || len(b.Dims) > 0 || !r.tab.banked || len(b.Aggs) == 0 {
+		return p
+	}
+	tbl, ok := e.cat.Get(b.Input.Fact)
+	if !ok {
+		return p
+	}
+	ct := tbl.Columnar()
+	clean := func(idx int) bool {
+		return idx >= 0 && idx < len(ct.Schema) && !ct.Mixed[idx]
+	}
+	for _, g := range b.GroupBy {
+		c, isCol := g.(*expr.Col)
+		if !isCol || !clean(c.Idx) {
+			return p
+		}
+		p.gbCols = append(p.gbCols, c.Idx)
+	}
+	for i := range b.Aggs {
+		switch a := b.Aggs[i].Arg.(type) {
+		case *expr.Col:
+			if !clean(a.Idx) {
+				return p
+			}
+			k := ct.Schema[a.Idx].Type
+			// COUNT only needs the null bitmap; SUM/AVG read the value and
+			// need a numeric/bool bank (strings would never fold anyway, but
+			// keeping them on the row path avoids a do-nothing special case).
+			if r.cltKinds[i] != cltCount && k != types.KindInt && k != types.KindFloat && k != types.KindBool {
+				return p
+			}
+			p.aggCols = append(p.aggCols, a.Idx)
+			p.aggFloats = append(p.aggFloats, k == types.KindFloat)
+			p.aggConstNull = append(p.aggConstNull, false)
+			p.aggConstF = append(p.aggConstF, 0)
+			p.aggConstOK = append(p.aggConstOK, false)
+		case *expr.Const:
+			f, fok := a.V.AsFloat()
+			p.aggCols = append(p.aggCols, -1)
+			p.aggFloats = append(p.aggFloats, false)
+			p.aggConstNull = append(p.aggConstNull, a.V.IsNull())
+			p.aggConstF = append(p.aggConstF, f)
+			p.aggConstOK = append(p.aggConstOK, fok)
+		default:
+			return p
+		}
+	}
+	if r.certainWhere != nil && expr.CompileKernel(r.certainWhere, ct) == nil {
+		return p
+	}
+	p.ct = ct
+	p.ok = true
+
+	// Bank-stream dedup: alias each aggregate's W (and, for SUM/AVG, V)
+	// stream to the first aggregate over the same plain column. Constant
+	// arguments keep their own streams (identity).
+	p.aliasW = make([]int, len(b.Aggs))
+	p.aliasV = make([]int, len(b.Aggs))
+	for i := range p.aliasW {
+		p.aliasW[i], p.aliasV[i] = i, i
+	}
+	for i, c := range p.aggCols {
+		if c < 0 {
+			continue
+		}
+		for j := 0; j < i; j++ {
+			if p.aggCols[j] == c {
+				p.aliasW[i] = p.aliasW[j]
+				break
+			}
+		}
+		if r.cltKinds[i] != cltCount {
+			for j := 0; j < i; j++ {
+				if p.aggCols[j] == c && r.cltKinds[j] != cltCount {
+					p.aliasV[i] = p.aliasV[j]
+					break
+				}
+			}
+		}
+	}
+	// Aliased reads must be installed on the runner table before the
+	// first snapshot; workers fold into shard tables through the plan's
+	// aliases and merge cell-wise, so shard tables need no read aliases.
+	r.tab.bankOfW = p.aliasW
+	r.tab.bankOfV = p.aliasV
+
+	// Fused-kernel eligibility: one shared plain column means one W
+	// stream (owned by aggregate 0) and at most one V stream.
+	p.fuse = true
+	p.fuseCol = p.aggCols[0]
+	p.fusePrimV = -1
+	for i, c := range p.aggCols {
+		if c < 0 || c != p.fuseCol {
+			p.fuse = false
+			break
+		}
+		if r.cltKinds[i] != cltCount && p.fusePrimV < 0 {
+			p.fusePrimV = i
+		}
+	}
+	return p
+}
+
+// colScratch is one sweeper's (serial runner or worker shard) reusable
+// columnar state: the compiled kernel (per-sweeper — kernels own scratch
+// and are not goroutine-safe), tri/selection vectors, weight scratch,
+// and the group-key word memo.
+type colScratch struct {
+	kernel     *expr.Kernel
+	kernelInit bool
+	tri        []uint8
+	sel        []int32
+	wf         []float64
+	wbuf       []uint8
+	// Group memo: open-addressed map from the key's word codes (one
+	// 64-bit physical code per group-by column plus a null-bit word) to
+	// the resolved table entry. Word codes are equal for identical stored
+	// values but may differ for values that merely compare equal (-0.0
+	// vs 0.0), so a memo miss resolves through the canonical
+	// entryCurrent path — the memo is pure memoization, never identity.
+	memoKeys    []uint64 // stride = len(gbCols)+1
+	memoSlots   []int32  // 1-based into memoEntries/memoKeys rows
+	memoMask    uint64
+	memoEntries []*onlineEntry
+	sole        *onlineEntry // cached sole entry of scalar blocks
+	// sweeps counts columnar segment sweeps (observability for tests and
+	// the alloc gate: proves the fast path actually engaged).
+	sweeps int64
+}
+
+// memoReset clears the memo for a new sweep. Entries may be recycled by
+// shard tables between batches, so cached pointers never outlive the
+// colFeed call that resolved them.
+func (cs *colScratch) memoReset() {
+	for i := range cs.memoSlots {
+		cs.memoSlots[i] = 0
+	}
+	cs.memoKeys = cs.memoKeys[:0]
+	cs.memoEntries = cs.memoEntries[:0]
+	cs.sole = nil
+}
+
+func (cs *colScratch) memoGrow(stride int) {
+	n := len(cs.memoSlots) * 2
+	if n < 64 {
+		n = 64
+	}
+	if cap(cs.memoSlots) >= n {
+		cs.memoSlots = cs.memoSlots[:n]
+		for i := range cs.memoSlots {
+			cs.memoSlots[i] = 0
+		}
+	} else {
+		cs.memoSlots = make([]int32, n)
+	}
+	cs.memoMask = uint64(n - 1)
+	for e := 0; e < len(cs.memoEntries); e++ {
+		h := memoHash(cs.memoKeys[e*stride : (e+1)*stride])
+		i := h & cs.memoMask
+		for cs.memoSlots[i] != 0 {
+			i = (i + 1) & cs.memoMask
+		}
+		cs.memoSlots[i] = int32(e + 1)
+	}
+}
+
+func memoHash(words []uint64) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, w := range words {
+		h = bootstrap.Mix64(h ^ w)
+	}
+	return h
+}
+
+// colFeed sweeps rows[0:len) (= global rows baseIdx..) through the
+// columnar classify+fold path into the given targets. It returns false
+// — having touched nothing — when the batch is not aligned with the
+// columnar cache, letting the caller fall back to the row loop.
+func (r *blockRunner) colFeed(rows []types.Row, baseIdx int, ts *tableStream, te *triEnv, tab *onlineTable, uncertain *[]uncertainRow, arena *weightArena, folds *int64, acc *phaseAcc, cs *colScratch, pf *weightPrefetch) bool {
+	p := r.colPl
+	if p == nil || !p.ok || cs == nil {
+		return false
+	}
+	ct := p.ct
+	if !ct.Aligned(rows, baseIdx) {
+		return false
+	}
+	if r.certainWhere != nil && !cs.kernelInit {
+		cs.kernel = expr.CompileKernel(r.certainWhere, ct)
+		cs.kernelInit = true
+	}
+	if r.certainWhere != nil && cs.kernel == nil {
+		return false
+	}
+	if len(rows) == 0 {
+		return true
+	}
+
+	e := r.eng
+	prof := e.profile
+	trials := e.opt.Trials
+	if cap(cs.tri) < ct.SegSize {
+		cs.tri = make([]uint8, ct.SegSize)
+	}
+	if cap(cs.wf) < trials {
+		cs.wf = make([]float64, trials)
+	}
+	if cap(cs.wbuf) < trials {
+		cs.wbuf = make([]uint8, trials)
+	}
+	cs.memoReset()
+	tab.initKeyScratch(r.b)
+
+	// Direct float-weight generation (skipping the uint8 round trip) is
+	// only safe when nothing can retain uint8 weights: an uncertain
+	// classification must hold the exact byte vector.
+	directWeights := r.uncertainWhere == nil && pf == nil
+	// wlut maps a Poisson(1) multiplicity (≤ 8; 16 slots so the masked
+	// index elides bounds checks) to its pre-scaled float weight — the
+	// identical float64(k)·repW product the row path computes per draw.
+	var wlut [16]float64
+	if directWeights {
+		for k := range wlut {
+			wlut[k] = float64(k) * ts.invP
+		}
+	}
+	// The fused kernel folds weight generation into the bank loop; the
+	// profiled path keeps the split loops so phase attribution (weights
+	// vs fold) stays meaningful.
+	fused := p.fuse && directWeights && !prof
+
+	g := baseIdx
+	end := baseIdx + len(rows)
+	for g < end {
+		seg, lo := ct.Segment(g)
+		hi := lo + (end - g)
+		if hi > seg.N {
+			hi = seg.N
+		}
+		g += hi - lo
+		cs.sweeps++
+
+		var t0 time.Time
+		if prof {
+			t0 = time.Now()
+		}
+		// Classify the whole segment range in one kernel pass; the
+		// selection preserves ascending row order, which is what keeps
+		// accumulator addition sequences identical to the row loop.
+		sel := cs.sel[:0]
+		if cs.kernel != nil {
+			tri := cs.tri[:seg.N]
+			cs.kernel.EvalInto(tri, seg, lo, hi)
+			for i := lo; i < hi; i++ {
+				if tri[i] == expr.TriTrue {
+					sel = append(sel, int32(i))
+				}
+			}
+		} else {
+			for i := lo; i < hi; i++ {
+				sel = append(sel, int32(i))
+			}
+		}
+		cs.sel = sel
+		if prof {
+			t1 := time.Now()
+			acc.ns[phaseClassify] += int64(t1.Sub(t0))
+		}
+
+		if fused {
+			for _, si := range sel {
+				i := int(si)
+				gi := seg.Base + i
+				en := r.colEntry(tab, cs, ct, seg, i)
+				r.colFoldFused(tab, p, en, seg, i, e.sampled(ts, gi),
+					ts.weightBase+uint64(gi)*uint64(trials), &wlut)
+				*folds++
+			}
+			continue
+		}
+
+		for _, si := range sel {
+			i := int(si)
+			gi := seg.Base + i
+			if prof {
+				t0 = time.Now()
+			}
+			// Subsample membership + per-trial weights: the same pure
+			// counter hashes as the row path, computed only for rows that
+			// survived the certain filter (they are per-row pure, so
+			// skipping filtered rows changes nothing).
+			var weights []uint8
+			var wf []float64
+			repW := 0.0
+			if pf != nil {
+				if ri := gi - pf.start; pf.sampled[ri] {
+					weights = pf.weights[ri*trials : (ri+1)*trials]
+					repW = ts.invP
+				}
+			} else if e.sampled(ts, gi) {
+				repW = ts.invP
+				if directWeights {
+					// Fold-only consumption: prescale straight to floats via
+					// the lut. float64(uint8(p)) == float64(p) for the Poisson
+					// range, so the accumulator additions are bit-identical.
+					wf = cs.wf[:trials]
+					base := ts.weightBase + uint64(gi)*uint64(trials)
+					for j := range wf {
+						wf[j] = wlut[bootstrap.PoissonAt(base+uint64(j))&15]
+					}
+				} else {
+					cs.wbuf = e.weightsInto(cs.wbuf, ts, gi)
+					weights = cs.wbuf
+				}
+			}
+			if repW > 0 && wf == nil && len(weights) > 0 {
+				wf = cs.wf[:len(weights)]
+				for j, w := range weights {
+					wf[j] = float64(w) * repW
+				}
+			}
+			if prof {
+				t1 := time.Now()
+				acc.ns[phaseWeights] += int64(t1.Sub(t0))
+				t0 = t1
+			}
+
+			if r.uncertainWhere != nil {
+				switch te.evalTri(r.uncertainWhere, seg.Rows[i]) {
+				case triTrue:
+					// fall through to fold below
+				case triFalse:
+					if prof {
+						acc.ns[phaseClassify] += int64(time.Since(t0))
+					}
+					continue
+				default:
+					*uncertain = append(*uncertain, uncertainRow{
+						row: seg.Rows[i], weights: arena.hold(weights), repW: repW})
+					r.sampledIdxValid = false
+					if prof {
+						acc.ns[phaseClassify] += int64(time.Since(t0))
+					}
+					continue
+				}
+				if prof {
+					t1 := time.Now()
+					acc.ns[phaseClassify] += int64(t1.Sub(t0))
+					t0 = t1
+				}
+			}
+
+			en := r.colEntry(tab, cs, ct, seg, i)
+			r.colFold(tab, p, en, ct, seg, i, wf, repW)
+			*folds++
+			if prof {
+				acc.ns[phaseFold] += int64(time.Since(t0))
+			}
+		}
+	}
+	return true
+}
+
+// colEntry resolves the group entry of segment-local row i through the
+// word-code memo, falling back to the canonical hash path on a miss so
+// entry identity (and creation order) matches the row loop exactly.
+func (r *blockRunner) colEntry(tab *onlineTable, cs *colScratch, ct *colstore.Table, seg *colstore.Segment, i int) *onlineEntry {
+	p := r.colPl
+	nk := len(p.gbCols)
+	if nk == 0 {
+		if cs.sole == nil {
+			cs.sole = tab.entryCurrent(r.b)
+		}
+		return cs.sole
+	}
+	stride := nk + 1
+	// Build the physical key: one word code per column + a null-bit word.
+	n := len(cs.memoKeys)
+	if cap(cs.memoKeys) < n+stride {
+		grown := make([]uint64, n, (n+stride)*2+stride)
+		copy(grown, cs.memoKeys)
+		cs.memoKeys = grown
+	}
+	words := cs.memoKeys[n : n+stride]
+	var nulls uint64
+	for k, c := range p.gbCols {
+		w, null := ct.KeyWord(seg, c, i)
+		if null {
+			nulls |= 1 << uint(k)
+			w = 0
+		}
+		words[k] = w
+	}
+	words[nk] = nulls
+	h := memoHash(words)
+	if cs.memoSlots != nil {
+		j := h & cs.memoMask
+		for {
+			s := cs.memoSlots[j]
+			if s == 0 {
+				break
+			}
+			cand := cs.memoKeys[int(s-1)*stride : int(s)*stride]
+			match := true
+			for x := 0; x < stride; x++ {
+				if cand[x] != words[x] {
+					match = false
+					break
+				}
+			}
+			if match {
+				return cs.memoEntries[s-1]
+			}
+			j = (j + 1) & cs.memoMask
+		}
+	}
+	// Miss: materialize the key row from the aliased source tuple (the
+	// exact Values the row path would have used) and resolve canonically.
+	row := seg.Rows[i]
+	for k, c := range p.gbCols {
+		tab.keyRow[k] = row[c]
+	}
+	en := tab.entryCurrent(r.b)
+	// Insert into the memo.
+	if (len(cs.memoEntries)+1)*8 > len(cs.memoSlots)*7 {
+		cs.memoGrow(stride)
+	}
+	cs.memoKeys = cs.memoKeys[:n+stride]
+	cs.memoEntries = append(cs.memoEntries, en)
+	idx := int32(len(cs.memoEntries))
+	j := h & cs.memoMask
+	for cs.memoSlots[j] != 0 {
+		j = (j + 1) & cs.memoMask
+	}
+	cs.memoSlots[j] = idx
+	return en
+}
+
+// colFold adds segment-local row i into the entry's banked accumulators
+// straight from the column banks, mirroring onlineTable.fold/foldBank
+// cell for cell: same per-aggregate order, same gating, same pre-scaled
+// weight values — so every float addition is bit-identical. Deduplicated
+// bank streams (plan aliases) are written once, by their owning
+// aggregate; reads resolve through the same aliases.
+func (r *blockRunner) colFold(tab *onlineTable, p *colPlan, e *onlineEntry, ct *colstore.Table, seg *colstore.Segment, i int, wf []float64, repW float64) {
+	e.n++
+	if repW > 0 {
+		e.ns++
+	}
+	trials := tab.trials
+	for a := range p.aggCols {
+		if tab.cltKinds[a] == cltCount {
+			// COUNT folds any non-NULL input: only the null bitmap is read
+			// (the column may be a string column with no numeric bank).
+			var null bool
+			if c := p.aggCols[a]; c >= 0 {
+				null = seg.Cols[c].Null(i)
+			} else {
+				null = p.aggConstNull[a]
+			}
+			if !null {
+				e.mainW[a]++
+				e.clt[a].add(1)
+				if wf != nil && p.aliasW[a] == a {
+					bw := e.bankW[a*trials : a*trials+len(wf)]
+					for j, x := range wf {
+						bw[j] += x
+					}
+				}
+			}
+			continue
+		}
+		// SUM/AVG fold numeric inputs (AsFloat-convertible: NULLs and the
+		// plan's kind gate exclude everything else).
+		var f float64
+		var fok bool
+		if c := p.aggCols[a]; c >= 0 {
+			col := &seg.Cols[c]
+			if !col.Null(i) {
+				if p.aggFloats[a] {
+					f, fok = col.Floats[i], true
+				} else {
+					f, fok = float64(col.Ints[i]), true
+				}
+			}
+		} else {
+			f, fok = p.aggConstF[a], p.aggConstOK[a]
+		}
+		if !fok {
+			continue
+		}
+		e.mainW[a]++
+		e.mainV[a] += f
+		e.clt[a].add(f)
+		if wf != nil {
+			base := a * trials
+			wOwn, vOwn := p.aliasW[a] == a, p.aliasV[a] == a
+			switch {
+			case wOwn && vOwn:
+				bw := e.bankW[base : base+len(wf)]
+				bv := e.bankV[base : base+len(wf)]
+				for j, x := range wf {
+					bw[j] += x
+					bv[j] += f * x
+				}
+			case vOwn:
+				bv := e.bankV[base : base+len(wf)]
+				for j, x := range wf {
+					bv[j] += f * x
+				}
+			case wOwn:
+				bw := e.bankW[base : base+len(wf)]
+				for j, x := range wf {
+					bw[j] += x
+				}
+			}
+		}
+	}
+}
+
+// colFoldFused is the single-column fast kernel: when every aggregate
+// reads the same plain column there is exactly one W stream (aggregate
+// 0's) and at most one V stream, and the tuple's Poisson weights are
+// consumed nowhere else — so weight generation, pre-scaling and the
+// bank folds collapse into one loop with no intermediate buffer. wlut
+// maps a Poisson(1) multiplicity to float64(k)·repW (the same two-step
+// computation the generic path performs, so every addition is
+// bit-identical). Used only off the profiled path: the split phase
+// attribution (weights vs fold) needs the unfused loops.
+func (r *blockRunner) colFoldFused(tab *onlineTable, p *colPlan, e *onlineEntry, seg *colstore.Segment, i int, sampled bool, wbase uint64, wlut *[16]float64) {
+	e.n++
+	if sampled {
+		e.ns++
+	}
+	col := &seg.Cols[p.fuseCol]
+	null := col.Null(i)
+	var f float64
+	if !null && p.fusePrimV >= 0 {
+		if p.aggFloats[p.fusePrimV] {
+			f = col.Floats[i]
+		} else {
+			f = float64(col.Ints[i])
+		}
+	}
+	if !null {
+		for a := range p.aggCols {
+			if tab.cltKinds[a] == cltCount {
+				e.mainW[a]++
+				e.clt[a].add(1)
+			} else {
+				e.mainW[a]++
+				e.mainV[a] += f
+				e.clt[a].add(f)
+			}
+		}
+	}
+	if !sampled || null {
+		return
+	}
+	trials := tab.trials
+	bw := e.bankW[:trials]
+	if p.fusePrimV >= 0 {
+		base := p.fusePrimV * trials
+		bv := e.bankV[base : base+trials]
+		for j := 0; j < trials; j++ {
+			x := wlut[bootstrap.PoissonAt(wbase+uint64(j))&15]
+			bw[j] += x
+			bv[j] += f * x
+		}
+		return
+	}
+	for j := 0; j < trials; j++ {
+		bw[j] += wlut[bootstrap.PoissonAt(wbase+uint64(j))&15]
+	}
+}

@@ -72,6 +72,11 @@ type Options struct {
 	// Lower it to engage more workers on small batches (the scaling
 	// bench sweeps it); raise it when per-tuple work is very cheap.
 	ParallelThreshold int
+	// RowPath disables the columnar fold path (columnar.go), forcing the
+	// row-oriented per-tuple loop even for eligible blocks. The two paths
+	// are bit-identical by construction; this is the A/B switch the
+	// benchmarks and the bit-identity tests compare against.
+	RowPath bool
 	// PerBatchSpawn selects the legacy parallel runtime that spawns
 	// fresh goroutines and allocates fresh shard tables every mini-batch
 	// instead of using the persistent worker pool. Kept as the A/B
@@ -386,6 +391,13 @@ func New(q *plan.Query, cat *storage.Catalog, opt Options) (*Engine, error) {
 		e.runners = append(e.runners, r)
 	}
 	e.warmExprCaches()
+	// Build columnar plans at construction time: eligibility is static,
+	// and an eligible block's first batch should not be charged for
+	// encoding the whole table (the storage layer caches the encoding
+	// across engines anyway).
+	for _, r := range e.runners {
+		r.ensureColPlan()
+	}
 	e.profile = opt.Profile
 	e.trace = opt.Tracer
 	e.blockAcc = make([]phaseAcc, len(e.runners))

@@ -44,13 +44,19 @@ func (a *cltAcc) merge(b cltAcc) {
 }
 
 // feedShard folds rows[lo:hi) of a mini-batch into a private table and
-// uncertain buffer. te, tab, uncertain, arena, acc and the wbuf weights
-// scratch must be private to the worker; the (possibly grown) scratch
-// is returned for reuse. pf, when non-nil, supplies prefetched
-// subsample membership and weight vectors for the whole batch
-// (read-only, safely shared across shards).
-func (r *blockRunner) feedShard(rows []types.Row, baseIdx int, ts *tableStream, te *triEnv, tab *onlineTable, uncertain *[]uncertainRow, arena *weightArena, folds *int64, acc *phaseAcc, wbuf []uint8, pf *weightPrefetch) []uint8 {
+// uncertain buffer. te, tab, uncertain, arena, acc, the cs columnar
+// scratch and the wbuf weights scratch must be private to the worker;
+// the (possibly grown) scratch is returned for reuse. pf, when non-nil,
+// supplies prefetched subsample membership and weight vectors for the
+// whole batch (read-only, safely shared across shards). When the
+// block's columnar plan applies (and cs is provided), the shard is swept
+// by the vectorized classify/fold path instead of the row loop below —
+// bit-identically.
+func (r *blockRunner) feedShard(rows []types.Row, baseIdx int, ts *tableStream, te *triEnv, tab *onlineTable, uncertain *[]uncertainRow, arena *weightArena, folds *int64, acc *phaseAcc, wbuf []uint8, pf *weightPrefetch, cs *colScratch) []uint8 {
 	e := r.eng
+	if cs != nil && r.colFeed(rows, baseIdx, ts, te, tab, uncertain, arena, folds, acc, cs, pf) {
+		return wbuf
+	}
 	prof := e.profile
 	trials := e.opt.Trials
 	for i, fact := range rows {
@@ -79,8 +85,19 @@ func (r *blockRunner) feedShard(rows []types.Row, baseIdx int, ts *tableStream, 
 }
 
 // feedBatchSerial folds a mini-batch on the caller's goroutine, reusing
-// the runner's weights scratch.
+// the runner's weights scratch. Columnar-eligible blocks sweep the
+// batch through colFeed instead (bit-identical, see columnar.go).
 func (r *blockRunner) feedBatchSerial(rows []types.Row, baseIdx int, ts *tableStream, te *triEnv, pf *weightPrefetch) {
+	r.ensureColPlan()
+	if r.colPl.ok {
+		if r.cs == nil {
+			r.cs = &colScratch{}
+		}
+		if r.colFeed(rows, baseIdx, ts, te, r.tab, &r.uncertain, &r.arena,
+			&r.eng.metrics.DeterministicFolds, &r.acc, r.cs, pf) {
+			return
+		}
+	}
 	prof := r.eng.profile
 	trials := r.eng.opt.Trials
 	for i, fact := range rows {
@@ -132,6 +149,9 @@ func panicNote(v any) string {
 // serial retries themselves keep panicking does a typed error surface.
 func (r *blockRunner) feedBatchParallel(rows []types.Row, baseIdx int, ts *tableStream, te *triEnv, pf *weightPrefetch) error {
 	e := r.eng
+	// Build the columnar plan on the controller before any worker can
+	// race to it (workers share the runner shallowly).
+	r.ensureColPlan()
 	workers := e.opt.Parallelism
 	thr := e.opt.ParallelThreshold
 	if workers <= 1 || len(rows) < 2*thr {
@@ -185,7 +205,7 @@ func (r *blockRunner) feedBatchParallel(rows []types.Row, baseIdx int, ts *table
 					wr := *r
 					wr.joiner = sh.joiner
 					wc.wbuf = wr.feedShard(rows[lo:hi], baseIdx+lo, ts, wte,
-						sh.tab, &sh.uncertain, &sh.arena, &sh.folds, &sh.acc, wc.wbuf, pf)
+						sh.tab, &sh.uncertain, &sh.arena, &sh.folds, &sh.acc, wc.wbuf, pf, sh.cs)
 					panic(&chaosFault{kind: k})
 				}
 			}
@@ -194,7 +214,7 @@ func (r *blockRunner) feedBatchParallel(rows []types.Row, baseIdx int, ts *table
 			wr := *r // shallow: shares block/engine, swaps per-worker scratch
 			wr.joiner = sh.joiner
 			wc.wbuf = wr.feedShard(rows[lo:hi], baseIdx+lo, ts, wte,
-				sh.tab, &sh.uncertain, &sh.arena, &sh.folds, &sh.acc, wc.wbuf, pf)
+				sh.tab, &sh.uncertain, &sh.arena, &sh.folds, &sh.acc, wc.wbuf, pf, sh.cs)
 		})
 		if err != nil {
 			// Pool stopped mid-submit: drain what made it onto the workers,
@@ -302,8 +322,11 @@ func (r *blockRunner) serialShardPass(rows []types.Row, baseIdx int, ts *tableSt
 		st := &outs[w]
 		st.tab = newShardTable(e.opt.Trials)
 		st.tab.configure(r.cltKinds)
+		if r.cs == nil {
+			r.cs = &colScratch{}
+		}
 		r.wbuf = r.feedShard(rows[lo:hi], baseIdx+lo, ts, te,
-			st.tab, &st.uncertain, &st.arena, &st.folds, &st.acc, r.wbuf, pf)
+			st.tab, &st.uncertain, &st.arena, &st.folds, &st.acc, r.wbuf, pf, r.cs)
 	}
 	for w := 0; w < workers; w++ {
 		st := &outs[w]
@@ -355,7 +378,8 @@ func (r *blockRunner) feedBatchSpawn(rows []types.Row, baseIdx int, ts *tableStr
 			out := &outs[w]
 			out.tab = tab
 			out.uncertain = unc
-			wr.feedShard(rows[lo:hi], baseIdx+lo, ts, wte, tab, unc, &out.arena, &out.folds, &out.acc, nil, pf)
+			// nil colScratch: the legacy baseline stays on the row path.
+			wr.feedShard(rows[lo:hi], baseIdx+lo, ts, wte, tab, unc, &out.arena, &out.folds, &out.acc, nil, pf, nil)
 		}(w, lo, hi)
 	}
 	wg.Wait()

@@ -90,6 +90,7 @@ type workerShard struct {
 	joiner    *exec.Joiner
 	folds     int64
 	acc       phaseAcc
+	cs        *colScratch
 }
 
 // workerCtx is one worker's cross-batch scratch. It deliberately holds
@@ -116,6 +117,7 @@ func (wc *workerCtx) shard(r *blockRunner) *workerShard {
 			// joiner shares the (read-only) dimension hash tables but its
 			// one-row scratch is per-call state: each worker owns a clone.
 			joiner: r.joiner.CloneForWorker(),
+			cs:     &colScratch{},
 		}
 		sh.tab.configure(r.cltKinds)
 		wc.shards[r.idx] = sh

@@ -56,6 +56,13 @@ type blockRunner struct {
 	// reclassification pass (one tri per cached uncertain row).
 	reclassBuf []uint8
 
+	// colPl is the block's columnar-path eligibility plan (see
+	// columnar.go), built once on the controller and shared read-only by
+	// workers; cs is the serial path's columnar scratch (workers keep
+	// theirs in their shard state).
+	colPl *colPlan
+	cs    *colScratch
+
 	// cltKinds classifies each aggregate for closed-form ranges;
 	// allCLT reports whether every aggregate in the block is estimable,
 	// in which case deterministic classification does not depend on
@@ -115,6 +122,13 @@ func andExprs(es []expr.Expr) expr.Expr {
 func (r *blockRunner) reset() {
 	r.tab = newOnlineTable(r.eng.opt.Trials)
 	r.tab.configure(r.cltKinds)
+	// The replacement table must keep the columnar plan's bank-stream
+	// aliases: the replayed prefix folds through the same deduplicated
+	// writes, so unaliased reads would see the unwritten twin cells.
+	if r.colPl != nil && r.colPl.ok {
+		r.tab.bankOfW = r.colPl.aliasW
+		r.tab.bankOfV = r.colPl.aliasV
+	}
 	r.uncertain = nil
 	r.arena.release()
 	r.sampledIdxValid = false
@@ -477,24 +491,31 @@ func (o *overlay) postInto(b *plan.Block, key string, scale float64, buf types.R
 	}
 	if o.base.banked {
 		t := o.base
-		bw, bv, stride := be.mainW, be.mainV, 1
-		if o.trial >= 0 {
+		bw, bv, stride, trial := be.mainW, be.mainV, 1, o.trial >= 0
+		if trial {
 			bw, bv = be.bankW[o.trial:], be.bankV[o.trial:]
 			stride = t.trials
 		}
 		buf = buf[:0]
 		buf = append(buf, be.key...)
 		for i, k := range t.cltKinds {
-			w := bw[i*stride]
+			// Replica banks may be deduplicated across aggregates: route
+			// through the stream aliases (identity for the mains, which are
+			// always written per aggregate).
+			wi, vi := i, i
+			if trial {
+				wi, vi = t.bankW(i), t.bankV(i)
+			}
+			w := bw[wi*stride]
 			switch {
 			case k == cltCount:
 				buf = append(buf, types.NewFloat(w*scale))
 			case w == 0:
 				buf = append(buf, types.Null)
 			case k == cltSum:
-				buf = append(buf, types.NewFloat(bv[i*stride]*scale))
+				buf = append(buf, types.NewFloat(bv[vi*stride]*scale))
 			default: // cltAvg
-				buf = append(buf, types.NewFloat(bv[i*stride]/w))
+				buf = append(buf, types.NewFloat(bv[vi*stride]/w))
 			}
 		}
 		return buf, true

@@ -80,6 +80,19 @@ type onlineTable struct {
 	trials   int
 	cltKinds []cltKind // per-aggregate CLT class (shared with the runner)
 	banked   bool      // every aggregate is CLT-estimable → float banks
+	// bankOfW/bankOfV redirect per-aggregate replica-bank reads to the
+	// aggregate that owns the physical stream (nil = identity). Two
+	// aggregates over the same plain column receive bit-identical bank
+	// additions (COUNT/SUM/AVG all add Σ w·repW to W; SUM/AVG both add
+	// Σ v·w·repW to V), so the columnar fold writes each distinct stream
+	// once and reads resolve through these aliases. The row-oriented
+	// fold keeps writing every aggregate's cells — twin cells then carry
+	// redundant (identical) data, which aliased reads simply ignore —
+	// so mixed row/columnar feeding stays consistent. Installed only
+	// when the columnar plan proves the streams identical (plain clean
+	// columns; see colPlan bank aliasing).
+	bankOfW []int
+	bankOfV []int
 	// scratch buffers for per-tuple group-key evaluation (the engine is
 	// single-threaded per table).
 	keyRow types.Row
@@ -244,10 +257,8 @@ func (t *onlineTable) grow() {
 	}
 }
 
-// entry returns (creating if needed) the group entry for the row in ctx.
-// The steady-state hit path is allocation-free: key evaluation into a
-// reused scratch row, hash, probe.
-func (t *onlineTable) entry(b *plan.Block, ctx *expr.Ctx) *onlineEntry {
+// initKeyScratch lazily sizes the group-key evaluation scratch.
+func (t *onlineTable) initKeyScratch(b *plan.Block) {
 	if t.cols == nil && len(b.GroupBy) > 0 {
 		t.keyRow = make(types.Row, len(b.GroupBy))
 		t.cols = make([]int, len(b.GroupBy))
@@ -257,14 +268,13 @@ func (t *onlineTable) entry(b *plan.Block, ctx *expr.Ctx) *onlineEntry {
 			t.gbCols[i] = colIdx(b.GroupBy[i])
 		}
 	}
-	row := ctx.Row
-	for i, g := range b.GroupBy {
-		if c := t.gbCols[i]; c >= 0 && c < len(row) {
-			t.keyRow[i] = row[c]
-		} else {
-			t.keyRow[i] = g.Eval(ctx)
-		}
-	}
+}
+
+// entryCurrent resolves (creating if needed) the group entry for the key
+// currently staged in t.keyRow: hash, probe, insert, and — when the
+// string-keyed view is live — skey/order maintenance. Callers fill
+// keyRow first (entry for the row path, the columnar memo on a miss).
+func (t *onlineTable) entryCurrent(b *plan.Block) *onlineEntry {
 	h := t.keyRow.HashKey(t.cols)
 	if e := t.find(h, t.keyRow, t.cols); e != nil {
 		return e
@@ -277,6 +287,22 @@ func (t *onlineTable) entry(b *plan.Block, ctx *expr.Ctx) *onlineEntry {
 		t.order = append(t.order, e.skey)
 	}
 	return e
+}
+
+// entry returns (creating if needed) the group entry for the row in ctx.
+// The steady-state hit path is allocation-free: key evaluation into a
+// reused scratch row, hash, probe.
+func (t *onlineTable) entry(b *plan.Block, ctx *expr.Ctx) *onlineEntry {
+	t.initKeyScratch(b)
+	row := ctx.Row
+	for i, g := range b.GroupBy {
+		if c := t.gbCols[i]; c >= 0 && c < len(row) {
+			t.keyRow[i] = row[c]
+		} else {
+			t.keyRow[i] = g.Eval(ctx)
+		}
+	}
+	return t.entryCurrent(b)
 }
 
 // fold adds the row in ctx into the main state (weight 1) and — when the
@@ -421,17 +447,33 @@ func (t *onlineTable) trialStates(e *onlineEntry, j int) []agg.State {
 	}
 	out := make([]agg.State, len(t.cltKinds))
 	for i, k := range t.cltKinds {
-		w := e.bankW[i*t.trials+j]
+		w := e.bankW[t.bankW(i)*t.trials+j]
 		switch k {
 		case cltCount:
 			out[i] = agg.CountStateOf(w)
 		case cltSum:
-			out[i] = agg.SumStateOf(e.bankV[i*t.trials+j], w > 0)
+			out[i] = agg.SumStateOf(e.bankV[t.bankV(i)*t.trials+j], w > 0)
 		default: // cltAvg
-			out[i] = agg.AvgStateOf(e.bankV[i*t.trials+j], w)
+			out[i] = agg.AvgStateOf(e.bankV[t.bankV(i)*t.trials+j], w)
 		}
 	}
 	return out
+}
+
+// bankW/bankV resolve aggregate i's physical replica-bank stream
+// through the alias tables (identity when no aliasing is installed).
+func (t *onlineTable) bankW(i int) int {
+	if t.bankOfW == nil {
+		return i
+	}
+	return t.bankOfW[i]
+}
+
+func (t *onlineTable) bankV(i int) int {
+	if t.bankOfV == nil {
+		return i
+	}
+	return t.bankOfV[i]
 }
 
 // mergeEntry folds a worker's group entry into the main entry. Both

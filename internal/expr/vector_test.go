@@ -1,0 +1,216 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"fluodb/internal/colstore"
+	"fluodb/internal/sqlparser"
+	"fluodb/internal/types"
+)
+
+// vtEnv is a random table plus its columnar build.
+type vtEnv struct {
+	schema types.Schema
+	rows   []types.Row
+	ct     *colstore.Table
+}
+
+func vtBuild(seed int64, nrows int) *vtEnv {
+	rng := rand.New(rand.NewSource(seed))
+	schema := types.NewSchema(
+		"b", types.KindBool,
+		"i", types.KindInt,
+		"f", types.KindFloat,
+		"s", types.KindString,
+		"j", types.KindInt,
+	)
+	words := []string{"alpha", "beta", "gamma", "", "delta%x"}
+	rows := make([]types.Row, nrows)
+	for r := range rows {
+		row := make(types.Row, len(schema))
+		for c := range schema {
+			if rng.Float64() < 0.12 {
+				row[c] = types.Null
+				continue
+			}
+			switch schema[c].Type {
+			case types.KindBool:
+				row[c] = types.NewBool(rng.Intn(2) == 1)
+			case types.KindInt:
+				row[c] = types.NewInt(rng.Int63n(20) - 10)
+			case types.KindFloat:
+				f := rng.NormFloat64() * 5
+				if rng.Intn(10) == 0 {
+					f = 0
+				}
+				row[c] = types.NewFloat(f)
+			case types.KindString:
+				row[c] = types.NewString(words[rng.Intn(len(words))])
+			}
+		}
+		rows[r] = row
+	}
+	return &vtEnv{schema: schema, rows: rows, ct: colstore.Build(schema, rows, 64)}
+}
+
+func (e *vtEnv) col(idx int) *Col {
+	return &Col{Idx: idx, Name: e.schema[idx].Name, Typ: e.schema[idx].Type}
+}
+
+// randCompilable draws an expression from the compilable grammar.
+func randCompilable(rng *rand.Rand, e *vtEnv, depth int) Expr {
+	cmps := []sqlparser.BinaryOp{
+		sqlparser.OpEq, sqlparser.OpNe, sqlparser.OpLt,
+		sqlparser.OpLe, sqlparser.OpGt, sqlparser.OpGe,
+	}
+	if depth <= 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(7) {
+		case 0: // numeric col vs const
+			c := e.col(rng.Intn(3))
+			var k types.Value
+			switch rng.Intn(4) {
+			case 0:
+				k = types.NewInt(rng.Int63n(20) - 10)
+			case 1:
+				k = types.NewFloat(rng.NormFloat64() * 5)
+			case 2:
+				k = types.NewBool(rng.Intn(2) == 1)
+			default:
+				k = types.Null
+			}
+			if rng.Intn(2) == 0 {
+				return &Binary{Op: cmps[rng.Intn(len(cmps))], L: c, R: &Const{V: k}}
+			}
+			return &Binary{Op: cmps[rng.Intn(len(cmps))], L: &Const{V: k}, R: c}
+		case 1: // string col vs const (incl. cross-kind and LIKE)
+			c := e.col(3)
+			ks := []types.Value{
+				types.NewString("beta"), types.NewString("a%"),
+				types.NewString("%a"), types.NewInt(3), types.Null,
+				types.NewString("_e%"),
+			}
+			k := ks[rng.Intn(len(ks))]
+			op := cmps[rng.Intn(len(cmps))]
+			if rng.Intn(3) == 0 && k.Kind() == types.KindString {
+				op = sqlparser.OpLike
+			}
+			if rng.Intn(4) == 0 {
+				return &Binary{Op: op, L: &Const{V: k}, R: c}
+			}
+			return &Binary{Op: op, L: c, R: &Const{V: k}}
+		case 2: // col vs col (numeric)
+			a, b := rng.Intn(3), rng.Intn(3)
+			if rng.Intn(2) == 0 {
+				b = 4 // second int column
+			}
+			return &Binary{Op: cmps[rng.Intn(len(cmps))], L: e.col(a), R: e.col(b)}
+		case 3:
+			return &IsNull{X: e.col(rng.Intn(5)), Negated: rng.Intn(2) == 1}
+		case 4: // bare column truthiness
+			return e.col(rng.Intn(5))
+		case 5:
+			return &Const{V: types.NewBool(rng.Intn(2) == 1)}
+		default: // const vs const
+			return &Binary{Op: cmps[rng.Intn(len(cmps))],
+				L: &Const{V: types.NewInt(rng.Int63n(4))},
+				R: &Const{V: types.NewInt(rng.Int63n(4))}}
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return &Not{X: randCompilable(rng, e, depth-1)}
+	case 1:
+		return &Binary{Op: sqlparser.OpAnd,
+			L: randCompilable(rng, e, depth-1), R: randCompilable(rng, e, depth-1)}
+	default:
+		return &Binary{Op: sqlparser.OpOr,
+			L: randCompilable(rng, e, depth-1), R: randCompilable(rng, e, depth-1)}
+	}
+}
+
+// TestKernelParity: for random compilable trees the kernel's tri bytes
+// must equal the row evaluator's three-valued truth on every row.
+func TestKernelParity(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		env := vtBuild(seed, 300)
+		rng := rand.New(rand.NewSource(seed * 77))
+		for trial := 0; trial < 60; trial++ {
+			ex := randCompilable(rng, env, 3)
+			k := CompileKernel(ex, env.ct)
+			if k == nil {
+				t.Fatalf("seed %d trial %d: %s should compile", seed, trial, ex)
+			}
+			out := make([]uint8, env.ct.SegSize)
+			ctx := &Ctx{}
+			for si, seg := range env.ct.Segs {
+				lo := 0
+				if seg.N > 2 && trial%5 == 0 {
+					lo = 1 // exercise sub-segment ranges
+				}
+				k.EvalInto(out, seg, lo, seg.N)
+				for i := lo; i < seg.N; i++ {
+					ctx.Row = seg.Rows[i]
+					want := triOf(ex.Eval(ctx))
+					if out[i] != want {
+						t.Fatalf("seed %d trial %d seg %d row %d: kernel %d want %d for %s on %v",
+							seed, trial, si, i, out[i], want, ex, seg.Rows[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKernelNotCompilable: trees outside the subset must return nil
+// rather than a wrong kernel.
+func TestKernelNotCompilable(t *testing.T) {
+	env := vtBuild(1, 10)
+	i, f, s := env.col(1), env.col(2), env.col(3)
+	cases := []Expr{
+		// arithmetic inside a comparison
+		&Binary{Op: sqlparser.OpLt,
+			L: &Binary{Op: sqlparser.OpAdd, L: i, R: f}, R: &Const{V: types.NewInt(1)}},
+		// string col vs string col
+		&Binary{Op: sqlparser.OpEq, L: s, R: s},
+		// params
+		&Binary{Op: sqlparser.OpLt, L: f, R: &ScalarParam{Idx: 0}},
+		&SetParam{Idx: 0, X: i},
+		// IN list
+		&InList{X: i, List: []Expr{&Const{V: types.NewInt(1)}}},
+		// CASE
+		&Case{},
+		// LIKE on a numeric column
+		&Binary{Op: sqlparser.OpLike, L: i, R: &Const{V: types.NewString("%")}},
+		// out-of-range column
+		&Col{Idx: 99},
+		// AND with one bad side
+		&Binary{Op: sqlparser.OpAnd, L: i, R: &InList{X: i}},
+	}
+	for n, c := range cases {
+		if CompileKernel(c, env.ct) != nil {
+			t.Fatalf("case %d (%s): expected nil kernel", n, c)
+		}
+	}
+}
+
+// TestKernelMixedColumn: a column with kind-mismatched values must not
+// compile (its banks are absent).
+func TestKernelMixedColumn(t *testing.T) {
+	schema := types.NewSchema("x", types.KindInt)
+	rows := []types.Row{
+		{types.NewInt(1)},
+		{types.NewString("oops")},
+	}
+	ct := colstore.Build(schema, rows, 0)
+	if !ct.Mixed[0] {
+		t.Fatal("column should be mixed")
+	}
+	c := &Col{Idx: 0, Typ: types.KindInt}
+	if CompileKernel(c, ct) != nil {
+		t.Fatal("mixed column must not compile")
+	}
+	if CompileKernel(&Binary{Op: sqlparser.OpLt, L: c, R: &Const{V: types.NewInt(5)}}, ct) != nil {
+		t.Fatal("comparison over mixed column must not compile")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"sync"
 
+	"fluodb/internal/colstore"
 	"fluodb/internal/types"
 )
 
@@ -22,6 +23,9 @@ type Table struct {
 	name   string
 	schema types.Schema
 	rows   []types.Row
+
+	colMu sync.Mutex
+	col   *colstore.Table // lazy columnar encoding; see Columnar
 }
 
 // NewTable creates an empty table.
@@ -64,6 +68,21 @@ func (t *Table) AppendAll(rows []types.Row) error {
 		}
 	}
 	return nil
+}
+
+// Columnar returns the table's columnar encoding, building it on first
+// use and rebuilding after the row count changes (Append/AppendAll are
+// the only mutators; they always change the count). The encoding aliases
+// the current backing rows, and consumers re-verify per batch with
+// colstore.Table.Aligned before trusting it, so a stale cache can cause
+// a slow row-path batch but never a wrong answer.
+func (t *Table) Columnar() *colstore.Table {
+	t.colMu.Lock()
+	defer t.colMu.Unlock()
+	if t.col == nil || t.col.NumRows() != len(t.rows) {
+		t.col = colstore.Build(t.schema, t.rows, 0)
+	}
+	return t.col
 }
 
 // Shuffled returns a new table with the rows randomly permuted using the

@@ -9,6 +9,8 @@
 #                    batch feed stays amortized-zero
 #                    (run without -race: its instrumentation allocates,
 #                    so the alloc tests skip themselves under it)
+#   columnar gates   segment-sweep fold stays at 0 allocs/tuple; the
+#                    columnar/row bit-identity sweep re-runs under -race
 #   chaos gate       short seeded fault soak under -race: bit-identical
 #                    answers under injected panics/stragglers/corruption,
 #                    checkpoint round-trips, zero leaked goroutines
@@ -41,6 +43,18 @@ go test ./internal/core -run 'TestFoldSteadyStateAllocs/.+/profiled' -count=1
 
 echo "== pooled batch alloc gate (go test ./internal/core -run TestPooledFeedBatchAllocs)"
 go test ./internal/core -run TestPooledFeedBatchAllocs -count=1
+
+echo "== columnar fold alloc gate (go test ./internal/core -run TestColumnarFoldAllocs)"
+# The segment-sweep hot path must stay at zero allocations per tuple
+# once scratch is warm (kernels, tri/selection vectors, weight buffers
+# and the group memo are all reused across batches).
+go test ./internal/core -run TestColumnarFoldAllocs -count=1
+
+echo "== columnar bit-identity under -race (go test -race ./internal/core -run TestColumnarBitIdentical)"
+# A small race-instrumented slice of the columnar/row equivalence sweep:
+# shard-parallel segment sweeps share plan and colstore state read-only,
+# and the race detector holds them to it.
+go test -race ./internal/core -run 'TestColumnarBitIdentical|TestColumnarSubsampleBitIdentical' -count=1
 
 echo "== go vet (observability packages)"
 go vet ./internal/metrics/ ./internal/dashboard/ ./internal/audit/

@@ -1,4 +1,4 @@
-.PHONY: check test bench-fold bench-compare audit chaos
+.PHONY: check test bench-fold bench-compare audit chaos trace
 
 # Tier-1 gate: vet + build + race-enabled tests + fold alloc regression.
 check:
@@ -31,3 +31,10 @@ audit:
 # no goroutine may leak. Scale with ARGS="-schedules 5000".
 chaos:
 	go run ./cmd/flbench -experiment chaos $(ARGS)
+
+# Span-timeline capture: run one traced suite query (default Q17) and
+# write trace.json (Chrome trace-event format — open in ui.perfetto.dev
+# or chrome://tracing) plus trace.jsonl (the structured G-OLA event
+# ring). Pick a query with ARGS="-tracequery SBI".
+trace:
+	go run ./cmd/flbench -spans trace.json -trace trace.jsonl $(ARGS)

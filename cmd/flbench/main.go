@@ -26,7 +26,11 @@
 // -tracequery) with the engine's event tracer and phase profiler on and
 // dumps the structured G-OLA events — range commits/failures, uncertain
 // flips, recompute triggers — as JSON Lines, followed by the per-phase
-// profile on stdout.
+// profile on stdout. -tracecap overrides the event-ring capacity.
+// -spans out.json additionally (or instead) records the run's span
+// timeline — query → mini-batch → phase → worker task, with ring events
+// as instants — and writes it as Chrome trace-event JSON; open the file
+// in ui.perfetto.dev or chrome://tracing.
 //
 // The fold experiment maintains the repo's perf trajectory: running it
 // with -json BENCH_fold.json demotes the file's previous "current"
@@ -43,6 +47,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 
@@ -67,11 +72,13 @@ func main() {
 		format     = flag.String("format", "table", "table|csv (csv: plot-ready series for fig3a/fig3b)")
 		traceOut   = flag.String("trace", "", "run one traced query and write G-OLA events to this JSONL file")
 		traceQuery = flag.String("tracequery", "Q17", "suite query for -trace")
+		traceCap   = flag.Int("tracecap", 0, "trace only: event-ring capacity (0: 64k default)")
+		spansOut   = flag.String("spans", "", "run one traced query and write its span timeline to this file as Chrome trace-event JSON (open in ui.perfetto.dev); combines with -trace")
 	)
 	flag.Parse()
 	cfg := bench.Config{
 		Rows: *rows, Parts: *parts, Batches: *batches, Trials: *trials,
-		RowPath: *rowPath,
+		RowPath: *rowPath, TraceCap: *traceCap,
 	}
 	if *seed != "" {
 		v, err := strconv.ParseUint(*seed, 10, 64)
@@ -87,8 +94,8 @@ func main() {
 			rowsSet = true
 		}
 	})
-	if *traceOut != "" {
-		if err := runTrace(cfg, *traceQuery, *traceOut); err != nil {
+	if *traceOut != "" || *spansOut != "" {
+		if err := runTrace(cfg, *traceQuery, *traceOut, *spansOut); err != nil {
 			fmt.Fprintln(os.Stderr, "flbench:", err)
 			os.Exit(1)
 		}
@@ -179,20 +186,50 @@ func runChaos(cfg bench.Config, schedules int, jsonOut string) error {
 	return nil
 }
 
-// runTrace captures one query's structured G-OLA event stream.
-func runTrace(cfg bench.Config, query, path string) error {
-	f, err := os.Create(path)
+// runTrace captures one query's structured G-OLA event stream
+// (-trace, JSONL) and/or its span timeline (-spans, Chrome trace JSON).
+func runTrace(cfg bench.Config, query, path, spansPath string) error {
+	var w io.Writer = io.Discard
+	var f *os.File
+	if path != "" {
+		var err error
+		if f, err = os.Create(path); err != nil {
+			return err
+		}
+		w = f
+	}
+	var sw io.Writer
+	var sf *os.File
+	if spansPath != "" {
+		var err error
+		if sf, err = os.Create(spansPath); err != nil {
+			if f != nil {
+				f.Close()
+			}
+			return err
+		}
+		sw = sf
+	}
+	res, err := bench.TraceRun(cfg, query, w, sw)
+	if f != nil {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if sf != nil {
+		if cerr := sf.Close(); err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		return err
 	}
-	res, err := bench.TraceRun(cfg, query, f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
+	if path != "" {
+		fmt.Printf("wrote %s\n", path)
 	}
-	if err != nil {
-		return err
+	if spansPath != "" {
+		fmt.Printf("wrote %s\n", spansPath)
 	}
-	fmt.Printf("wrote %s\n", path)
 	fmt.Print(bench.FormatTrace(res))
 	return nil
 }

@@ -5,14 +5,15 @@ import (
 	"context"
 	"fmt"
 	"reflect"
-	"runtime"
 	"strings"
 	"time"
 
 	"fluodb/internal/chaos"
 	"fluodb/internal/core"
+	"fluodb/internal/otrace"
 	"fluodb/internal/plan"
 	"fluodb/internal/storage"
+	"fluodb/internal/testutil"
 )
 
 // The chaos soak: thousands of deterministically seeded fault schedules
@@ -32,6 +33,9 @@ var chaosProfiles = []struct {
 	{"straggler", chaos.Config{StragglerProb: 0.5, StragglerDelay: 50 * time.Microsecond}},
 	{"corrupt", chaos.Config{CorruptProb: 0.3}},
 	{"prefetch-drop", chaos.Config{PrefetchDropProb: 0.5}},
+	// mixed also runs with the span-timeline tracer attached: the
+	// observability layer must neither perturb bit-identity nor emit a
+	// malformed trace while absorbing every fault kind at once.
 	{"mixed", chaos.Config{PanicProb: 0.15, StragglerProb: 0.2, CorruptProb: 0.15,
 		PrefetchDropProb: 0.25, StragglerDelay: 50 * time.Microsecond}},
 	// colstress targets the columnar hot path's fallback seams: prefetch
@@ -66,6 +70,7 @@ type ChaosResult struct {
 	Profiles             map[string]int   `json:"profiles"`
 	CancelResumes        int              `json:"cancel_resumes"`
 	CheckpointRoundTrips int              `json:"checkpoint_round_trips"`
+	SpanRuns             int              `json:"span_runs"` // schedules run with span tracing, exports validated
 	GoroutinesBefore     int              `json:"goroutines_before"`
 	GoroutinesAfter      int              `json:"goroutines_after"`
 	ElapsedMS            float64          `json:"elapsed_ms"`
@@ -156,6 +161,11 @@ func runSchedule(env *chaosEnv, i int, r *ChaosResult) error {
 	inj := chaos.New(ccfg)
 	opt := env.opt
 	opt.Chaos = inj
+	var spans *otrace.Tracer
+	if prof.name == "mixed" {
+		spans = otrace.NewTracer(0)
+		opt.Spans = spans
+	}
 
 	r.ModeCounts[mode]++
 	r.Profiles[prof.name]++
@@ -265,6 +275,22 @@ func runSchedule(env *chaosEnv, i int, r *ChaosResult) error {
 		r.BitIdentical++
 		r.CheckpointRoundTrips++
 	}
+	if spans != nil {
+		// The fault-riddled run already matched the reference bit-for-bit
+		// above; now its timeline must also be structurally sound and
+		// export to valid, correctly nested Chrome trace JSON.
+		if err := otrace.ValidateNesting(spans.Spans()); err != nil {
+			return fmt.Errorf("schedule %d (%s/%s): span nesting under faults: %w", i, prof.name, mode, err)
+		}
+		var buf bytes.Buffer
+		if err := spans.WriteChromeTrace(&buf); err != nil {
+			return fmt.Errorf("schedule %d (%s/%s): span export: %w", i, prof.name, mode, err)
+		}
+		if _, _, err := otrace.ValidateChromeJSON(buf.Bytes()); err != nil {
+			return fmt.Errorf("schedule %d (%s/%s): exported trace invalid: %w", i, prof.name, mode, err)
+		}
+		r.SpanRuns++
+	}
 	return nil
 }
 
@@ -286,8 +312,7 @@ func ChaosSoak(cfg Config, schedules int) (*ChaosResult, error) {
 		ModeCounts:  map[string]int{},
 		Profiles:    map[string]int{},
 	}
-	runtime.GC()
-	r.GoroutinesBefore = runtime.NumGoroutine()
+	r.GoroutinesBefore = testutil.GoroutineBaseline()
 	start := time.Now()
 	for i := 0; i < schedules; i++ {
 		if err := runSchedule(env, i, r); err != nil {
@@ -297,15 +322,7 @@ func ChaosSoak(cfg Config, schedules int) (*ChaosResult, error) {
 	r.ElapsedMS = ms(time.Since(start))
 	// Engine pools close synchronously, but worker goroutines need a
 	// moment to observe their closed channels; settle before judging.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		runtime.GC()
-		r.GoroutinesAfter = runtime.NumGoroutine()
-		if r.GoroutinesAfter <= r.GoroutinesBefore || time.Now().After(deadline) {
-			break
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	r.GoroutinesAfter = testutil.SettleGoroutines(r.GoroutinesBefore, 5*time.Second)
 	if r.GoroutinesAfter > r.GoroutinesBefore {
 		return r, fmt.Errorf("goroutine leak: %d before soak, %d after", r.GoroutinesBefore, r.GoroutinesAfter)
 	}
@@ -319,6 +336,7 @@ func FormatChaos(r *ChaosResult) string {
 	fmt.Fprintf(&b, "  bit-identical runs:     %d/%d\n", r.BitIdentical, r.Schedules)
 	fmt.Fprintf(&b, "  cancel+resume cycles:   %d\n", r.CancelResumes)
 	fmt.Fprintf(&b, "  checkpoint round-trips: %d (all byte-identical)\n", r.CheckpointRoundTrips)
+	fmt.Fprintf(&b, "  span-traced runs:       %d (exports validated)\n", r.SpanRuns)
 	fmt.Fprintf(&b, "  goroutines before/after: %d/%d\n", r.GoroutinesBefore, r.GoroutinesAfter)
 	b.WriteString("  faults fired:\n")
 	for _, k := range []string{"panic", "straggler", "corrupt", "prefetch-drop"} {

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"fluodb/internal/core"
+	"fluodb/internal/otrace"
 	"fluodb/internal/plan"
 	"fluodb/internal/workload"
 )
@@ -22,6 +23,10 @@ type TraceResult struct {
 	ByKind     map[string]int
 	Recomputes int
 	Report     string // the engine's per-phase text profile
+	// Span-timeline capture (flbench -spans): recorded span count and
+	// slab overflow drops. Zero when no spans writer was supplied.
+	Spans        int
+	DroppedSpans int
 }
 
 // traceCapacity bounds the captured ring; 64k events comfortably holds
@@ -30,8 +35,11 @@ const traceCapacity = 1 << 16
 
 // TraceRun executes one suite query (default Q17, the nested
 // non-monotonic workload) with tracing and profiling enabled, streaming
-// the retained events to w as JSONL.
-func TraceRun(cfg Config, queryName string, w io.Writer) (*TraceResult, error) {
+// the retained events to w as JSONL. When spansW is non-nil the run
+// also records a span timeline and writes it there as Chrome
+// trace-event JSON (Perfetto-loadable), with the ring events attached
+// as instants.
+func TraceRun(cfg Config, queryName string, w, spansW io.Writer) (*TraceResult, error) {
 	cfg = cfg.WithDefaults()
 	if queryName == "" {
 		queryName = "Q17"
@@ -45,11 +53,22 @@ func TraceRun(cfg Config, queryName string, w io.Writer) (*TraceResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	tracer := core.NewTracer(traceCapacity)
-	eng, err := core.New(q, cat, core.Options{
+	ringCap := cfg.TraceCap
+	if ringCap <= 0 {
+		ringCap = traceCapacity
+	}
+	tracer := core.NewTracer(ringCap)
+	opt := core.Options{
 		Batches: cfg.Batches, Trials: cfg.Trials, Seed: cfg.EngineSeed(),
 		Profile: true, Tracer: tracer,
-	})
+	}
+	var spans *otrace.Tracer
+	if spansW != nil {
+		spans = otrace.NewTracer(0)
+		spans.SetLabel(wq.Name + ": " + wq.SQL)
+		opt.Spans = spans
+	}
+	eng, err := core.New(q, cat, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -71,6 +90,13 @@ func TraceRun(cfg Config, queryName string, w io.Writer) (*TraceResult, error) {
 		res.Events++
 		res.ByKind[ev.Kind]++
 	}
+	if spans != nil {
+		if err := spans.WriteChromeTrace(spansW); err != nil {
+			return nil, err
+		}
+		res.Spans = len(spans.Spans())
+		res.DroppedSpans = int(spans.DroppedSpans())
+	}
 	return res, nil
 }
 
@@ -78,6 +104,10 @@ func TraceRun(cfg Config, queryName string, w io.Writer) (*TraceResult, error) {
 func FormatTrace(r *TraceResult) string {
 	s := fmt.Sprintf("trace: %s — %d events captured (%d dropped), %d recomputes\n",
 		r.Query, r.Events, r.Dropped, r.Recomputes)
+	if r.Spans > 0 {
+		s += fmt.Sprintf("  spans: %d recorded (%d dropped) — load the JSON into ui.perfetto.dev\n",
+			r.Spans, r.DroppedSpans)
+	}
 	for _, kind := range []string{core.EvCommit, core.EvRangeFailure, core.EvFlip, core.EvRecompute, core.EvNoCommit} {
 		if n := r.ByKind[kind]; n > 0 {
 			s += fmt.Sprintf("  %-20s %d\n", kind, n)

@@ -256,6 +256,8 @@ func (e *Engine) Checkpoint() ([]byte, error) {
 	if e.fatal != nil {
 		return nil, queryErr(ErrKindCheckpoint, "engine is in a fatal state")
 	}
+	csp := e.sctl.Begin("checkpoint", e.spanQuery, e.batch, -1)
+	defer e.sctl.End(csp)
 	mode := e.checkpointMode()
 	w := &ckWriter{}
 	w.buf = append(w.buf, ckMagic...)
@@ -403,6 +405,13 @@ func Resume(q *plan.Query, cat *storage.Catalog, opt Options, data []byte) (*Eng
 }
 
 func (e *Engine) restore(data []byte) error {
+	rsp := e.sctl.Begin("resume", 0, -1, -1)
+	oldTop := e.spanTop
+	e.spanTop = rsp
+	defer func() {
+		e.spanTop = oldTop
+		e.sctl.End(rsp)
+	}()
 	if len(data) < len(ckMagic) || string(data[:len(ckMagic)]) != ckMagic {
 		return queryErr(ErrKindCheckpoint, "bad magic")
 	}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Convergence observatory (DESIGN.md §14). Every committed batch is
+// sampled into a bounded per-query series: CI half-width quantiles per
+// aggregate, uncertain-set size and churn, recompute count and
+// throughput. The series feeds the dashboard SSE stream, the gola_*
+// metric families, and the 1/√n-fit ETA-to-target-half-width predictor
+// (Snapshot.ETA) — the telemetry a BlinkDB-style `ERROR 1%` stopping
+// rule will consume. The observatory is telemetry, not engine state:
+// checkpoints do not carry it, and a resumed engine re-fits after a
+// couple of batches.
+
+// AggConvergence is one output column's relative CI half-width
+// quantiles at a batch boundary. Half-widths are relative to |point|
+// (denominator 1 when the point estimate is 0 — the audit harness
+// convention), so they compare directly to an `ERROR 1%` target.
+type AggConvergence struct {
+	Column string  `json:"column"`
+	P50    float64 `json:"p50"`
+	P90    float64 `json:"p90"`
+	Max    float64 `json:"max"`
+}
+
+// ConvergencePoint is one batch's convergence sample.
+type ConvergencePoint struct {
+	Batch    int     `json:"batch"`
+	Fraction float64 `json:"fraction"`
+	Rows     int64   `json:"rows"` // cumulative root-table rows processed
+	BatchMS  float64 `json:"batch_ms"`
+	// RowsPerSec is this batch's throughput (batch rows over batch wall
+	// time) — the rate the ETA extrapolates.
+	RowsPerSec float64 `json:"rows_per_sec"`
+	// Relative CI half-width quantiles across every cell carrying a CI.
+	HalfWidthP50 float64 `json:"hw_p50"`
+	HalfWidthP90 float64 `json:"hw_p90"`
+	HalfWidthMax float64 `json:"hw_max"`
+	// HasCI reports that at least one cell carried a confidence
+	// interval this batch (the quantiles are meaningless otherwise).
+	HasCI  bool             `json:"has_ci"`
+	PerAgg []AggConvergence `json:"per_agg,omitempty"`
+	// Uncertain-set telemetry: size after the batch, and churn across
+	// the step — Out counts tuples leaving the cache (reclassification
+	// folds/drops plus budget evictions, including replay work), In
+	// counts fresh arrivals.
+	Uncertain    int   `json:"uncertain"`
+	UncertainIn  int64 `json:"uncertain_in"`
+	UncertainOut int64 `json:"uncertain_out"`
+	Recomputes   int   `json:"recomputes"` // cumulative
+	// FitC is the fitted constant of the 1/√n model hw ≈ C/√rows
+	// (median of hwMax·√rows over the trailing window; 0 until enough
+	// CI-carrying batches exist).
+	FitC float64 `json:"fit_c"`
+}
+
+// convergeState is the engine-side accumulator behind the series.
+type convergeState struct {
+	series []ConvergencePoint
+	// stepOut accrues uncertain-cache departures (reclassify folds and
+	// drops, budget evictions) across one StepContext, including any
+	// replay work inside it; observeConvergence consumes and resets it.
+	stepOut       int64
+	prevUncertain int
+	prevRows      int64
+	scratch       []float64
+	colScratch    [][]float64
+}
+
+// maxConvergencePoints bounds the per-query series; on overflow the
+// series is decimated by dropping every other point, halving temporal
+// resolution instead of forgetting the run's start.
+const maxConvergencePoints = 512
+
+// fitWindow is the trailing number of CI-carrying points the 1/√n fit
+// uses. Early batches are the noisiest half-width estimates; a short
+// median window tracks the current regime and shrugs off outliers.
+const fitWindow = 8
+
+// relHalfWidth is the relative CI half-width of one cell, using the
+// audit harness denominator convention (|point|, or 1 when 0).
+func relHalfWidth(c CellEstimate) float64 {
+	hw := (c.CI.Hi - c.CI.Lo) / 2
+	if hw < 0 || math.IsNaN(hw) || math.IsInf(hw, 0) {
+		return 0
+	}
+	denom := 1.0
+	if f, ok := c.Value.AsFloat(); ok && f != 0 {
+		denom = math.Abs(f)
+	}
+	return hw / denom
+}
+
+// quantile reads the q-quantile from an ascending-sorted slice.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// observeConvergence samples the batch that just committed into the
+// convergence series and stamps the point onto the snapshot.
+func (e *Engine) observeConvergence(snap *Snapshot, dur time.Duration) {
+	cs := &e.conv
+	pt := ConvergencePoint{
+		Batch:      snap.Batch,
+		Fraction:   snap.FractionProcessed,
+		Rows:       e.metrics.RowsProcessed,
+		BatchMS:    float64(dur.Microseconds()) / 1000,
+		Uncertain:  snap.UncertainRows,
+		Recomputes: snap.Recomputes,
+	}
+	if secs := dur.Seconds(); secs > 0 {
+		pt.RowsPerSec = float64(pt.Rows-cs.prevRows) / secs
+	}
+
+	// Relative half-width quantiles: across all CI cells, and per
+	// output column (by schema name).
+	all := cs.scratch[:0]
+	nCols := len(snap.Schema)
+	if cap(cs.colScratch) < nCols {
+		cs.colScratch = make([][]float64, nCols)
+	}
+	cols := cs.colScratch[:nCols]
+	for c := range cols {
+		cols[c] = cols[c][:0]
+	}
+	for _, row := range snap.Rows {
+		for c, cell := range row {
+			if !cell.HasCI {
+				continue
+			}
+			hw := relHalfWidth(cell)
+			all = append(all, hw)
+			if c < nCols {
+				cols[c] = append(cols[c], hw)
+			}
+		}
+	}
+	if len(all) > 0 {
+		pt.HasCI = true
+		sort.Float64s(all)
+		pt.HalfWidthP50 = quantile(all, 0.50)
+		pt.HalfWidthP90 = quantile(all, 0.90)
+		pt.HalfWidthMax = all[len(all)-1]
+		for c := range cols {
+			if len(cols[c]) == 0 {
+				continue
+			}
+			sort.Float64s(cols[c])
+			pt.PerAgg = append(pt.PerAgg, AggConvergence{
+				Column: snap.Schema[c].Name,
+				P50:    quantile(cols[c], 0.50),
+				P90:    quantile(cols[c], 0.90),
+				Max:    cols[c][len(cols[c])-1],
+			})
+		}
+	}
+	cs.scratch = all
+
+	// Churn: departures were counted at their source; arrivals balance
+	// the set-size delta.
+	pt.UncertainOut = cs.stepOut
+	if in := int64(snap.UncertainRows-cs.prevUncertain) + cs.stepOut; in > 0 {
+		pt.UncertainIn = in
+	}
+	cs.stepOut = 0
+	cs.prevUncertain = snap.UncertainRows
+	cs.prevRows = pt.Rows
+
+	cs.series = append(cs.series, pt)
+	if len(cs.series) > maxConvergencePoints {
+		keep := cs.series[:0]
+		for i := 0; i < len(cs.series); i += 2 {
+			keep = append(keep, cs.series[i])
+		}
+		cs.series = keep
+	}
+	pt.FitC = cs.fitC()
+	cs.series[len(cs.series)-1].FitC = pt.FitC
+	snap.Convergence = pt
+}
+
+// fitC fits hw ≈ C/√rows over the trailing window: each CI-carrying
+// point contributes hwMax·√rows, and the median of those estimates is
+// C. The max half-width (not the mean) is fitted because an `ERROR ε`
+// contract means every cell within ε — the slowest-converging cell
+// binds.
+func (cs *convergeState) fitC() float64 {
+	var ests []float64
+	for i := len(cs.series) - 1; i >= 0 && len(ests) < fitWindow; i-- {
+		p := cs.series[i]
+		if !p.HasCI || p.HalfWidthMax <= 0 || p.Rows <= 0 {
+			continue
+		}
+		ests = append(ests, p.HalfWidthMax*math.Sqrt(float64(p.Rows)))
+	}
+	if len(ests) < 2 {
+		return 0
+	}
+	sort.Float64s(ests)
+	return ests[len(ests)/2]
+}
+
+// ConvergenceSeries returns a copy of the per-batch convergence series
+// recorded so far (decimated to at most maxConvergencePoints).
+func (e *Engine) ConvergenceSeries() []ConvergencePoint {
+	return append([]ConvergencePoint(nil), e.conv.series...)
+}
+
+// ETA predicts how much longer the query must run until every
+// CI-carrying cell's relative half-width is at or below eps, by the
+// 1/√n model: hw ≈ C/√rows ⇒ rows needed = (C/eps)², extrapolated at
+// the current throughput and clamped to the rows remaining. The bool
+// reports whether a prediction was possible (a CI exists and the fit
+// has converged); (0, true) means the target is already met. By
+// construction the estimate is monotone non-increasing in eps.
+func (s *Snapshot) ETA(eps float64) (time.Duration, bool) {
+	c := s.Convergence
+	if eps <= 0 || !c.HasCI {
+		return 0, false
+	}
+	if c.HalfWidthMax <= eps {
+		return 0, true
+	}
+	if c.FitC <= 0 || c.RowsPerSec <= 0 || c.Rows <= 0 {
+		return 0, false
+	}
+	need := (c.FitC / eps) * (c.FitC / eps)
+	rem := need - float64(c.Rows)
+	if rem < 0 {
+		rem = 0
+	}
+	// The run ends when the table is exhausted (the answer is then
+	// exact), so never predict past the remaining rows.
+	if c.Fraction > 0 {
+		if max := float64(c.Rows)/c.Fraction - float64(c.Rows); rem > max {
+			rem = max
+		}
+	}
+	return time.Duration(rem / c.RowsPerSec * float64(time.Second)), true
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"fluodb/internal/plan"
+)
+
+// convergeEnv runs a grouped aggregate to completion, collecting every
+// snapshot.
+func convergeEnv(t *testing.T, batches int) (*Engine, []*Snapshot) {
+	t.Helper()
+	cat := foldCatalog(20000, 71)
+	q, err := plan.Compile(`SELECT a, SUM(x), AVG(x) FROM facts GROUP BY a`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(q, cat, Options{Batches: batches, Trials: 50, Seed: 13, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	var snaps []*Snapshot
+	for !eng.Done() {
+		s, err := eng.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, s)
+	}
+	return eng, snaps
+}
+
+func TestConvergenceSeriesRecorded(t *testing.T) {
+	eng, snaps := convergeEnv(t, 8)
+	series := eng.ConvergenceSeries()
+	if len(series) != 8 {
+		t.Fatalf("series length %d, want 8", len(series))
+	}
+	for i, p := range series {
+		if p.Batch != i+1 {
+			t.Fatalf("series[%d].Batch = %d", i, p.Batch)
+		}
+		if p.HalfWidthP50 > p.HalfWidthP90 || p.HalfWidthP90 > p.HalfWidthMax {
+			t.Fatalf("quantiles out of order at batch %d: %+v", p.Batch, p)
+		}
+		if p.Rows <= 0 || p.Fraction <= 0 {
+			t.Fatalf("progress missing at batch %d: %+v", p.Batch, p)
+		}
+		if !p.HasCI {
+			continue
+		}
+		if len(p.PerAgg) == 0 {
+			t.Fatalf("CI present but no per-aggregate quantiles at batch %d", p.Batch)
+		}
+		// The key column "a" carries no CI and must not be sampled.
+		for _, a := range p.PerAgg {
+			if a.Column == "a" {
+				t.Fatalf("key column sampled as aggregate: %+v", p.PerAgg)
+			}
+		}
+	}
+	// Early batches must carry CIs (the run is approximate there).
+	if !series[0].HasCI || !series[3].HasCI {
+		t.Fatalf("early batches missing CI samples: %+v", series[:4])
+	}
+	// Snapshots carry their batch's point.
+	for i, s := range snaps {
+		if s.Convergence.Batch != i+1 {
+			t.Fatalf("snapshot %d carries convergence batch %d", i+1, s.Convergence.Batch)
+		}
+	}
+	// Half-widths shrink as the sample grows.
+	last := series[len(series)-1]
+	if last.Fraction < 0.999 {
+		t.Fatalf("final fraction %v", last.Fraction)
+	}
+	if last.HalfWidthMax > series[0].HalfWidthMax {
+		t.Fatalf("half-width grew over the run: first %v, last %v",
+			series[0].HalfWidthMax, last.HalfWidthMax)
+	}
+}
+
+func TestConvergenceETAMonotone(t *testing.T) {
+	_, snaps := convergeEnv(t, 10)
+	// A mid-run snapshot: CIs are meaningful and the run is not done.
+	s := snaps[5]
+	c := s.Convergence
+	if !c.HasCI {
+		t.Fatalf("no CI at batch 6: %+v", c)
+	}
+	if c.FitC <= 0 {
+		t.Fatalf("fit not converged by batch 6: %+v", c)
+	}
+	if c.RowsPerSec <= 0 {
+		t.Fatalf("no throughput estimate: %+v", c)
+	}
+	// ETA must be monotone non-increasing in eps, and 0 once the target
+	// is already met.
+	prev := time.Duration(-1)
+	for _, eps := range []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10} {
+		eta, ok := s.ETA(eps)
+		if !ok {
+			t.Fatalf("ETA(%v) not predictable: %+v", eps, c)
+		}
+		if eta < 0 {
+			t.Fatalf("negative ETA(%v) = %v", eps, eta)
+		}
+		if prev >= 0 && eta > prev {
+			t.Fatalf("ETA not monotone: ETA(%v) = %v > previous %v", eps, eta, prev)
+		}
+		prev = eta
+		if c.HalfWidthMax <= eps && eta != 0 {
+			t.Fatalf("target met (hw %v <= eps %v) but ETA = %v", c.HalfWidthMax, eps, eta)
+		}
+	}
+	if _, ok := s.ETA(0); ok {
+		t.Fatal("ETA(0) should not be predictable")
+	}
+	if _, ok := s.ETA(-1); ok {
+		t.Fatal("ETA(-1) should not be predictable")
+	}
+}
+
+// TestConvergenceETAConsistentWithTrajectory is the acceptance check:
+// the ETA predictor must be monotone-consistent with the audited
+// trajectory — if at batch b the model predicts the run reaches eps
+// only after more rows, then the achieved half-width at b must indeed
+// still exceed eps; and once a batch achieves eps, ETA(eps) = 0 there.
+func TestConvergenceETAConsistentWithTrajectory(t *testing.T) {
+	_, snaps := convergeEnv(t, 12)
+	for _, s := range snaps {
+		c := s.Convergence
+		if !c.HasCI {
+			continue
+		}
+		for _, eps := range []float64{1e-3, 1e-2, 1e-1} {
+			eta, ok := s.ETA(eps)
+			if !ok {
+				continue
+			}
+			achieved := c.HalfWidthMax <= eps
+			if achieved && eta != 0 {
+				t.Fatalf("batch %d achieved eps=%v (hw %v) but ETA=%v",
+					c.Batch, eps, c.HalfWidthMax, eta)
+			}
+			if !achieved && eta == 0 && c.Fraction < 0.999 {
+				// Not yet achieved mid-run: a zero ETA is only
+				// consistent if the model says the needed rows are
+				// already processed — tolerated only when hw is within
+				// 2x of the target (fit noise), never when far off.
+				if c.HalfWidthMax > 2*eps {
+					t.Fatalf("batch %d hw %v >> eps %v yet ETA=0",
+						c.Batch, c.HalfWidthMax, eps)
+				}
+			}
+		}
+	}
+	// The audited trajectory ends exact: the engine's invariant audit
+	// must be clean, anchoring the half-widths the ETA reasons about.
+	eng, _ := convergeEnv(t, 6)
+	if v := eng.AuditInvariants(); len(v) != 0 {
+		t.Fatalf("invariant violations: %v", v)
+	}
+}
+
+func TestConvergenceChurnAccounting(t *testing.T) {
+	// Subquery workload keeps an uncertain cache churning.
+	cat := foldCatalog(20000, 71)
+	q, err := plan.Compile(
+		`SELECT COUNT(*) FROM facts WHERE x > (SELECT AVG(x) FROM facts)`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(q, cat, Options{Batches: 8, Trials: 50, Seed: 17, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	prevSize := 0
+	for !eng.Done() {
+		s, err := eng.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := s.Convergence
+		if c.UncertainIn < 0 || c.UncertainOut < 0 {
+			t.Fatalf("negative churn: %+v", c)
+		}
+		// Balance identity: size' = size + in - out. In is derived from
+		// the delta, so the identity must hold exactly whenever In > 0.
+		if c.UncertainIn > 0 {
+			if got := int64(prevSize) + c.UncertainIn - c.UncertainOut; got != int64(c.Uncertain) {
+				t.Fatalf("churn imbalance at batch %d: %d + %d - %d = %d, size %d",
+					c.Batch, prevSize, c.UncertainIn, c.UncertainOut, got, c.Uncertain)
+			}
+		}
+		prevSize = c.Uncertain
+	}
+	anyChurn := false
+	for _, p := range eng.ConvergenceSeries() {
+		if p.UncertainIn > 0 || p.UncertainOut > 0 {
+			anyChurn = true
+		}
+	}
+	if !anyChurn {
+		t.Fatal("subquery run recorded no uncertain churn")
+	}
+}
+
+func TestConvergenceSeriesDecimation(t *testing.T) {
+	var cs convergeState
+	for i := 1; i <= 3*maxConvergencePoints; i++ {
+		cs.series = append(cs.series, ConvergencePoint{Batch: i})
+		if len(cs.series) > maxConvergencePoints {
+			keep := cs.series[:0]
+			for j := 0; j < len(cs.series); j += 2 {
+				keep = append(keep, cs.series[j])
+			}
+			cs.series = keep
+		}
+	}
+	if len(cs.series) > maxConvergencePoints {
+		t.Fatalf("series unbounded: %d", len(cs.series))
+	}
+	// Batches must stay strictly increasing after decimation.
+	for i := 1; i < len(cs.series); i++ {
+		if cs.series[i].Batch <= cs.series[i-1].Batch {
+			t.Fatalf("series disordered at %d", i)
+		}
+	}
+}

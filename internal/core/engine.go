@@ -12,6 +12,7 @@ import (
 	"fluodb/internal/chaos"
 	"fluodb/internal/exec"
 	"fluodb/internal/expr"
+	"fluodb/internal/otrace"
 	"fluodb/internal/plan"
 	"fluodb/internal/storage"
 	"fluodb/internal/types"
@@ -108,6 +109,15 @@ type Options struct {
 	// stragglers, shard corruption, prefetch drops) into the runtime for
 	// robustness testing. Production queries leave it nil.
 	Chaos *chaos.Injector
+	// Spans, when non-nil, records a hierarchical execution timeline —
+	// query → mini-batch → phase → per-worker shard task, plus prefetch
+	// fills, serial retries, reclassification and checkpoint/resume —
+	// into preallocated per-track slabs (internal/otrace, DESIGN.md
+	// §14). Ring Tracer events mirror onto the timeline as instant
+	// events; a Tracer is created internally when only Spans is set.
+	// Span edges are batch/phase-granular: the per-tuple hot path is
+	// untouched and the steady state stays allocation-free.
+	Spans *otrace.Tracer
 }
 
 // Validate rejects nonsensical option values with a typed error.
@@ -255,6 +265,24 @@ type Engine struct {
 	// answer on deadline/cancel.
 	fatal    error
 	lastSnap *Snapshot
+	// Span timeline state (spans.go): sctl is the controller-track
+	// slab; the spanQuery/spanTop/spanBatch/spanFeed/spanReclass fields
+	// carry the currently open ancestry so deeper layers (worker tasks,
+	// prefetch fills, retries) parent their spans without plumbing IDs
+	// through every signature. spanBatchNo is the 1-based batch stamped
+	// onto worker spans.
+	spans       *otrace.Tracer
+	sctl        *otrace.Slab
+	spanQuery   otrace.SpanID
+	spanTop     otrace.SpanID
+	spanBatch   otrace.SpanID
+	spanFeed    otrace.SpanID
+	spanReclass otrace.SpanID
+	spanBatchNo int
+	// Convergence observatory state (converge.go): bounded per-batch
+	// series of CI half-width quantiles, churn and throughput, plus the
+	// 1/√n fit backing Snapshot.ETA.
+	conv convergeState
 }
 
 // triEnv builds the classification environment with memoized
@@ -399,11 +427,22 @@ func New(q *plan.Query, cat *storage.Catalog, opt Options) (*Engine, error) {
 		r.ensureColPlan()
 	}
 	e.profile = opt.Profile
-	e.trace = opt.Tracer
+	tr := opt.Tracer
+	if tr == nil && opt.Spans != nil {
+		// Instants (faults, flips, retries) should land on the span
+		// timeline even when the caller only asked for spans.
+		tr = NewTracer(0)
+	}
+	e.trace = tr
+	e.spans = opt.Spans
+	e.sctl = e.spans.Slab(0)
+	if e.spans != nil {
+		e.trace.setMirror(e.spanInstant)
+	}
 	e.blockAcc = make([]phaseAcc, len(e.runners))
 	// Let bindings stamp trace events with the plan block that owns each
 	// parameter (the bindings only know parameter indexes).
-	e.bind.tracer = opt.Tracer
+	e.bind.tracer = tr
 	e.bind.scalarBlocks = make([]int, len(q.ScalarBlocks))
 	e.bind.groupBlocks = make([]int, len(q.GroupBlocks))
 	e.bind.setBlocks = make([]int, len(q.SetBlocks))
@@ -545,6 +584,10 @@ func (e *Engine) StepContext(ctx context.Context) (*Snapshot, error) {
 				Note: "stopped at mini-batch boundary; snapshot is the bounded-time answer"}
 		}
 	}
+	if e.spans != nil && e.spanQuery == 0 {
+		e.spanQuery = e.sctl.Begin("query", 0, -1, -1)
+		e.spanTop = e.spanQuery
+	}
 	start := time.Now()
 	ok, perr := e.processBatch(e.batch)
 	if perr != nil {
@@ -559,7 +602,12 @@ func (e *Engine) StepContext(ctx context.Context) (*Snapshot, error) {
 		e.metrics.Recomputes++
 		e.trace.Emit(Event{Kind: EvRecompute, Note: "variation-range failure; replaying processed prefix"})
 		rs := time.Now()
+		rsp := e.sctl.Begin("recompute", e.spanQuery, e.batch+1, -1)
+		oldTop := e.spanTop
+		e.spanTop = rsp
 		rerr := e.replayUpTo(e.batch)
+		e.spanTop = oldTop
+		e.sctl.End(rsp)
 		e.stepAcc.ns[phaseRecompute] += int64(time.Since(rs))
 		if rerr != nil {
 			e.fatal = rerr
@@ -587,11 +635,17 @@ func (e *Engine) StepContext(ctx context.Context) (*Snapshot, error) {
 	e.stepAcc.reset()
 
 	ss := time.Now()
+	ssp := e.sctl.Begin("snapshot", e.spanQuery, e.batch, -1)
 	snap := e.snapshot(dur)
+	e.sctl.End(ssp)
 	bp.ns[phaseSnapshot] += int64(time.Since(ss))
 	e.cumAcc.merge(&bp)
 	e.metrics.PhasePerBatch = append(e.metrics.PhasePerBatch, bp.times())
 	snap.Phases = bp.times()
+	e.observeConvergence(snap, dur)
+	if e.Done() {
+		e.sctl.End(e.spanQuery)
+	}
 	e.lastSnap = snap
 	return snap, nil
 }
@@ -671,6 +725,12 @@ func (e *Engine) UncertainRows() int {
 // surviving every serial retry) and the batch did not complete.
 func (e *Engine) processBatch(bi int) (bool, error) {
 	e.trace.setBatch(bi + 1)
+	bsp := e.sctl.Begin("batch", e.spanTop, bi+1, -1)
+	e.spanBatch, e.spanBatchNo = bsp, bi+1
+	defer func() {
+		e.sctl.End(bsp)
+		e.spanBatch, e.spanBatchNo = 0, 0
+	}()
 	// Advance per-table progress first so estimates computed this batch
 	// use the correct multiplicity.
 	for _, ts := range e.tables {
@@ -681,8 +741,13 @@ func (e *Engine) processBatch(bi int) (bool, error) {
 	for _, r := range e.runners {
 		te := e.triEnv()
 		t0 := time.Now()
+		rsp := e.sctl.Begin("reclassify", bsp, bi+1, r.b.ID)
+		e.spanReclass = rsp
 		folded, dropped := r.reclassify(te)
+		e.sctl.End(rsp)
+		e.spanReclass = 0
 		r.acc.ns[phaseUncertain] += int64(time.Since(t0))
+		e.conv.stepOut += int64(folded + dropped)
 		if e.trace != nil && (folded != 0 || dropped != 0) {
 			e.trace.Emit(Event{Kind: EvFlip, Block: r.b.ID,
 				Folded: folded, Dropped: dropped, Kept: len(r.uncertain)})
@@ -693,13 +758,20 @@ func (e *Engine) processBatch(bi int) (bool, error) {
 			if r.b == e.q.Root {
 				e.metrics.RowsProcessed += int64(len(rows))
 			}
-			if err := r.feedBatchParallel(rows, ts.starts[bi], ts, te, e.prefetched(ts, bi)); err != nil {
+			fsp := e.sctl.Begin("feed", bsp, bi+1, r.b.ID)
+			e.spanFeed = fsp
+			err := r.feedBatchParallel(rows, ts.starts[bi], ts, te, e.prefetched(ts, bi))
+			e.sctl.End(fsp)
+			e.spanFeed = 0
+			if err != nil {
 				return false, err
 			}
 		}
 		if r.b.Kind != plan.RootBlock {
 			t1 := time.Now()
+			gsp := e.sctl.Begin("ranges", bsp, bi+1, r.b.ID)
 			failed := e.updateBinding(r)
+			e.sctl.End(gsp)
 			r.acc.ns[phaseRanges] += int64(time.Since(t1))
 			if failed {
 				return false, nil
@@ -744,6 +816,7 @@ func (e *Engine) enforceUncertainBudget() {
 		}
 		folded, dropped := victim.evictOldest(evict, e.triEnv())
 		e.metrics.UncertainEvictions += int64(evict)
+		e.conv.stepOut += int64(evict)
 		e.trace.Emit(Event{Kind: EvEvict, Block: victim.b.ID,
 			Folded: folded, Dropped: dropped, Kept: len(victim.uncertain)})
 		total -= evict

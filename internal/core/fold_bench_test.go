@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"fluodb/internal/bootstrap"
+	"fluodb/internal/otrace"
 	"fluodb/internal/plan"
 	"fluodb/internal/storage"
 	"fluodb/internal/types"
@@ -39,7 +40,7 @@ func foldCatalog(n int, seed uint64) *storage.Catalog {
 // foldBenchEnv builds an engine over the fold catalog, feeds the first
 // mini-batch (so all groups exist) and returns the pieces needed to
 // drive the fold loop by hand.
-func foldBenchEnv(tb testing.TB, multiKey, profile bool) (*Engine, *blockRunner, *tableStream, *triEnv, []types.Row) {
+func foldBenchEnv(tb testing.TB, multiKey, profile, spanned bool) (*Engine, *blockRunner, *tableStream, *triEnv, []types.Row) {
 	cat := foldCatalog(20000, 71)
 	sql := `SELECT a, SUM(x), AVG(x) FROM facts GROUP BY a`
 	if multiKey {
@@ -57,6 +58,12 @@ func foldBenchEnv(tb testing.TB, multiKey, profile bool) (*Engine, *blockRunner,
 		opt.Profile = true
 		opt.Tracer = NewTracer(0)
 	}
+	if spanned {
+		// Span timelines on top: spans are recorded at batch/phase/task
+		// granularity, never per tuple, so the fold loop must stay
+		// alloc-free with a SpanTracer attached too.
+		opt.Spans = otrace.NewTracer(0)
+	}
 	eng, err := New(q, cat, opt)
 	if err != nil {
 		tb.Fatal(err)
@@ -70,7 +77,7 @@ func foldBenchEnv(tb testing.TB, multiKey, profile bool) (*Engine, *blockRunner,
 }
 
 func benchFold(b *testing.B, multiKey, sampled bool) {
-	eng, r, ts, te, rows := foldBenchEnv(b, multiKey, false)
+	eng, r, ts, te, rows := foldBenchEnv(b, multiKey, false, false)
 	var weights []uint8
 	var wbuf []uint8
 	repW := 0.0
@@ -95,7 +102,7 @@ func BenchmarkFoldMultiKey(b *testing.B)         { benchFold(b, true, false) }
 func BenchmarkFoldMultiKeySampled(b *testing.B)  { benchFold(b, true, true) }
 
 func TestFoldBenchEnvGroups(t *testing.T) {
-	_, r, _, _, _ := foldBenchEnv(t, true, false)
+	_, r, _, _, _ := foldBenchEnv(t, true, false, false)
 	if got := len(r.tab.order); got != 8*16 {
 		t.Fatalf("expected 128 groups after warmup, got %d", got)
 	}
@@ -104,11 +111,12 @@ func TestFoldBenchEnvGroups(t *testing.T) {
 
 // TestFoldSteadyStateAllocs pins the steady-state fold path (existing
 // groups, sampled and unsampled tuples) to zero allocations per tuple —
-// both with instrumentation off ("plain") and with the phase profiler
-// and tracer enabled ("profiled"): phase timers are monotonic clock
-// reads into pre-allocated accumulators, so turning observability on
-// must not cost allocations. Skipped under the race detector, whose
-// instrumentation allocates.
+// with instrumentation off ("plain"), with the phase profiler and
+// tracer enabled ("profiled"), and additionally with span timelines
+// attached ("spanned"): phase timers are monotonic clock reads into
+// pre-allocated accumulators and spans are batch-granular slab appends,
+// so turning observability on must not cost allocations. Skipped under
+// the race detector, whose instrumentation allocates.
 func TestFoldSteadyStateAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates")
@@ -124,14 +132,15 @@ func TestFoldSteadyStateAllocs(t *testing.T) {
 		{"multi-key/sampled", true, true},
 	} {
 		for _, mode := range []struct {
-			name    string
-			profile bool
+			name             string
+			profile, spanned bool
 		}{
-			{"plain", false},
-			{"profiled", true},
+			{"plain", false, false},
+			{"profiled", true, false},
+			{"spanned", true, true},
 		} {
 			t.Run(tc.name+"/"+mode.name, func(t *testing.T) {
-				eng, r, ts, te, rows := foldBenchEnv(t, tc.multiKey, mode.profile)
+				eng, r, ts, te, rows := foldBenchEnv(t, tc.multiKey, mode.profile, mode.spanned)
 				var wbuf []uint8
 				repW := 0.0
 				if tc.sampled {

@@ -211,10 +211,13 @@ func (r *blockRunner) feedBatchParallel(rows []types.Row, baseIdx int, ts *table
 			}
 			sh := wc.shard(r)
 			wte := wc.refresh(e)
+			sl := e.workerSlab(wc.id)
+			tsp := sl.Begin("task", e.spanFeed, e.spanBatchNo, r.b.ID)
 			wr := *r // shallow: shares block/engine, swaps per-worker scratch
 			wr.joiner = sh.joiner
 			wc.wbuf = wr.feedShard(rows[lo:hi], baseIdx+lo, ts, wte,
 				sh.tab, &sh.uncertain, &sh.arena, &sh.folds, &sh.acc, wc.wbuf, pf, sh.cs)
+			sl.End(tsp)
 		})
 		if err != nil {
 			// Pool stopped mid-submit: drain what made it onto the workers,
@@ -283,7 +286,9 @@ func (r *blockRunner) retrySerialShards(rows []types.Row, baseIdx int, ts *table
 			}
 		}
 		e.trace.Emit(Event{Kind: EvSerialRetry, Key: ts.name, Kept: attempt})
+		ssp := e.sctl.Begin("serial-retry", e.spanFeed, e.spanBatchNo, r.b.ID)
 		ok, pv := r.serialShardPass(rows, baseIdx, ts, te, pf, workers, size)
+		e.sctl.End(ssp)
 		if ok {
 			return nil
 		}

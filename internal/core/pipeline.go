@@ -96,7 +96,11 @@ func (e *Engine) launchPrefetch(bi int) {
 			if w == workers-1 {
 				hi = n
 			}
-			err := e.pool.submit(w, pf.fill, func(*workerCtx) {
+			err := e.pool.submit(w, pf.fill, func(wc *workerCtx) {
+				// Fills overlap the controller's batch tail and outlive the
+				// batch span, so the span parents to the query span.
+				sl := e.workerSlab(wc.id)
+				psp := sl.Begin("prefetch", e.spanQuery, bi+1, -1)
 				for i := lo; i < hi; i++ {
 					s := e.sampled(ts, pf.start+i)
 					pf.sampled[i] = s
@@ -104,6 +108,7 @@ func (e *Engine) launchPrefetch(bi int) {
 						e.weightsInto(pf.weights[i*trials:i*trials:(i+1)*trials], ts, pf.start+i)
 					}
 				}
+				sl.End(psp)
 			})
 			if err != nil {
 				// Pool stopped mid-launch: the rows this worker would have

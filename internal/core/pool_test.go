@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"fluodb/internal/plan"
+	"fluodb/internal/testutil"
 )
 
 // pooledBatchEnv builds a warmed pooled engine over the fold catalog:
@@ -90,6 +91,22 @@ func benchPooledBatch(b *testing.B, spawn bool) {
 
 func BenchmarkFoldBatchPooled(b *testing.B) { benchPooledBatch(b, false) }
 func BenchmarkFoldBatchSpawn(b *testing.B)  { benchPooledBatch(b, true) }
+
+// TestPoolLifecycleNoLeaks opens and closes many pooled engines and
+// requires the worker goroutines to drain back to the baseline — the
+// reusable leak check shared with the dashboard-disconnect and otrace
+// tests (internal/testutil).
+func TestPoolLifecycleNoLeaks(t *testing.T) {
+	base := testutil.GoroutineBaseline()
+	for i := 0; i < 8; i++ {
+		eng, _, _, _ := pooledBatchEnv(t)
+		if _, err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+		eng.Close()
+	}
+	testutil.VerifyNoLeaks(t, base)
+}
 
 // TestEngineCloseIdempotent checks the pool lifecycle: Close is
 // idempotent, and a closed engine degrades to serial feeding instead of

@@ -191,6 +191,21 @@ func (e *Engine) Report() string {
 	if !e.opt.Profile {
 		b.WriteString("(fine phases join/fold/weights/classify require Options.Profile)\n")
 	}
+	if e.spans != nil {
+		b.WriteString(e.timelineSummary())
+	}
+	if n := len(e.conv.series); n > 0 {
+		p := e.conv.series[n-1]
+		if p.HasCI {
+			fmt.Fprintf(&b, "convergence: hw p50=%.4f p90=%.4f max=%.4f (relative), %.0f rows/s, churn +%d/-%d\n",
+				p.HalfWidthP50, p.HalfWidthP90, p.HalfWidthMax, p.RowsPerSec, p.UncertainIn, p.UncertainOut)
+			if e.lastSnap != nil {
+				if eta, ok := e.lastSnap.ETA(0.01); ok {
+					fmt.Fprintf(&b, "eta to 1%% error: %s\n", fmtDur(eta))
+				}
+			}
+		}
+	}
 	for _, bp := range m.BlockPhases {
 		fmt.Fprintf(&b, "block %d [%s] table=%s groups=%d uncertain=%d\n  %s\n",
 			bp.Block, bp.Kind, bp.Table, bp.Groups, bp.Uncertain, bp.Phases)

@@ -282,9 +282,12 @@ func (r *blockRunner) reclassifyDecisions() []uint8 {
 				}
 			}
 			wte := wc.refresh(e)
+			sl := e.workerSlab(wc.id)
+			tsp := sl.Begin("reclass-task", e.spanReclass, e.spanBatchNo, r.b.ID)
 			for i := lo; i < hi; i++ {
 				buf[i] = uint8(wte.evalTri(where, unc[i].row))
 			}
+			sl.End(tsp)
 		})
 		if err != nil {
 			failed = true

@@ -62,6 +62,11 @@ type Snapshot struct {
 	// valid estimate, but deterministic-set precision was traded for
 	// bounded memory.
 	Degraded bool
+	// Convergence is this batch's convergence-observatory sample: CI
+	// half-width quantiles, uncertain churn, throughput, and the 1/√n
+	// fit behind ETA (converge.go). Zero-valued when no batch has
+	// committed (e.g. an interrupted first batch).
+	Convergence ConvergencePoint
 }
 
 // RSD returns the mean relative standard deviation across all cells

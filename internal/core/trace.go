@@ -91,6 +91,11 @@ type Tracer struct {
 	batch   int    // current 1-based batch, stamped onto events
 	start   time.Time
 	started bool
+	// mirror, when set, receives a copy of every emitted event after it
+	// is stamped (outside the ring lock). The engine uses it to attach
+	// ring events to the span timeline as instants (internal/otrace),
+	// correlated by Seq/Batch.
+	mirror func(Event)
 }
 
 // DefaultTraceCapacity bounds a Tracer built with NewTracer(0).
@@ -113,7 +118,6 @@ func (t *Tracer) Emit(ev Event) {
 		return
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if !t.started {
 		t.started = true
 		t.start = time.Now()
@@ -127,6 +131,22 @@ func (t *Tracer) Emit(ev Event) {
 	} else {
 		t.ring[int(ev.Seq)%cap(t.ring)] = ev
 	}
+	mirror := t.mirror
+	t.mu.Unlock()
+	if mirror != nil {
+		mirror(ev)
+	}
+}
+
+// setMirror installs the post-emit hook. Call before the engine runs;
+// emissions are concurrent with it otherwise.
+func (t *Tracer) setMirror(fn func(Event)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.mirror = fn
+	t.mu.Unlock()
 }
 
 // setBatch stamps subsequent events with the given 1-based batch.

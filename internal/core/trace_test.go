@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -146,4 +147,75 @@ func TestEventOmitsEmptyFields(t *testing.T) {
 			t.Fatalf("empty field %q serialized: %s", absent, s)
 		}
 	}
+}
+
+// TestTracerConcurrentEmit hammers one ring from many goroutines (run
+// under -race in CI): every retained event must be intact — a seq in
+// range, stamped, no torn writes — and the drop accounting must add up.
+func TestTracerConcurrentEmit(t *testing.T) {
+	tr := NewTracer(64)
+	const (
+		emitters = 8
+		perG     = 500
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < emitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				tr.Emit(Event{Kind: EvCommit, Block: g, Kept: i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	evs := tr.Events()
+	if len(evs) != 64 {
+		t.Fatalf("retained %d events, want 64", len(evs))
+	}
+	if got := tr.Dropped(); got != emitters*perG-64 {
+		t.Fatalf("Dropped = %d, want %d", got, emitters*perG-64)
+	}
+	seen := map[uint64]bool{}
+	for _, ev := range evs {
+		if ev.Seq >= emitters*perG {
+			t.Fatalf("seq %d out of range", ev.Seq)
+		}
+		if seen[ev.Seq] {
+			t.Fatalf("duplicate seq %d retained", ev.Seq)
+		}
+		seen[ev.Seq] = true
+		if ev.Kind != EvCommit || ev.Block < 0 || ev.Block >= emitters {
+			t.Fatalf("torn event: %+v", ev)
+		}
+	}
+}
+
+// TestTracerMirrorHook: the mirror receives every emitted event exactly
+// once with its stamped seq, even past ring wraparound — the contract
+// the span-timeline instant correlation depends on.
+func TestTracerMirrorHook(t *testing.T) {
+	tr := NewTracer(4)
+	var mu sync.Mutex
+	var got []uint64
+	tr.setMirror(func(ev Event) {
+		mu.Lock()
+		got = append(got, ev.Seq)
+		mu.Unlock()
+	})
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Kind: EvCommit})
+	}
+	if len(got) != 10 {
+		t.Fatalf("mirror saw %d events, want 10 (ring cap 4 must not bound it)", len(got))
+	}
+	for i, s := range got {
+		if s != uint64(i) {
+			t.Fatalf("mirror seq %d at position %d", s, i)
+		}
+	}
+	// Nil-tracer setMirror must stay a no-op.
+	var nilTr *Tracer
+	nilTr.setMirror(func(Event) {})
+	nilTr.Emit(Event{Kind: EvCommit})
 }

@@ -22,6 +22,7 @@ import (
 	"fluodb/internal/audit"
 	"fluodb/internal/core"
 	"fluodb/internal/metrics"
+	"fluodb/internal/otrace"
 	"fluodb/internal/plan"
 	"fluodb/internal/storage"
 )
@@ -50,6 +51,15 @@ type Server struct {
 	relErr       *metrics.Histogram
 	ciWidth      *metrics.Histogram
 	coverageBits atomic.Uint64 // float64 bits: latest snapshot's CI coverage
+	// Convergence-observatory families (core.ConvergencePoint): CI
+	// half-width quantiles, throughput, uncertain-cache churn and the
+	// ETA-to-1% prediction of the most recent batch.
+	hwP50, hwP90, hwMax *metrics.Histogram
+	churnIn, churnOut   *metrics.Counter
+	rowsPerSecBits      atomic.Uint64 // float64 bits
+	etaBits             atomic.Uint64 // float64 bits; NaN until predicted
+	// spans holds the most recent query's span timeline for /trace.
+	spans atomic.Pointer[otrace.Tracer]
 }
 
 // New builds a dashboard server over a catalog. opt configures the
@@ -84,6 +94,23 @@ func New(cat *storage.Catalog, opt core.Options) *Server {
 	s.reg.GaugeFunc("gola_ci_coverage",
 		"Fraction of 95% CIs containing ground truth in the most recent audited snapshot.",
 		func() float64 { return math.Float64frombits(s.coverageBits.Load()) })
+	s.hwP50 = s.reg.Histogram(`gola_ci_halfwidth{q="p50"}`,
+		"Relative CI half-width quantiles across output cells, one observation per committed mini-batch (unitless).")
+	s.hwP90 = s.reg.Histogram(`gola_ci_halfwidth{q="p90"}`,
+		"Relative CI half-width quantiles across output cells, one observation per committed mini-batch (unitless).")
+	s.hwMax = s.reg.Histogram(`gola_ci_halfwidth{q="max"}`,
+		"Relative CI half-width quantiles across output cells, one observation per committed mini-batch (unitless).")
+	s.churnIn = s.reg.Counter(`gola_uncertain_churn_total{dir="in"}`,
+		"Uncertain-cache tuple flow per direction: in = fresh arrivals, out = reclassified/evicted departures.")
+	s.churnOut = s.reg.Counter(`gola_uncertain_churn_total{dir="out"}`,
+		"Uncertain-cache tuple flow per direction: in = fresh arrivals, out = reclassified/evicted departures.")
+	s.reg.GaugeFunc("gola_rows_per_second",
+		"Fact-row throughput of the most recent committed mini-batch.",
+		func() float64 { return math.Float64frombits(s.rowsPerSecBits.Load()) })
+	s.etaBits.Store(math.Float64bits(math.NaN()))
+	s.reg.GaugeFunc(`gola_eta_seconds{epsilon="0.01"}`,
+		"Predicted seconds until every CI half-width is within epsilon (1/sqrt(n) fit); NaN until predictable.",
+		func() float64 { return math.Float64frombits(s.etaBits.Load()) })
 	return s
 }
 
@@ -99,6 +126,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/", s.home)
 	mux.HandleFunc("/query", s.Query)
 	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/trace", s.trace)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -115,6 +143,16 @@ func (s *Server) home(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.reg.WritePrometheus(w)
+}
+
+// trace serves the most recent query's span timeline as Chrome
+// trace-event JSON — download and load into Perfetto (ui.perfetto.dev)
+// or chrome://tracing. Before any query has run it serves an empty
+// trace.
+func (s *Server) trace(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="fluodb-trace.json"`)
+	_ = s.spans.Load().WriteChromeTrace(w)
 }
 
 // SnapshotJSON is the wire form of one refinement step.
@@ -141,6 +179,13 @@ type SnapshotJSON struct {
 	// deterministic-set precision.
 	Degraded bool   `json:"degraded,omitempty"`
 	Err      string `json:"error,omitempty"`
+	// Conv is this batch's convergence-observatory sample (half-width
+	// quantiles, churn, throughput, fit); ETASeconds is the 1/√n-fit
+	// prediction of seconds until every half-width is within 1%
+	// (present only when ETAKnown).
+	Conv       *core.ConvergencePoint `json:"conv,omitempty"`
+	ETASeconds float64                `json:"eta_s,omitempty"`
+	ETAKnown   bool                   `json:"eta_known,omitempty"`
 }
 
 // BlockJS profiles one lineage block on the wire. PhaseMS is the
@@ -191,7 +236,12 @@ func (s *Server) Query(w http.ResponseWriter, r *http.Request) {
 		send(SnapshotJSON{Err: err.Error()})
 		return
 	}
-	eng, err := core.New(q, s.cat, s.opt)
+	// Each query records a span timeline; the latest is served by /trace.
+	opt := s.opt
+	opt.Spans = otrace.NewTracer(0)
+	opt.Spans.SetLabel(sql)
+	s.spans.Store(opt.Spans)
+	eng, err := core.New(q, s.cat, opt)
 	if err != nil {
 		send(SnapshotJSON{Err: err.Error()})
 		return
@@ -239,6 +289,18 @@ func (s *Server) Query(w http.ResponseWriter, r *http.Request) {
 				s.phaseSeconds[i].Observe(d)
 			}
 		}
+		c := snap.Convergence
+		if c.HasCI {
+			s.hwP50.ObserveValue(c.HalfWidthP50)
+			s.hwP90.ObserveValue(c.HalfWidthP90)
+			s.hwMax.ObserveValue(c.HalfWidthMax)
+		}
+		s.churnIn.Add(c.UncertainIn)
+		s.churnOut.Add(c.UncertainOut)
+		s.rowsPerSecBits.Store(math.Float64bits(c.RowsPerSec))
+		if eta, ok := snap.ETA(0.01); ok {
+			s.etaBits.Store(math.Float64bits(eta.Seconds()))
+		}
 		out := EncodeSnapshot(snap)
 		if oracle != nil {
 			tp := oracle.Compare(snap)
@@ -270,6 +332,14 @@ func EncodeSnapshot(snap *core.Snapshot) SnapshotJSON {
 		Uncertain: snap.UncertainRows,
 		Phases:    snap.Phases.Milliseconds(),
 		Degraded:  snap.Degraded,
+	}
+	if snap.Convergence.Batch > 0 {
+		c := snap.Convergence
+		out.Conv = &c
+		if eta, ok := snap.ETA(0.01); ok {
+			out.ETASeconds = eta.Seconds()
+			out.ETAKnown = true
+		}
 	}
 	for _, c := range snap.Schema {
 		out.Columns = append(out.Columns, c.Name)
@@ -308,6 +378,8 @@ th { background: #f4f4f4; }
 #phases { margin-top: .25rem; color: #777; font-size: 0.85em; font-family: monospace; }
 #accuracy { margin-top: .25rem; color: #777; font-size: 0.85em; font-family: monospace; }
 #accuracy .spark { color: #36c; letter-spacing: 1px; }
+#conv { margin-top: .25rem; color: #777; font-size: 0.85em; font-family: monospace; }
+#conv .spark { color: #c63; letter-spacing: 1px; }
 progress { width: 100%; }
 </style></head><body>
 <h1>FluoDB — G-OLA online SQL console</h1>
@@ -320,12 +392,14 @@ WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)</textarea><br>
 <div id="status"></div>
 <div id="phases"></div>
 <div id="accuracy"></div>
+<div id="conv"></div>
 <progress id="prog" value="0" max="1"></progress>
 <div id="out"></div>
-<p><a href="/metrics">/metrics</a> — Prometheus · <a href="/debug/pprof/">/debug/pprof/</a> — Go profiler</p>
+<p><a href="/metrics">/metrics</a> — Prometheus · <a href="/trace">/trace</a> — Perfetto timeline of the last query · <a href="/debug/pprof/">/debug/pprof/</a> — Go profiler</p>
 <script>
 let es = null;
 let errSeries = [];
+let hwSeries = [];
 function stop() { if (es) { es.close(); es = null; } }
 function sparkline(xs) {
   const bars = '▁▂▃▄▅▆▇█';
@@ -336,7 +410,9 @@ function sparkline(xs) {
 function run() {
   stop();
   errSeries = [];
+  hwSeries = [];
   document.getElementById('accuracy').textContent = '';
+  document.getElementById('conv').textContent = '';
   const sql = document.getElementById('sql').value;
   es = new EventSource('/query?sql=' + encodeURIComponent(sql));
   es.onmessage = (ev) => {
@@ -353,6 +429,15 @@ function run() {
       const top = Object.entries(s.phases).sort((a, b) => b[1] - a[1]).slice(0, 4)
         .map(([k, v]) => k + ' ' + v.toFixed(1) + 'ms').join(' · ');
       document.getElementById('phases').textContent = top ? 'batch phases: ' + top : '';
+    }
+    if (s.conv && s.conv.has_ci) {
+      hwSeries.push(s.conv.hw_max || 0);
+      let line = 'ci half-width <span class="spark">' + sparkline(hwSeries) + '</span> ' +
+        'p50 ' + (100*s.conv.hw_p50).toFixed(2) + '% · max ' + (100*s.conv.hw_max).toFixed(2) +
+        '% — ' + Math.round(s.conv.rows_per_sec).toLocaleString() + ' rows/s — churn +' +
+        s.conv.uncertain_in + '/-' + s.conv.uncertain_out;
+      if (s.eta_known) line += ' — eta to 1%: ' + (s.eta_s < 0.0005 ? 'now' : s.eta_s.toFixed(1) + 's');
+      document.getElementById('conv').innerHTML = line;
     }
     if (s.audited) {
       errSeries.push(s.rel_err || 0);

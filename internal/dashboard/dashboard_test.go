@@ -7,13 +7,14 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
-	"runtime"
 	"strings"
 	"testing"
 	"time"
 
 	"fluodb/internal/chaos"
 	"fluodb/internal/core"
+	"fluodb/internal/otrace"
+	"fluodb/internal/testutil"
 	"fluodb/internal/workload"
 )
 
@@ -398,8 +399,7 @@ func TestClientDisconnectMidChaos(t *testing.T) {
 	defer srv.Close()
 	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
 
-	runtime.GC()
-	baseline := runtime.NumGoroutine()
+	baseline := testutil.GoroutineBaseline()
 	for i := 0; i < 4; i++ {
 		ctx, cancel := context.WithCancel(context.Background())
 		req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL+
@@ -425,15 +425,104 @@ func TestClientDisconnectMidChaos(t *testing.T) {
 	// Engine pools close with their handlers; allow the runtime a moment
 	// to reap worker goroutines, then require no leak beyond transient
 	// HTTP conns.
-	for {
-		runtime.GC()
-		if n := runtime.NumGoroutine(); n <= baseline {
-			break
+	testutil.VerifyNoLeaks(t, baseline)
+}
+
+// TestConvergencePayloadAndTrace: SSE events must carry the
+// convergence-observatory sample, /metrics the gola_* convergence
+// families, and /trace a valid, correctly nested Chrome trace of the
+// query that just ran.
+func TestConvergencePayloadAndTrace(t *testing.T) {
+	s := testServer(t)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// Before any query, /trace serves an empty (but valid) trace.
+	tresp, err := http.Get(srv.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(tresp.Body)
+	tresp.Body.Close()
+	if ns, _, err := otrace.ValidateChromeJSON(body); err != nil || ns != 0 {
+		t.Fatalf("empty trace invalid: spans=%d err=%v", ns, err)
+	}
+
+	resp, err := http.Get(srv.URL + "/query?sql=" +
+		"SELECT+country,+AVG(play_time)+FROM+sessions+GROUP+BY+country")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var snaps []SnapshotJSON
+	for sc.Scan() {
+		if !strings.HasPrefix(sc.Text(), "data: ") {
+			continue
 		}
-		if time.Now().After(deadline) {
-			t.Fatalf("goroutine leak after chaos disconnects: %d before, %d after",
-				baseline, runtime.NumGoroutine())
+		var sj SnapshotJSON
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(sc.Text(), "data: ")), &sj); err != nil {
+			t.Fatal(err)
 		}
-		time.Sleep(10 * time.Millisecond)
+		if sj.Err != "" {
+			t.Fatalf("error event: %s", sj.Err)
+		}
+		snaps = append(snaps, sj)
+	}
+	resp.Body.Close()
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots")
+	}
+	for _, sj := range snaps {
+		if sj.Conv == nil {
+			t.Fatalf("snapshot %d carries no convergence sample", sj.Batch)
+		}
+		if sj.Conv.Batch != sj.Batch {
+			t.Fatalf("conv batch %d on snapshot %d", sj.Conv.Batch, sj.Batch)
+		}
+	}
+	if c := snaps[0].Conv; !c.HasCI || c.HalfWidthMax <= 0 {
+		t.Fatalf("first batch conv sample empty: %+v", c)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	text := string(mbody)
+	for _, want := range []string{
+		"# TYPE gola_ci_halfwidth histogram",
+		`gola_ci_halfwidth_count{q="p50"} 5`,
+		`gola_ci_halfwidth_count{q="max"} 5`,
+		"# TYPE gola_uncertain_churn_total counter",
+		`gola_uncertain_churn_total{dir="in"}`,
+		`gola_uncertain_churn_total{dir="out"}`,
+		"# TYPE gola_rows_per_second gauge",
+		"# TYPE gola_eta_seconds gauge",
+		`gola_eta_seconds{epsilon="0.01"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	// /trace now carries the finished query's timeline, Perfetto-valid.
+	tresp2, err := http.Get(srv.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := tresp2.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("trace content type = %q", ct)
+	}
+	tbody, _ := io.ReadAll(tresp2.Body)
+	tresp2.Body.Close()
+	ns, _, err := otrace.ValidateChromeJSON(tbody)
+	if err != nil {
+		t.Fatalf("trace export invalid: %v", err)
+	}
+	if ns == 0 {
+		t.Fatal("trace carries no spans after a query")
 	}
 }

@@ -1,0 +1,60 @@
+// Package testutil holds small cross-package test helpers. The leak
+// checker here is the chaos soak's goroutine-settle loop promoted to
+// a reusable primitive: snapshot the goroutine count before the work
+// under test, then require the count to return to (at or below) the
+// baseline within a deadline, GCing between polls so finalizer-driven
+// cleanup (e.g. the worker-pool shutdown backstop) gets to run.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// GoroutineBaseline GCs and returns the current goroutine count.
+// Call it before starting the work whose cleanup is under test.
+func GoroutineBaseline() int {
+	runtime.GC()
+	return runtime.NumGoroutine()
+}
+
+// SettleGoroutines polls until the goroutine count drops to at most
+// baseline or the timeout elapses, returning the final count. It GCs
+// each round. Usable from non-test code (the chaos soak).
+func SettleGoroutines(baseline int, timeout time.Duration) int {
+	deadline := time.Now().Add(timeout)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline || time.Now().After(deadline) {
+			return n
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// CheckGoroutines returns an error if the goroutine count has not
+// settled back to baseline within timeout.
+func CheckGoroutines(baseline int, timeout time.Duration) error {
+	if n := SettleGoroutines(baseline, timeout); n > baseline {
+		return fmt.Errorf("goroutine leak: %d before, %d after settle", baseline, n)
+	}
+	return nil
+}
+
+// failer is the subset of testing.TB we need; taking the interface
+// keeps testutil import-light and usable from helpers.
+type failer interface {
+	Helper()
+	Fatalf(format string, args ...any)
+}
+
+// VerifyNoLeaks fails the test if goroutines have not returned to
+// baseline within 5 seconds.
+func VerifyNoLeaks(tb failer, baseline int) {
+	tb.Helper()
+	if err := CheckGoroutines(baseline, 5*time.Second); err != nil {
+		tb.Fatalf("%v", err)
+	}
+}

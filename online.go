@@ -6,6 +6,7 @@ import (
 	"fluodb/internal/bootstrap"
 	"fluodb/internal/chaos"
 	"fluodb/internal/core"
+	"fluodb/internal/otrace"
 	"fluodb/internal/plan"
 )
 
@@ -47,6 +48,27 @@ type Tracer = core.Tracer
 // NewTracer builds a Tracer retaining the most recent capacity events
 // (a default capacity when capacity <= 0).
 func NewTracer(capacity int) *Tracer { return core.NewTracer(capacity) }
+
+// SpanTracer records a hierarchical execution timeline — query →
+// mini-batch → phase → per-worker shard task, plus prefetch fills,
+// retries and checkpoint/resume — exportable as Chrome trace-event
+// JSON (Perfetto-loadable) or JSONL. Attach one via
+// OnlineOptions.Spans; ring Tracer events mirror onto the timeline as
+// instant events.
+type SpanTracer = otrace.Tracer
+
+// NewSpanTracer builds a SpanTracer whose per-track slabs hold up to
+// capacity spans each (a default when capacity <= 0).
+func NewSpanTracer(capacity int) *SpanTracer { return otrace.NewTracer(capacity) }
+
+// ConvergencePoint is one batch's convergence-observatory sample:
+// relative CI half-width quantiles, uncertain-set churn, throughput
+// and the 1/√n fit behind Snapshot.ETA.
+type ConvergencePoint = core.ConvergencePoint
+
+// AggConvergence is one output column's half-width quantiles within a
+// ConvergencePoint.
+type AggConvergence = core.AggConvergence
 
 // ErrDone is returned by OnlineQuery.Step after the last mini-batch.
 var ErrDone = core.ErrDone
@@ -212,3 +234,7 @@ func (oq *OnlineQuery) AuditInvariants() []Violation { return oq.eng.AuditInvari
 // OnlineOptions.Profile for the fine-grained (join/fold/weights/
 // classify) phases.
 func (oq *OnlineQuery) Report() string { return oq.eng.Report() }
+
+// ConvergenceSeries returns the per-batch convergence samples recorded
+// so far (bounded; decimated on very long runs).
+func (oq *OnlineQuery) ConvergenceSeries() []ConvergencePoint { return oq.eng.ConvergenceSeries() }

@@ -41,6 +41,19 @@ go test ./internal/core -run TestFoldSteadyStateAllocs -count=1
 echo "== alloc regression with instrumentation on (profiled subtests)"
 go test ./internal/core -run 'TestFoldSteadyStateAllocs/.+/profiled' -count=1
 
+echo "== alloc regression with span timelines on (spanned subtests)"
+# The span tracer records at batch/phase/task granularity into
+# preallocated slabs, so the per-tuple fold loop must stay at zero
+# allocations with a SpanTracer attached.
+go test ./internal/core -run 'TestFoldSteadyStateAllocs/.+/spanned' -count=1
+
+echo "== span timeline smoke (go test ./internal/core -run TestSpanHierarchyParallelQuery)"
+# A P=4 multi-key query must export a Chrome trace that parses as JSON
+# with every child span inside its parent and every worker task inside
+# a mini-batch (otrace.ValidateChromeJSON re-checks nesting from the
+# exported bytes, not the in-memory slabs).
+go test ./internal/core -run 'TestSpanHierarchyParallelQuery|TestSpanInstantCorrelation' -count=1
+
 echo "== pooled batch alloc gate (go test ./internal/core -run TestPooledFeedBatchAllocs)"
 go test ./internal/core -run TestPooledFeedBatchAllocs -count=1
 

@@ -1,4 +1,4 @@
-.PHONY: check test bench-fold bench-compare audit chaos trace
+.PHONY: check test bench-fold bench-compare audit chaos trace mem
 
 # Tier-1 gate: vet + build + race-enabled tests + fold alloc regression.
 check:
@@ -31,6 +31,13 @@ audit:
 # no goroutine may leak. Scale with ARGS="-schedules 5000".
 chaos:
 	go run ./cmd/flbench -experiment chaos $(ARGS)
+
+# Memory observability: per-pool ledger residency across scenarios and
+# worker counts, GC telemetry, and a forced walk down the MaxMemoryBytes
+# degradation ladder verified bit-identical against the unbudgeted run
+# (the command fails on divergence). Record with ARGS="-json mem.json".
+mem:
+	go run ./cmd/flbench -experiment mem $(ARGS)
 
 # Span-timeline capture: run one traced suite query (default Q17) and
 # write trace.json (Chrome trace-event format — open in ui.perfetto.dev

@@ -12,6 +12,7 @@
 //	flbench -experiment scaling # parallel scaling: pool vs per-batch spawn, P∈{1,2,4,8}
 //	flbench -experiment audit   # statistical-correctness audit (BENCH_accuracy.json)
 //	flbench -experiment chaos   # robustness soak: seeded fault schedules (-schedules N)
+//	flbench -experiment mem     # resource-ledger residency + budget degradation ladder
 //	flbench -experiment all     # everything
 //
 // Scale with -rows, -batches, -trials; fix randomness with -seed.
@@ -48,6 +49,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strconv"
 
@@ -57,7 +59,8 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig3a|fig3b|t1|t2|eps|boots|k|fold|scaling|audit|chaos|all")
+		experiment = flag.String("experiment", "all", "fig3a|fig3b|t1|t2|eps|boots|k|fold|scaling|audit|chaos|mem|all")
+		logFmt     = flag.String("logfmt", "text", "structured-log output: text|json (stderr)")
 		jsonOut    = flag.String("json", "", "write the experiment result as a JSON artifact (fold/scaling: updates a BENCH_fold.json trajectory; audit: defaults to BENCH_accuracy.json)")
 		label      = flag.String("label", "", "fold/scaling only: label for the -json entry (e.g. a PR name)")
 		compare    = flag.String("compare", "", "fold only: diff the fresh run against this committed BENCH_fold.json and print WARN lines for >10% ns/row regressions (always exits 0)")
@@ -76,6 +79,15 @@ func main() {
 		spansOut   = flag.String("spans", "", "run one traced query and write its span timeline to this file as Chrome trace-event JSON (open in ui.perfetto.dev); combines with -trace")
 	)
 	flag.Parse()
+	switch *logFmt {
+	case "json":
+		slog.SetDefault(slog.New(slog.NewJSONHandler(os.Stderr, nil)))
+	case "text":
+		slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	default:
+		fmt.Fprintf(os.Stderr, "flbench: -logfmt %q must be text or json\n", *logFmt)
+		os.Exit(1)
+	}
 	cfg := bench.Config{
 		Rows: *rows, Parts: *parts, Batches: *batches, Trials: *trials,
 		RowPath: *rowPath, TraceCap: *traceCap,
@@ -111,6 +123,8 @@ func main() {
 		err = runAudit(cfg, rowsSet, *reps, *jsonOut)
 	case *experiment == "chaos":
 		err = runChaos(cfg, *schedules, *jsonOut)
+	case *experiment == "mem":
+		err = runMem(cfg, *jsonOut)
 	case *format == "csv":
 		err = runCSV(*experiment, cfg)
 	default:
@@ -179,6 +193,30 @@ func runChaos(cfg bench.Config, schedules int, jsonOut string) error {
 	}
 	if err != nil {
 		return err
+	}
+	if jsonOut != "" {
+		return writeJSON(jsonOut, res)
+	}
+	return nil
+}
+
+// runMem measures resource-ledger residency and walks the memory-budget
+// degradation ladder, verifying the budgeted run bit-identical.
+func runMem(cfg bench.Config, jsonOut string) error {
+	slog.Info("experiment started", "experiment", "mem",
+		"rows", cfg.Rows, "batches", cfg.Batches, "trials", cfg.Trials)
+	res, err := bench.MemBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatMem(res))
+	if b := res.Budget; b != nil {
+		slog.Info("budget ladder walked", "experiment", "mem",
+			"budget_bytes", b.BudgetBytes, "final_rung", b.FinalRung,
+			"bit_identical", b.BitIdentical)
+		if !b.BitIdentical {
+			return fmt.Errorf("budget-degraded run diverged from unbudgeted reference: %s", b.Mismatch)
+		}
 	}
 	if jsonOut != "" {
 		return writeJSON(jsonOut, res)

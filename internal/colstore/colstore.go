@@ -190,6 +190,32 @@ func (t *Table) buildSegment(rows []types.Row, base int) *Segment {
 // NumRows returns the number of encoded rows.
 func (t *Table) NumRows() int { return len(t.src) }
 
+// MemBytes estimates the encoding's resident size: typed banks, null
+// bitmaps, segment headers, and dictionary strings. The aliased source
+// rows are excluded — they belong to the storage layer and exist
+// whether or not the encoding does.
+func (t *Table) MemBytes() int64 {
+	var b int64
+	for _, seg := range t.Segs {
+		b += int64(len(seg.Cols)) * 8 // Col headers (approx; slices dominate)
+		for c := range seg.Cols {
+			col := &seg.Cols[c]
+			b += 8*int64(cap(col.Ints)) + 8*int64(cap(col.Floats)) +
+				4*int64(cap(col.Codes)) + 8*int64(cap(col.nulls))
+		}
+	}
+	for _, d := range t.Dicts {
+		if d == nil {
+			continue
+		}
+		for _, s := range d.Vals {
+			b += 16 + int64(len(s)) // string header + bytes
+		}
+		b += int64(len(d.idx)) * 24 // map entry approx
+	}
+	return b
+}
+
 // Segment returns the segment containing global row g and g's local
 // index within it.
 func (t *Table) Segment(g int) (*Segment, int) {

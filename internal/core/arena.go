@@ -23,6 +23,10 @@ var weightChunkPool = sync.Pool{
 type weightArena struct {
 	cur    []uint8
 	chunks []*[]uint8 // every chunk ever handed out, for release
+	// bytes is the resource-ledger charge: capacity pinned by held
+	// chunks. Worker-local (no atomics); transferred by adopt at the
+	// batch barrier, zeroed by release.
+	bytes int64
 }
 
 // hold copies w into the arena and returns the stable copy.
@@ -39,6 +43,7 @@ func (a *weightArena) hold(w []uint8) []uint8 {
 		}
 		a.chunks = append(a.chunks, c)
 		a.cur = (*c)[:0]
+		a.bytes += int64(cap(*c))
 	}
 	n := len(a.cur)
 	a.cur = a.cur[: n+len(w) : cap(a.cur)]
@@ -56,13 +61,15 @@ func (a *weightArena) release() {
 		weightChunkPool.Put(c)
 	}
 	a.chunks, a.cur = nil, nil
+	a.bytes = 0
 }
 
 // adopt transfers o's chunks into a (after a worker table merge, the
 // runner's uncertain set owns slices allocated from worker arenas).
 func (a *weightArena) adopt(o *weightArena) {
 	a.chunks = append(a.chunks, o.chunks...)
-	o.chunks, o.cur = nil, nil
+	a.bytes += o.bytes
+	o.chunks, o.cur, o.bytes = nil, nil, 0
 }
 
 // uncertainBufPool recycles worker uncertain-row buffers across batches.

@@ -135,9 +135,9 @@ func (r *ckReader) u64() uint64 {
 	r.at += 8
 	return v
 }
-func (r *ckReader) i() int         { return int(int64(r.u64())) }
-func (r *ckReader) i64() int64     { return int64(r.u64()) }
-func (r *ckReader) f64() float64   { return math.Float64frombits(r.u64()) }
+func (r *ckReader) i() int       { return int(int64(r.u64())) }
+func (r *ckReader) i64() int64   { return int64(r.u64()) }
+func (r *ckReader) f64() float64 { return math.Float64frombits(r.u64()) }
 func (r *ckReader) byte1() byte {
 	if r.err != nil {
 		return 0
@@ -376,6 +376,11 @@ func (e *Engine) Checkpoint() ([]byte, error) {
 	w.i64(e.metrics.RowsProcessed)
 	w.i64(e.metrics.DeterministicFolds)
 	w.i64(e.metrics.UncertainEvictions)
+	w.i64(e.metrics.BudgetEvictions)
+	w.i(e.degradeRung)
+	w.i64(e.ledger.PeakTotal())
+	w.i64(e.metrics.GCPauseNS)
+	w.i64(e.metrics.GCCycles)
 	w.i(len(e.metrics.UncertainPerBatch))
 	for _, n := range e.metrics.UncertainPerBatch {
 		w.i(n)
@@ -385,6 +390,10 @@ func (e *Engine) Checkpoint() ([]byte, error) {
 		w.i64(int64(d))
 	}
 	w.u64(ckSum(w.buf))
+	// Record the encode-buffer size as the checkpoint resource charge.
+	// The caller owns the returned bytes, so this is the cost of the most
+	// recent checkpoint — the residency a checkpointing loop sustains.
+	e.ckBytes = int64(cap(w.buf))
 	e.trace.Emit(Event{Kind: EvCheckpoint, Kept: e.batch,
 		Note: fmt.Sprintf("mode=%d bytes=%d", mode, len(w.buf))})
 	return w.buf, nil
@@ -580,6 +589,11 @@ func (e *Engine) restore(data []byte) error {
 	mRows := r.i64()
 	mFolds := r.i64()
 	mEvict := r.i64()
+	mBudgetEvict := r.i64()
+	mDegradeRung := r.i()
+	mMemPeak := r.i64()
+	mGCPause := r.i64()
+	mGCCycles := r.i64()
 	var perBatch []int
 	if n := r.i(); n > 0 && r.err == nil {
 		perBatch = make([]int, n)
@@ -613,9 +627,32 @@ func (e *Engine) restore(data []byte) error {
 	e.metrics.RowsProcessed = mRows
 	e.metrics.DeterministicFolds = mFolds
 	e.metrics.UncertainEvictions = mEvict
+	e.metrics.BudgetEvictions = mBudgetEvict
+	e.metrics.GCPauseNS = mGCPause
+	e.metrics.GCCycles = mGCCycles
 	e.metrics.UncertainPerBatch = perBatch
 	e.metrics.BatchDurations = durs
 	e.bind.flips = flips
+	// Re-engage latched degradation rungs: a resumed budget-degraded
+	// query must keep running degraded (un-degrading would re-grow the
+	// freed pools and break the determinism of the latch). A replay-mode
+	// restore may already have re-engaged rungs deterministically during
+	// prefix reprocessing; setDegradeRung is monotone, so this is safe.
+	if mDegradeRung >= 1 && e.degradeRung < 1 {
+		e.setDegradeRung(1)
+		e.dropSegmentCache()
+	}
+	if mDegradeRung >= 2 && e.degradeRung < 2 {
+		e.setDegradeRung(2)
+		e.dropPrefetch()
+	}
+	if mDegradeRung >= 3 && e.degradeRung < 3 {
+		e.setDegradeRung(3)
+	}
+	e.updateDegradeReason()
+	e.metrics.DegradeRung = e.degradeRung
+	e.ledger.RestorePeak(mMemPeak)
+	e.metrics.MemPeakBytes = e.ledger.PeakTotal()
 	e.trace.Emit(Event{Kind: EvResume, Kept: batch,
 		Note: fmt.Sprintf("mode=%d", mode)})
 	return nil

@@ -14,6 +14,7 @@ import (
 	"fluodb/internal/expr"
 	"fluodb/internal/otrace"
 	"fluodb/internal/plan"
+	"fluodb/internal/resource"
 	"fluodb/internal/storage"
 	"fluodb/internal/types"
 )
@@ -105,6 +106,17 @@ type Options struct {
 	// correct — the degradation is in deterministic-set precision, not
 	// in the answer.
 	MaxUncertainRows int
+	// MaxMemoryBytes is a soft budget on the bytes the query pins across
+	// its accounted pools (group tables, weight arenas, uncertain cache,
+	// prefetch buffers, columnar scratch, segment cache; see
+	// Snapshot.Resources). 0 = unbudgeted. When a mini-batch commits
+	// over budget, a deterministic degradation ladder engages — drop the
+	// columnar segment cache, then disable weight prefetch, then evict
+	// uncertain tuples through the MaxUncertainRows path — each rung
+	// falling back to a bit-identical slower/leaner mode (ledger.go).
+	// Like Parallelism, the budget is operational: it may differ between
+	// a checkpoint and its resume.
+	MaxMemoryBytes int64
 	// Chaos, when non-nil, injects deterministic faults (worker panics,
 	// stragglers, shard corruption, prefetch drops) into the runtime for
 	// robustness testing. Production queries leave it nil.
@@ -151,6 +163,9 @@ func (o Options) Validate() error {
 	}
 	if o.MaxUncertainRows < 0 {
 		return bad("MaxUncertainRows", o.MaxUncertainRows)
+	}
+	if o.MaxMemoryBytes < 0 {
+		return bad("MaxMemoryBytes", o.MaxMemoryBytes)
 	}
 	return nil
 }
@@ -203,8 +218,22 @@ type Metrics struct {
 	DetFlips            int
 	InvariantViolations int
 	// UncertainEvictions counts cached uncertain tuples force-resolved
-	// by the MaxUncertainRows budget; nonzero marks snapshots Degraded.
+	// by the MaxUncertainRows cap or the MaxMemoryBytes budget; nonzero
+	// marks snapshots Degraded. BudgetEvictions is the subset forced by
+	// the memory budget (ladder rung 3); the cap-driven share is the
+	// difference (the reason split behind
+	// gola_uncertain_evictions{reason}).
 	UncertainEvictions int64
+	BudgetEvictions    int64
+	// Resource-ledger headline numbers (ledger.go): latest / high-water
+	// total byte residency across the accounted pools, the highest
+	// degradation rung engaged by MaxMemoryBytes (0 = none), and GC
+	// pause time / cycles attributed to this query's mini-batches.
+	MemBytes     int64
+	MemPeakBytes int64
+	DegradeRung  int
+	GCPauseNS    int64
+	GCCycles     int64
 	// Phases is the cumulative per-phase time breakdown across the run;
 	// PhasePerBatch holds one breakdown per processed batch (aligned
 	// with BatchDurations). Fine phases require Options.Profile.
@@ -283,6 +312,19 @@ type Engine struct {
 	// series of CI half-width quantiles, churn and throughput, plus the
 	// 1/√n fit backing Snapshot.ETA.
 	conv convergeState
+	// Resource ledger state (ledger.go): per-pool byte residency with
+	// peaks, the runtime/metrics GC sampler and its previous reading
+	// (for per-batch attribution), the latched degradation rung of the
+	// MaxMemoryBytes ladder with its cached reason string (rebuilt only
+	// on state change, so snapshots assign it allocation-free), the
+	// latest stamped usage, and the most recent checkpoint buffer size.
+	ledger        resource.Ledger
+	gcSampler     *resource.Sampler
+	gcPrev        resource.GCStats
+	degradeRung   int
+	degradeReason string
+	lastUsage     ResourceUsage
+	ckBytes       int64
 }
 
 // triEnv builds the classification environment with memoized
@@ -440,6 +482,11 @@ func New(q *plan.Query, cat *storage.Catalog, opt Options) (*Engine, error) {
 		e.trace.setMirror(e.spanInstant)
 	}
 	e.blockAcc = make([]phaseAcc, len(e.runners))
+	// GC telemetry: one sampler per engine (no goroutine — reads happen
+	// synchronously at mini-batch boundaries), baselined now so the
+	// first batch's deltas exclude construction-time allocation.
+	e.gcSampler = resource.NewSampler()
+	e.gcPrev = e.gcSampler.Read()
 	// Let bindings stamp trace events with the plan block that owns each
 	// parameter (the bindings only know parameter indexes).
 	e.bind.tracer = tr
@@ -643,6 +690,7 @@ func (e *Engine) StepContext(ctx context.Context) (*Snapshot, error) {
 	e.metrics.PhasePerBatch = append(e.metrics.PhasePerBatch, bp.times())
 	snap.Phases = bp.times()
 	e.observeConvergence(snap, dur)
+	e.observeResources(snap)
 	if e.Done() {
 		e.sctl.End(e.spanQuery)
 	}
@@ -778,10 +826,13 @@ func (e *Engine) processBatch(bi int) (bool, error) {
 			}
 		}
 	}
-	// Enforce the uncertain-cache budget before the batch commits: the
-	// eviction point is deterministic (same state → same evictions), so
-	// failure-recovery replay re-evicts identically.
+	// Enforce the uncertain-cache cap and the soft memory budget before
+	// the batch commits: both evaluation points are deterministic (same
+	// state → same evictions / same ladder rungs), so failure-recovery
+	// replay re-degrades identically — and every ladder rung falls back
+	// to a bit-identical path anyway (ledger.go).
 	e.enforceUncertainBudget()
+	e.enforceMemoryBudget()
 	// Pipeline the next batch's bootstrap weights onto the workers while
 	// the controller runs this batch's snapshot tail.
 	e.launchPrefetch(bi + 1)
@@ -799,27 +850,8 @@ func (e *Engine) enforceUncertainBudget() {
 	if budget <= 0 {
 		return
 	}
-	total := e.UncertainRows()
-	for total > budget {
-		var victim *blockRunner
-		for _, r := range e.runners {
-			if victim == nil || len(r.uncertain) > len(victim.uncertain) {
-				victim = r
-			}
-		}
-		if victim == nil || len(victim.uncertain) == 0 {
-			return
-		}
-		evict := total - budget
-		if evict > len(victim.uncertain) {
-			evict = len(victim.uncertain)
-		}
-		folded, dropped := victim.evictOldest(evict, e.triEnv())
-		e.metrics.UncertainEvictions += int64(evict)
-		e.conv.stepOut += int64(evict)
-		e.trace.Emit(Event{Kind: EvEvict, Block: victim.b.ID,
-			Folded: folded, Dropped: dropped, Kept: len(victim.uncertain)})
-		total -= evict
+	if over := e.UncertainRows() - budget; over > 0 {
+		e.evictUncertain(over, "cap")
 	}
 }
 

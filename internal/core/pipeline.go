@@ -34,6 +34,10 @@ type weightPrefetch struct {
 	// from leaking across batches.
 	fill  *taskGroup
 	valid bool
+	// bytes is the resource-ledger charge for the two arrays, recorded
+	// by the controller at launch time (fills run concurrently with the
+	// batch tail, so the ledger never reads the slice headers live).
+	bytes int64
 }
 
 // drain waits for any in-flight fill and reports whether it completed
@@ -57,6 +61,12 @@ func (pf *weightPrefetch) drain() bool {
 // spawn runtime.
 func (e *Engine) launchPrefetch(bi int) {
 	if e.pool == nil || e.closed || e.opt.PerBatchSpawn || bi >= e.opt.Batches {
+		return
+	}
+	if e.degradeRung >= 2 {
+		// Budget rung 2: prefetch stays off for the rest of the query;
+		// consumers derive weights inline (byte-identical — resamples are
+		// pure counter hashes).
 		return
 	}
 	trials := e.opt.Trials
@@ -85,6 +95,7 @@ func (e *Engine) launchPrefetch(bi int) {
 			pf.weights = make([]uint8, n*trials)
 		}
 		pf.weights = pf.weights[:n*trials]
+		pf.bytes = int64(cap(pf.sampled)) + int64(cap(pf.weights))
 		workers := e.pool.size()
 		if workers > n {
 			workers = n

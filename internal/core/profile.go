@@ -163,6 +163,20 @@ type BlockPhaseStat struct {
 	Phases    PhaseTimes
 }
 
+// fmtBytes renders a byte count in human units (profiles and flbench).
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
 // fmtDur renders a duration with ms precision appropriate for profiles.
 func fmtDur(d time.Duration) string {
 	switch {
@@ -204,6 +218,32 @@ func (e *Engine) Report() string {
 					fmt.Fprintf(&b, "eta to 1%% error: %s\n", fmtDur(eta))
 				}
 			}
+		}
+	}
+	if u := e.lastUsage; u.TotalBytes > 0 || u.PeakBytes > 0 {
+		fmt.Fprintf(&b, "memory: %s resident (peak %s) — tables %s, arenas %s, uncertain %s, prefetch %s, scratch %s, segcache %s",
+			fmtBytes(u.TotalBytes), fmtBytes(u.PeakBytes),
+			fmtBytes(u.GroupTableBytes), fmtBytes(u.WeightArenaBytes),
+			fmtBytes(u.UncertainBytes), fmtBytes(u.PrefetchBytes),
+			fmtBytes(u.ColScratchBytes), fmtBytes(u.SegCacheBytes))
+		if u.CheckpointBytes > 0 {
+			fmt.Fprintf(&b, ", checkpoint %s", fmtBytes(u.CheckpointBytes))
+		}
+		b.WriteByte('\n')
+		if m.GCCycles > 0 || u.HeapLiveBytes > 0 {
+			fmt.Fprintf(&b, "gc: heap live %s goal %s, %d cycles, %s pause total\n",
+				fmtBytes(u.HeapLiveBytes), fmtBytes(u.HeapGoalBytes),
+				m.GCCycles, fmtDur(time.Duration(m.GCPauseNS)))
+		}
+		if u.BudgetBytes > 0 {
+			fmt.Fprintf(&b, "budget: %s soft limit, degrade rung %d", fmtBytes(u.BudgetBytes), u.DegradeRung)
+			if e.degradeReason != "" {
+				fmt.Fprintf(&b, " (%s)", e.degradeReason)
+			}
+			if m.BudgetEvictions > 0 {
+				fmt.Fprintf(&b, ", %d budget evictions", m.BudgetEvictions)
+			}
+			b.WriteByte('\n')
 		}
 	}
 	for _, bp := range m.BlockPhases {

@@ -57,11 +57,17 @@ type Snapshot struct {
 	// prefix). InterruptReason carries the context error.
 	Interrupted     bool
 	InterruptReason string
-	// Degraded marks that the uncertain-cache budget force-resolved
-	// tuples (Metrics.UncertainEvictions > 0): the answer is still a
-	// valid estimate, but deterministic-set precision was traded for
-	// bounded memory.
-	Degraded bool
+	// Degraded names every degradation in force, empty when none:
+	// "budget:..." lists the MaxMemoryBytes ladder rungs engaged
+	// (segcache, prefetch, evict), "cap:evict" marks MaxUncertainRows
+	// evictions. The answer is still a valid estimate — budget rungs 1-2
+	// are bit-identical fallbacks, and evictions trade deterministic-set
+	// precision for bounded memory.
+	Degraded string
+	// Resources is this batch's memory observation: per-pool byte
+	// residency from the resource ledger, GC telemetry attributed to the
+	// batch, and soft-budget state (ledger.go, DESIGN.md §15).
+	Resources ResourceUsage
 	// Convergence is this batch's convergence-observatory sample: CI
 	// half-width quantiles, uncertain churn, throughput, and the 1/√n
 	// fit behind ETA (converge.go). Zero-valued when no batch has
@@ -132,7 +138,7 @@ func (e *Engine) snapshot(elapsed time.Duration) *Snapshot {
 		UncertainRows: e.UncertainRows(),
 		Recomputes:    e.metrics.Recomputes,
 		Elapsed:       elapsed,
-		Degraded:      e.metrics.UncertainEvictions > 0,
+		Degraded:      e.degradeReason,
 	}
 	if ts.total > 0 {
 		snap.FractionProcessed = float64(ts.seen) / float64(ts.total)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"unsafe"
 
 	"fluodb/internal/agg"
 	"fluodb/internal/expr"
@@ -107,6 +108,12 @@ type onlineTable struct {
 	// (w·repW), so the banked fold is a branch-free add loop: a zero
 	// weight adds 0.0, which is exact.
 	wf []float64
+	// bytes is the resource-ledger charge: bytes pinned by this table's
+	// probe slots and entry-owned arrays (including free-listed recycled
+	// entries, whose backing arrays stay live). Charged only where
+	// allocations happen — fresh newEntry, grow — never on the per-tuple
+	// hit path; merge transfers the worker's charge to the adopter.
+	bytes int64
 }
 
 func newOnlineTable(trials int) *onlineTable {
@@ -183,6 +190,7 @@ func (t *onlineTable) newEntry(b *plan.Block, key types.Row, hash uint64) *onlin
 		return e
 	}
 	e := &onlineEntry{key: key.Clone(), hash: hash}
+	t.bytes += entryHeaderBytes + int64(len(key))*rowValueBytes
 	if t.banked {
 		na := len(b.Aggs)
 		mw := make([]float64, 2*na)
@@ -190,21 +198,37 @@ func (t *onlineTable) newEntry(b *plan.Block, key types.Row, hash uint64) *onlin
 		n := na * t.trials
 		e.bankW = make([]float64, n)
 		e.bankV = make([]float64, n)
+		t.bytes += 8 * int64(2*na+2*n)
 	} else {
 		e.main = newEntryStates(b)
 		e.reps = make([][]agg.State, t.trials)
 		for j := range e.reps {
 			e.reps[j] = newEntryStates(b)
 		}
+		// Generic agg.States are heap objects of aggregate-specific
+		// shape; charge a flat estimate per state rather than walking
+		// every implementation.
+		t.bytes += int64(len(b.Aggs)*(1+t.trials)) * genericStateBytes
 	}
 	for _, k := range t.cltKinds {
 		if k != cltNone {
 			e.clt = make([]cltAcc, len(b.Aggs))
+			t.bytes += int64(len(b.Aggs)) * cltAccBytes
 			break
 		}
 	}
 	return e
 }
+
+// Resource-ledger sizing constants for group-table entries. The bank
+// arrays are charged exactly (capacity × 8); these cover the fixed
+// per-entry overhead and the opaque generic states.
+const (
+	entryHeaderBytes  = int64(unsafe.Sizeof(onlineEntry{}))
+	rowValueBytes     = int64(unsafe.Sizeof(types.Value{}))
+	cltAccBytes       = int64(unsafe.Sizeof(cltAcc{}))
+	genericStateBytes = 64 // estimate: one small heap object + interface header
+)
 
 // find probes for an entry with the given hash whose key projection
 // equals keyRow on cols; nil on miss.
@@ -246,6 +270,7 @@ func (t *onlineTable) grow() {
 	if n < 16 {
 		n = 16
 	}
+	t.bytes += 4 * int64(n-len(t.slots)) // old array is released
 	t.slots = make([]int32, n)
 	t.mask = uint64(n - 1)
 	for i, e := range t.entries {
@@ -522,6 +547,12 @@ func (t *onlineTable) merge(o *onlineTable) {
 	if cols == nil {
 		cols = o.cols // t may not have seen a tuple yet
 	}
+	// Transfer the worker's ledger charge wholesale: adopted entries now
+	// live here, and o's retained arrays (slots, free list) were charged
+	// once and will not be re-charged when recycle reuses them, so the
+	// sum across tables stays exact.
+	t.bytes += o.bytes
+	o.bytes = 0
 	for k, oe := range o.entries {
 		e := t.find(oe.hash, oe.key, cols)
 		if e == nil {

@@ -50,6 +50,11 @@ const (
 	// the oldest cached tuples were force-resolved by point estimate
 	// (Folded/Dropped counts, Kept = rows remaining).
 	EvEvict = "uncertain-evict"
+	// EvDegrade: the MaxMemoryBytes soft budget engaged a degradation
+	// rung (Kept = rung: 1 segment cache dropped, 2 prefetch disabled,
+	// 3 uncertain eviction; Note describes it). Every rung falls back to
+	// a bit-identical path, so answers are unchanged.
+	EvDegrade = "mem-degrade"
 	// EvInterrupt: a deadline or cancellation stopped the prefix; the
 	// last committed snapshot became the bounded-time answer.
 	EvInterrupt = "deadline-interrupt"

@@ -14,6 +14,7 @@ package dashboard
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"net/http/pprof"
@@ -24,6 +25,7 @@ import (
 	"fluodb/internal/metrics"
 	"fluodb/internal/otrace"
 	"fluodb/internal/plan"
+	"fluodb/internal/resource"
 	"fluodb/internal/storage"
 )
 
@@ -45,12 +47,16 @@ type Server struct {
 	// Statistical-correctness families (internal/audit): every query the
 	// dashboard runs is audited against the batch executor's exact
 	// answer, so these track the estimator, not just the runtime.
-	detFlips     *metrics.Counter
-	violations   *metrics.Counter
-	evictions    *metrics.Counter
-	relErr       *metrics.Histogram
-	ciWidth      *metrics.Histogram
-	coverageBits atomic.Uint64 // float64 bits: latest snapshot's CI coverage
+	detFlips   *metrics.Counter
+	violations *metrics.Counter
+	// Uncertain evictions split by cause: reason="cap" is the
+	// MaxUncertainRows row-count cap, reason="budget" is rung 3 of the
+	// MaxMemoryBytes degradation ladder.
+	evictionsCap    *metrics.Counter
+	evictionsBudget *metrics.Counter
+	relErr          *metrics.Histogram
+	ciWidth         *metrics.Histogram
+	coverageBits    atomic.Uint64 // float64 bits: latest snapshot's CI coverage
 	// Convergence-observatory families (core.ConvergencePoint): CI
 	// half-width quantiles, throughput, uncertain-cache churn and the
 	// ETA-to-1% prediction of the most recent batch.
@@ -58,8 +64,21 @@ type Server struct {
 	churnIn, churnOut   *metrics.Counter
 	rowsPerSecBits      atomic.Uint64 // float64 bits
 	etaBits             atomic.Uint64 // float64 bits; NaN until predicted
+	// Resource-ledger families (Snapshot.Resources): per-pool byte
+	// residency, total/peak, budget degradation rung and GC telemetry of
+	// the most recent committed mini-batch.
+	memPool     []*metrics.Gauge // aligned with resource.Category
+	memTotal    *metrics.Gauge
+	memPeak     *metrics.Gauge
+	degradeRung *metrics.Gauge
+	gcPauseNS   *metrics.Counter
+	gcCycles    *metrics.Counter
+	heapLive    *metrics.Gauge
+	heapGoal    *metrics.Gauge
 	// spans holds the most recent query's span timeline for /trace.
 	spans atomic.Pointer[otrace.Tracer]
+
+	log *slog.Logger
 }
 
 // New builds a dashboard server over a catalog. opt configures the
@@ -85,8 +104,9 @@ func New(cat *storage.Catalog, opt core.Options) *Server {
 		"Committed deterministic decisions contradicted in flight (recovered by replay).")
 	s.violations = s.reg.Counter("gola_invariant_violations_total",
 		"Committed decisions still contradicted when the invariant audit ran (bugs).")
-	s.evictions = s.reg.Counter("gola_uncertain_evictions",
-		"Uncertain tuples force-resolved by the MaxUncertainRows budget (degraded precision).")
+	const evictHelp = "Uncertain tuples force-resolved by a budget, by reason: cap = MaxUncertainRows, budget = MaxMemoryBytes degradation rung 3 (degraded precision)."
+	s.evictionsCap = s.reg.Counter(`gola_uncertain_evictions{reason="cap"}`, evictHelp)
+	s.evictionsBudget = s.reg.Counter(`gola_uncertain_evictions{reason="budget"}`, evictHelp)
 	s.relErr = s.reg.Histogram("gola_relative_error",
 		"Per-batch mean relative error of audited estimates vs ground truth (unitless).")
 	s.ciWidth = s.reg.Histogram("gola_ci_width",
@@ -111,7 +131,35 @@ func New(cat *storage.Catalog, opt core.Options) *Server {
 	s.reg.GaugeFunc(`gola_eta_seconds{epsilon="0.01"}`,
 		"Predicted seconds until every CI half-width is within epsilon (1/sqrt(n) fit); NaN until predictable.",
 		func() float64 { return math.Float64frombits(s.etaBits.Load()) })
+	for c := resource.Category(0); c < resource.NumCategories; c++ {
+		s.memPool = append(s.memPool, s.reg.Gauge(
+			fmt.Sprintf("gola_mem_bytes{pool=%q}", c.String()),
+			"Resource-ledger residency per pool after the most recent mini-batch (bytes)."))
+	}
+	s.memTotal = s.reg.Gauge("gola_mem_total_bytes",
+		"Total resource-ledger residency after the most recent mini-batch (bytes).")
+	s.memPeak = s.reg.Gauge("gola_mem_peak_bytes",
+		"High-water total ledger residency of the most recent query (bytes).")
+	s.degradeRung = s.reg.Gauge("gola_mem_degrade_rung",
+		"Highest MaxMemoryBytes degradation rung engaged (0 none, 1 segment cache dropped, 2 prefetch disabled, 3 uncertain eviction).")
+	s.gcPauseNS = s.reg.Counter("gola_gc_pause_ns_total",
+		"GC pause nanoseconds elapsed during dashboard query mini-batches.")
+	s.gcCycles = s.reg.Counter("gola_gc_cycles_total",
+		"GC cycles completed during dashboard query mini-batches.")
+	s.heapLive = s.reg.Gauge("gola_gc_heap_live_bytes",
+		"Live heap bytes at the most recent mini-batch boundary.")
+	s.heapGoal = s.reg.Gauge("gola_gc_heap_goal_bytes",
+		"GC heap goal bytes at the most recent mini-batch boundary.")
+	s.log = slog.Default()
 	return s
+}
+
+// SetLogger installs a structured logger for query lifecycle events
+// (start, completion, failure). The default is slog.Default().
+func (s *Server) SetLogger(l *slog.Logger) {
+	if l != nil {
+		s.log = l
+	}
 }
 
 // ActiveQueries reports how many query handlers are currently running —
@@ -174,11 +222,14 @@ type SnapshotJSON struct {
 	MaxErr   float64 `json:"max_err,omitempty"`
 	CIWidth  float64 `json:"ci_width,omitempty"`
 	Coverage float64 `json:"coverage,omitempty"`
-	// Degraded: the uncertain-cache budget force-resolved tuples; the
-	// answer is still a valid estimate with slightly coarser
-	// deterministic-set precision.
-	Degraded bool   `json:"degraded,omitempty"`
-	Err      string `json:"error,omitempty"`
+	// Degraded names every degradation in force ("budget:..." rungs of
+	// the MaxMemoryBytes ladder, "cap:evict" for MaxUncertainRows); the
+	// answer is still a valid estimate.
+	Degraded string `json:"degraded,omitempty"`
+	// Mem is this batch's memory observation (per-pool residency, GC
+	// telemetry, budget state), absent until the ledger has observed.
+	Mem *core.ResourceUsage `json:"mem,omitempty"`
+	Err string              `json:"error,omitempty"`
 	// Conv is this batch's convergence-observatory sample (half-width
 	// quantiles, churn, throughput, fit); ETASeconds is the 1/√n-fit
 	// prediction of seconds until every half-width is within 1%
@@ -259,8 +310,9 @@ func (s *Server) Query(w http.ResponseWriter, r *http.Request) {
 	if oerr != nil {
 		oracle = nil
 	}
+	s.log.Info("online query started", "sql", sql, "batches", s.opt.Batches)
 	ctx := r.Context()
-	var prevRows, prevEvictions int64
+	var prevRows, prevCapEvict, prevBudgetEvict int64
 	var prevRecomputes, prevFlips int
 	for !eng.Done() {
 		snap, err := eng.StepContext(ctx)
@@ -268,9 +320,11 @@ func (s *Server) Query(w http.ResponseWriter, r *http.Request) {
 			// Client disconnected (or stopped the query): the engine quit
 			// at the mini-batch boundary; the bounded-time answer is snap,
 			// but there is no one left to send it to.
+			s.log.Info("online query interrupted", "sql", sql, "batch", eng.Batch())
 			return
 		}
 		if err != nil {
+			s.log.Error("online query failed", "sql", sql, "batch", eng.Batch(), "err", err)
 			send(SnapshotJSON{Err: err.Error()})
 			return
 		}
@@ -279,9 +333,11 @@ func (s *Server) Query(w http.ResponseWriter, r *http.Request) {
 		s.rows.Add(m.RowsProcessed - prevRows)
 		s.recomputes.Add(int64(m.Recomputes - prevRecomputes))
 		s.detFlips.Add(int64(m.DetFlips - prevFlips))
-		s.evictions.Add(m.UncertainEvictions - prevEvictions)
+		capEvict := m.UncertainEvictions - m.BudgetEvictions
+		s.evictionsCap.Add(capEvict - prevCapEvict)
+		s.evictionsBudget.Add(m.BudgetEvictions - prevBudgetEvict)
 		prevRows, prevRecomputes, prevFlips = m.RowsProcessed, m.Recomputes, m.DetFlips
-		prevEvictions = m.UncertainEvictions
+		prevCapEvict, prevBudgetEvict = capEvict, m.BudgetEvictions
 		s.uncertain.Set(int64(snap.UncertainRows))
 		s.batchSeconds.Observe(snap.Elapsed)
 		for i, d := range snap.Phases.Durations() {
@@ -301,6 +357,19 @@ func (s *Server) Query(w http.ResponseWriter, r *http.Request) {
 		if eta, ok := snap.ETA(0.01); ok {
 			s.etaBits.Store(math.Float64bits(eta.Seconds()))
 		}
+		u := snap.Resources
+		for i, v := range [...]int64{u.GroupTableBytes, u.WeightArenaBytes,
+			u.UncertainBytes, u.PrefetchBytes, u.ColScratchBytes,
+			u.SegCacheBytes, u.CheckpointBytes} {
+			s.memPool[i].Set(v)
+		}
+		s.memTotal.Set(u.TotalBytes)
+		s.memPeak.Set(u.PeakBytes)
+		s.degradeRung.Set(int64(u.DegradeRung))
+		s.gcPauseNS.Add(u.GCPauseNS)
+		s.gcCycles.Add(u.GCCycles)
+		s.heapLive.Set(u.HeapLiveBytes)
+		s.heapGoal.Set(u.HeapGoalBytes)
 		out := EncodeSnapshot(snap)
 		if oracle != nil {
 			tp := oracle.Compare(snap)
@@ -320,6 +389,11 @@ func (s *Server) Query(w http.ResponseWriter, r *http.Request) {
 	// End-of-run consistency audit: every surviving committed decision
 	// must agree with the exact final state.
 	s.violations.Add(int64(len(eng.AuditInvariants())))
+	m := eng.Metrics()
+	s.log.Info("online query completed", "sql", sql,
+		"batches", m.Batches, "rows", m.RowsProcessed,
+		"recomputes", m.Recomputes, "mem_peak", m.MemPeakBytes,
+		"degrade_rung", m.DegradeRung)
 }
 
 // EncodeSnapshot converts an engine snapshot to its wire form.
@@ -332,6 +406,9 @@ func EncodeSnapshot(snap *core.Snapshot) SnapshotJSON {
 		Uncertain: snap.UncertainRows,
 		Phases:    snap.Phases.Milliseconds(),
 		Degraded:  snap.Degraded,
+	}
+	if u := snap.Resources; u.TotalBytes > 0 || u.PeakBytes > 0 {
+		out.Mem = &u
 	}
 	if snap.Convergence.Batch > 0 {
 		c := snap.Convergence
@@ -380,6 +457,9 @@ th { background: #f4f4f4; }
 #accuracy .spark { color: #36c; letter-spacing: 1px; }
 #conv { margin-top: .25rem; color: #777; font-size: 0.85em; font-family: monospace; }
 #conv .spark { color: #c63; letter-spacing: 1px; }
+#mem { margin-top: .25rem; color: #777; font-size: 0.85em; font-family: monospace; }
+#mem .spark { color: #393; letter-spacing: 1px; }
+#mem .degrade { color: #c33; }
 progress { width: 100%; }
 </style></head><body>
 <h1>FluoDB — G-OLA online SQL console</h1>
@@ -393,6 +473,7 @@ WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)</textarea><br>
 <div id="phases"></div>
 <div id="accuracy"></div>
 <div id="conv"></div>
+<div id="mem"></div>
 <progress id="prog" value="0" max="1"></progress>
 <div id="out"></div>
 <p><a href="/metrics">/metrics</a> — Prometheus · <a href="/trace">/trace</a> — Perfetto timeline of the last query · <a href="/debug/pprof/">/debug/pprof/</a> — Go profiler</p>
@@ -400,7 +481,14 @@ WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)</textarea><br>
 let es = null;
 let errSeries = [];
 let hwSeries = [];
+let memSeries = [];
 function stop() { if (es) { es.close(); es = null; } }
+function fmtB(b) {
+  if (b >= 1<<30) return (b/(1<<30)).toFixed(2) + 'GiB';
+  if (b >= 1<<20) return (b/(1<<20)).toFixed(2) + 'MiB';
+  if (b >= 1<<10) return (b/(1<<10)).toFixed(1) + 'KiB';
+  return b + 'B';
+}
 function sparkline(xs) {
   const bars = '▁▂▃▄▅▆▇█';
   const max = Math.max(...xs, 1e-12);
@@ -411,8 +499,10 @@ function run() {
   stop();
   errSeries = [];
   hwSeries = [];
+  memSeries = [];
   document.getElementById('accuracy').textContent = '';
   document.getElementById('conv').textContent = '';
+  document.getElementById('mem').textContent = '';
   const sql = document.getElementById('sql').value;
   es = new EventSource('/query?sql=' + encodeURIComponent(sql));
   es.onmessage = (ev) => {
@@ -438,6 +528,16 @@ function run() {
         s.conv.uncertain_in + '/-' + s.conv.uncertain_out;
       if (s.eta_known) line += ' — eta to 1%: ' + (s.eta_s < 0.0005 ? 'now' : s.eta_s.toFixed(1) + 's');
       document.getElementById('conv').innerHTML = line;
+    }
+    if (s.mem) {
+      memSeries.push(s.mem.total || 0);
+      let line = 'mem <span class="spark">' + sparkline(memSeries) + '</span> ' +
+        fmtB(s.mem.total) + ' (peak ' + fmtB(s.mem.peak) + ') — tables ' +
+        fmtB(s.mem.group_tables) + ' · arenas ' + fmtB(s.mem.weight_arenas) +
+        ' · uncertain ' + fmtB(s.mem.uncertain) + ' · segcache ' + fmtB(s.mem.segment_cache);
+      if (s.mem.heap_live) line += ' — heap ' + fmtB(s.mem.heap_live);
+      if (s.degraded) line += ' <span class="degrade">degraded: ' + s.degraded + '</span>';
+      document.getElementById('mem').innerHTML = line;
     }
     if (s.audited) {
       errSeries.push(s.rel_err || 0);

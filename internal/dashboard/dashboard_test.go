@@ -526,3 +526,94 @@ func TestConvergencePayloadAndTrace(t *testing.T) {
 		t.Fatal("trace carries no spans after a query")
 	}
 }
+
+// TestMemPayloadAndMetrics: SSE events carry the per-batch memory
+// observation, and /metrics the gola_mem_* / gola_gc_* resource-ledger
+// families with the eviction counter split by reason. The server runs
+// under a 1-byte MaxMemoryBytes so the full degradation ladder engages
+// and the budget gauges move.
+func TestMemPayloadAndMetrics(t *testing.T) {
+	cat := workload.ConvivaCatalog(2000, 9)
+	s := New(cat, core.Options{Batches: 5, Trials: 10, Seed: 3, MaxMemoryBytes: 1})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/query?sql=" +
+		"SELECT+country,+AVG(play_time)+FROM+sessions+GROUP+BY+country")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var snaps []SnapshotJSON
+	for sc.Scan() {
+		if !strings.HasPrefix(sc.Text(), "data: ") {
+			continue
+		}
+		var sj SnapshotJSON
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(sc.Text(), "data: ")), &sj); err != nil {
+			t.Fatal(err)
+		}
+		if sj.Err != "" {
+			t.Fatalf("error event: %s", sj.Err)
+		}
+		snaps = append(snaps, sj)
+	}
+	resp.Body.Close()
+	if len(snaps) != 5 {
+		t.Fatalf("snapshots = %d, want 5", len(snaps))
+	}
+	for _, sj := range snaps {
+		if sj.Mem == nil || sj.Mem.TotalBytes <= 0 {
+			t.Fatalf("batch %d: no mem payload: %+v", sj.Batch, sj.Mem)
+		}
+		if sj.Mem.PeakBytes < sj.Mem.TotalBytes {
+			t.Fatalf("batch %d: peak %d below total %d", sj.Batch, sj.Mem.PeakBytes, sj.Mem.TotalBytes)
+		}
+		if sj.Mem.DegradeRung != 3 || sj.Mem.BudgetBytes != 1 {
+			t.Fatalf("batch %d: budget state %+v, want rung 3 under 1-byte budget", sj.Batch, sj.Mem)
+		}
+		if sj.Degraded != "budget:segcache+prefetch+evict" {
+			t.Fatalf("batch %d: Degraded = %q", sj.Batch, sj.Degraded)
+		}
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	text := string(mbody)
+	for _, want := range []string{
+		"# TYPE gola_mem_bytes gauge",
+		`gola_mem_bytes{pool="group-tables"}`,
+		`gola_mem_bytes{pool="weight-arenas"}`,
+		`gola_mem_bytes{pool="uncertain-cache"}`,
+		`gola_mem_bytes{pool="prefetch"}`,
+		`gola_mem_bytes{pool="col-scratch"}`,
+		`gola_mem_bytes{pool="segment-cache"}`,
+		`gola_mem_bytes{pool="checkpoint"}`,
+		"# TYPE gola_mem_total_bytes gauge",
+		"# TYPE gola_mem_peak_bytes gauge",
+		"gola_mem_degrade_rung 3",
+		"# TYPE gola_gc_pause_ns_total counter",
+		"# TYPE gola_gc_cycles_total counter",
+		"# TYPE gola_gc_heap_live_bytes gauge",
+		"# TYPE gola_gc_heap_goal_bytes gauge",
+		"# TYPE gola_uncertain_evictions counter",
+		`gola_uncertain_evictions{reason="cap"}`,
+		`gola_uncertain_evictions{reason="budget"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+	// The heap gauges reflect a live process, and the total moved.
+	if strings.Contains(text, "gola_gc_heap_live_bytes 0\n") {
+		t.Fatal("heap live gauge never set")
+	}
+	if strings.Contains(text, "gola_mem_total_bytes 0\n") {
+		t.Fatal("mem total gauge never set")
+	}
+}

@@ -343,3 +343,70 @@ func TestEngineRegistryConformance(t *testing.T) {
 		}
 	}
 }
+
+// TestMemFamiliesConformance runs the strict parser over the
+// resource-ledger families exactly as the dashboard registers them —
+// a labeled multi-series gauge family (gola_mem_bytes{pool=...}),
+// plain gauges, and the reason-split eviction counter — so the
+// /metrics payload of a budgeted query is scraper-clean.
+func TestMemFamiliesConformance(t *testing.T) {
+	r := NewRegistry()
+	pools := []string{"group-tables", "weight-arenas", "uncertain-cache",
+		"prefetch", "col-scratch", "segment-cache", "checkpoint"}
+	for i, p := range pools {
+		r.Gauge(fmt.Sprintf("gola_mem_bytes{pool=%q}", p),
+			"Resource-ledger residency per pool (bytes).").Set(int64(100 * (i + 1)))
+	}
+	r.Gauge("gola_mem_total_bytes", "Total ledger residency (bytes).").Set(2800)
+	r.Gauge("gola_mem_peak_bytes", "High-water ledger residency (bytes).").Set(4096)
+	r.Gauge("gola_mem_degrade_rung", "Highest degradation rung engaged.").Set(3)
+	r.Counter("gola_gc_pause_ns_total", "GC pause nanoseconds.").Add(12345)
+	r.Counter("gola_gc_cycles_total", "GC cycles.").Add(7)
+	r.Gauge("gola_gc_heap_live_bytes", "Live heap bytes.").Set(1 << 20)
+	r.Gauge("gola_gc_heap_goal_bytes", "GC heap goal bytes.").Set(2 << 20)
+	const evictHelp = "Uncertain tuples force-resolved, by reason."
+	r.Counter(`gola_uncertain_evictions{reason="cap"}`, evictHelp).Add(3)
+	r.Counter(`gola_uncertain_evictions{reason="budget"}`, evictHelp).Add(5)
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	_, types, samples := parseExposition(t, sb.String())
+	for name, kind := range map[string]string{
+		"gola_mem_bytes":           "gauge",
+		"gola_mem_total_bytes":     "gauge",
+		"gola_mem_peak_bytes":      "gauge",
+		"gola_mem_degrade_rung":    "gauge",
+		"gola_gc_pause_ns_total":   "counter",
+		"gola_gc_cycles_total":     "counter",
+		"gola_gc_heap_live_bytes":  "gauge",
+		"gola_gc_heap_goal_bytes":  "gauge",
+		"gola_uncertain_evictions": "counter",
+	} {
+		if types[name] != kind {
+			t.Errorf("family %s has TYPE %q, want %q", name, types[name], kind)
+		}
+	}
+	// One series per pool, each with its label intact; the eviction
+	// counter carries both reasons.
+	poolVals := map[string]float64{}
+	evict := map[string]float64{}
+	for _, s := range samples {
+		switch s.base {
+		case "gola_mem_bytes":
+			poolVals[s.labels["pool"]] = s.value
+		case "gola_uncertain_evictions":
+			evict[s.labels["reason"]] = s.value
+		}
+	}
+	if len(poolVals) != len(pools) {
+		t.Fatalf("pool series = %d, want %d: %v", len(poolVals), len(pools), poolVals)
+	}
+	for i, p := range pools {
+		if poolVals[p] != float64(100*(i+1)) {
+			t.Errorf("pool %q = %g, want %d", p, poolVals[p], 100*(i+1))
+		}
+	}
+	if evict["cap"] != 3 || evict["budget"] != 5 {
+		t.Errorf("eviction reason split = %v", evict)
+	}
+}

@@ -85,6 +85,27 @@ func (t *Table) Columnar() *colstore.Table {
 	return t.col
 }
 
+// DropColumnar releases the cached columnar encoding. The next Columnar
+// call rebuilds it; until then consumers fall back to the row path
+// (bit-identical by the colstore round-trip contract). Used by the
+// engine's memory-budget degradation ladder.
+func (t *Table) DropColumnar() {
+	t.colMu.Lock()
+	t.col = nil
+	t.colMu.Unlock()
+}
+
+// ColumnarBytes reports the resident size of the cached columnar
+// encoding (0 when none is cached).
+func (t *Table) ColumnarBytes() int64 {
+	t.colMu.Lock()
+	defer t.colMu.Unlock()
+	if t.col == nil {
+		return 0
+	}
+	return t.col.MemBytes()
+}
+
 // Shuffled returns a new table with the rows randomly permuted using the
 // given seed (Fisher–Yates). This is the pre-processing tool of §2 that
 // makes any prefix of the data a uniform random sample, for datasets

@@ -61,6 +61,12 @@ type SpanTracer = otrace.Tracer
 // capacity spans each (a default when capacity <= 0).
 func NewSpanTracer(capacity int) *SpanTracer { return otrace.NewTracer(capacity) }
 
+// ResourceUsage is one mini-batch's memory observation: per-pool byte
+// residency from the engine's resource ledger, GC telemetry attributed
+// to the batch, and soft-budget state. It rides on Snapshot.Resources
+// and is also available from OnlineQuery.Resources.
+type ResourceUsage = core.ResourceUsage
+
 // ConvergencePoint is one batch's convergence-observatory sample:
 // relative CI half-width quantiles, uncertain-set churn, throughput
 // and the 1/√n fit behind Snapshot.ETA.
@@ -199,8 +205,9 @@ func (oq *OnlineQuery) Close() { oq.eng.Close() }
 
 // ResumeOnline rebuilds an online query from a Checkpoint taken against
 // the same catalog with the same SQL and statistics-affecting options
-// (seed, batches, trials, confidence; Parallelism and observability
-// options may differ). The resumed query continues from the checkpoint
+// (seed, batches, trials, confidence; Parallelism, MaxMemoryBytes and
+// observability options may differ — a budget-degraded query resumes
+// with its degradation rungs re-engaged). The resumed query continues from the checkpoint
 // batch with bit-identical snapshots. Mismatched or corrupted bytes are
 // refused with an ErrKindCheckpoint QueryError.
 func (db *DB) ResumeOnline(sql string, opt OnlineOptions, ckpt []byte) (*OnlineQuery, error) {
@@ -238,3 +245,7 @@ func (oq *OnlineQuery) Report() string { return oq.eng.Report() }
 // ConvergenceSeries returns the per-batch convergence samples recorded
 // so far (bounded; decimated on very long runs).
 func (oq *OnlineQuery) ConvergenceSeries() []ConvergencePoint { return oq.eng.ConvergenceSeries() }
+
+// Resources returns the most recent mini-batch's memory observation
+// (zero-valued before the first committed batch).
+func (oq *OnlineQuery) Resources() ResourceUsage { return oq.eng.Resources() }

@@ -11,6 +11,9 @@
 #                    so the alloc tests skip themselves under it)
 #   columnar gates   segment-sweep fold stays at 0 allocs/tuple; the
 #                    columnar/row bit-identity sweep re-runs under -race
+#   ledger gates     resource-ledger charge counters match ground truth,
+#                    per-batch collection allocates nothing, and budget
+#                    degradation stays bit-identical across P
 #   chaos gate       short seeded fault soak under -race: bit-identical
 #                    answers under injected panics/stragglers/corruption,
 #                    checkpoint round-trips, zero leaked goroutines
@@ -68,6 +71,20 @@ echo "== columnar bit-identity under -race (go test -race ./internal/core -run T
 # shard-parallel segment sweeps share plan and colstore state read-only,
 # and the race detector holds them to it.
 go test -race ./internal/core -run 'TestColumnarBitIdentical|TestColumnarSubsampleBitIdentical' -count=1
+
+echo "== resource ledger gates (ground truth, 0-alloc collection, budget bit-identity)"
+# The group-table charge counter must agree with an independent walk of
+# the final table; the per-batch residency collection (walk + GC read +
+# usage stamp) must allocate nothing; and a 1-byte MaxMemoryBytes budget
+# forcing all three degradation rungs must stay bit-identical to the
+# unbudgeted run across seeds and P∈{1,2,4,8}, with checkpoint/resume
+# re-engaging the latched rungs.
+go test ./internal/core -run 'TestLedgerGroundTruth|TestLedgerUncertainCharge|TestLedgerCollectAllocs|TestBudgetDegradeBitIdentical|TestBudgetCheckpointResume' -count=1
+
+echo "== mem families conformance (go test ./internal/metrics -run 'Conformance')"
+# The gola_mem_*/gola_gc_* families and the reason-split eviction
+# counter must pass the strict Prometheus exposition parser.
+go test ./internal/metrics -run 'TestMemFamiliesConformance|TestExpositionConformance' -count=1
 
 echo "== go vet (observability packages)"
 go vet ./internal/metrics/ ./internal/dashboard/ ./internal/audit/

@@ -45,6 +45,13 @@ var chaosProfiles = []struct {
 	// ran on the row path, so any divergence between the two fold
 	// implementations under faults is caught, not just fault handling.
 	{"colstress", chaos.Config{PanicProb: 0.2, CorruptProb: 0.1, PrefetchDropProb: 0.5}},
+	// segseal targets the incremental segment-seal seam: the columnar
+	// segment cache is dropped between batches, forcing an incremental
+	// re-encode plus kernel recompilation mid-query, layered with
+	// prefetch drops so the rebuilt sweep also regenerates weights
+	// in-loop. The reference still runs the row path, so the re-encoded
+	// segments must reproduce it bit for bit.
+	{"segseal", chaos.Config{SegSealDropProb: 0.5, PrefetchDropProb: 0.25}},
 }
 
 // chaosModes are the run shapes: a plain run compared snapshot-for-
@@ -339,7 +346,7 @@ func FormatChaos(r *ChaosResult) string {
 	fmt.Fprintf(&b, "  span-traced runs:       %d (exports validated)\n", r.SpanRuns)
 	fmt.Fprintf(&b, "  goroutines before/after: %d/%d\n", r.GoroutinesBefore, r.GoroutinesAfter)
 	b.WriteString("  faults fired:\n")
-	for _, k := range []string{"panic", "straggler", "corrupt", "prefetch-drop"} {
+	for _, k := range []string{"panic", "straggler", "corrupt", "prefetch-drop", "segseal"} {
 		fmt.Fprintf(&b, "    %-14s %d\n", k, r.FaultCounts[k])
 	}
 	b.WriteString("  schedules by profile:")

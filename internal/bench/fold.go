@@ -105,6 +105,12 @@ func FoldBench(cfg Config) ([]FoldPoint, error) {
 	const (
 		sqlSingle = `SELECT a, COUNT(x), SUM(x), AVG(x) FROM facts GROUP BY a`
 		sqlMulti  = `SELECT a, b, COUNT(x), SUM(x), AVG(x) FROM facts GROUP BY a, b`
+		// filtered exercises the vectorized certain-WHERE kernel with a
+		// dictionary string predicate alongside a numeric compare;
+		// uncertain-where exercises the tri-state classification kernel
+		// (nested-aggregate predicate, certain/uncertain run splitting).
+		sqlFiltered  = `SELECT a, COUNT(x), SUM(x), AVG(x) FROM facts WHERE a != 'hh' AND x < 90.0 GROUP BY a`
+		sqlUncertain = `SELECT a, COUNT(x), SUM(x) FROM facts WHERE x < (SELECT 1.2 * AVG(x) FROM facts) GROUP BY a`
 	)
 	scenarios := []struct {
 		name      string
@@ -115,6 +121,8 @@ func FoldBench(cfg Config) ([]FoldPoint, error) {
 		{"single-key/sampled-all", sqlSingle, -1},
 		{"multi-key/sampled-few", sqlMulti, 0},
 		{"multi-key/sampled-all", sqlMulti, -1},
+		{"filtered/sampled-all", sqlFiltered, -1},
+		{"uncertain-where", sqlUncertain, 0},
 	}
 	cat := foldBenchCatalog(cfg.Rows, cfg.EngineSeed())
 	var out []FoldPoint

@@ -36,6 +36,10 @@ const (
 	// KindPrefetchDrop invalidates a prefetched weight buffer, forcing
 	// the feed path back to inline weight derivation.
 	KindPrefetchDrop
+	// KindSegSeal drops a block's columnar segment cache between batches,
+	// forcing an incremental re-encode plus kernel recompilation on the
+	// segment-seal seam.
+	KindSegSeal
 
 	numKinds int = iota
 )
@@ -53,6 +57,8 @@ func (k Kind) String() string {
 		return "corrupt"
 	case KindPrefetchDrop:
 		return "prefetch-drop"
+	case KindSegSeal:
+		return "segseal"
 	}
 	return fmt.Sprintf("chaos.Kind(%d)", int(k))
 }
@@ -77,6 +83,10 @@ type Config struct {
 	// PrefetchDropProb is the per-(table,batch) probability that a
 	// completed prefetch buffer is invalidated before consumption.
 	PrefetchDropProb float64
+	// SegSealDropProb is the per-(table,batch) probability that a
+	// block's columnar segment cache is dropped before the batch feeds,
+	// exercising incremental re-encode + kernel recompile mid-query.
+	SegSealDropProb float64
 	// StragglerDelay is how long an injected straggler sleeps
 	// (default 100µs — long enough to reorder goroutine scheduling,
 	// short enough for thousand-schedule soaks).
@@ -125,6 +135,7 @@ const (
 	saltCorrupt   = 0x165667B19E3779F9
 	saltPrefetch  = 0x27D4EB2F165667C5
 	saltReclass   = 0x85EBCA77C2B2AE63
+	saltSegSeal   = 0xA0761D6478BD642F
 )
 
 // siteHash folds a fault-site coordinate into one word. name
@@ -193,6 +204,19 @@ func (in *Injector) PrefetchDrop(table string, batch int) bool {
 	return false
 }
 
+// SegSealDrop reports whether the columnar segment cache of (table,
+// batch) should be dropped before the batch feeds.
+func (in *Injector) SegSealDrop(table string, batch int) bool {
+	if in == nil {
+		return false
+	}
+	if in.decide(siteHash(saltSegSeal, table, batch, 0), in.cfg.SegSealDropProb) {
+		in.counts[KindSegSeal].Add(1)
+		return true
+	}
+	return false
+}
+
 // Sleep performs an injected straggler delay.
 func (in *Injector) Sleep() {
 	if in == nil {
@@ -203,8 +227,8 @@ func (in *Injector) Sleep() {
 
 // Counts returns how many faults of each kind have fired, indexed by
 // Kind.
-func (in *Injector) Counts() [5]int64 {
-	var out [5]int64
+func (in *Injector) Counts() [6]int64 {
+	var out [6]int64
 	if in == nil {
 		return out
 	}

@@ -47,6 +47,15 @@ func (d *Dict) code(s string) uint32 {
 	return c
 }
 
+// Code looks up the code of s without assigning one. Predicate kernels
+// resolve constant strings through it: an absent string can never match
+// an equality (and can never be stored), so the caller folds the
+// comparison to a constant vector instead of growing the dictionary.
+func (d *Dict) Code(s string) (uint32, bool) {
+	c, ok := d.idx[s]
+	return c, ok
+}
+
 // Col is one column's typed bank within a segment. Exactly one of Ints,
 // Floats or Codes is populated, per the declared schema kind (BOOLEAN
 // packs into Ints as 0/1); a mixed column (see Table.Mixed) populates
@@ -95,7 +104,16 @@ type Table struct {
 	// back to the source rows for it.
 	Mixed []bool
 	src   []types.Row
+	// version counts encoding generations: Build starts at 1 and every
+	// Update (incremental or full rebuild) bumps it. Compiled kernels
+	// capture per-code tables sized to the dictionaries they saw, so
+	// consumers key cached kernels on (table pointer, version) and
+	// recompile when either moves.
+	version uint64
 }
+
+// Version returns the encoding generation (see the version field).
+func (t *Table) Version() uint64 { return t.version }
 
 // Build encodes rows (not copied; segments alias them) under the given
 // schema. segSize <= 0 selects DefaultSegmentSize.
@@ -109,6 +127,7 @@ func Build(schema types.Schema, rows []types.Row, segSize int) *Table {
 		SegSize: segSize,
 		Mixed:   make([]bool, len(schema)),
 		src:     rows,
+		version: 1,
 	}
 	for c, col := range schema {
 		if col.Type == types.KindString {
@@ -185,6 +204,72 @@ func (t *Table) buildSegment(rows []types.Row, base int) *Segment {
 		}
 	}
 	return seg
+}
+
+// Update brings the encoding up to date with rows, which must be the
+// table's current backing slice. The common case — rows extend the
+// previously encoded prefix — is handled incrementally: sealed (full)
+// segments are kept untouched (their typed banks are never rebuilt,
+// asserted by backing-pointer identity tests), only the open tail
+// segment is re-encoded together with the appended suffix, and
+// dictionary codes stay stable because re-encoding the tail replays the
+// exact first-occurrence order of a full build. A shrunk table or a
+// suffix value whose kind newly flags a column as Mixed falls back to a
+// full rebuild (Mixed banks must be absent table-wide, not per
+// segment). Either way the version advances, so cached kernels
+// recompile against the current dictionaries.
+func (t *Table) Update(rows []types.Row) {
+	t.version++
+	old := len(t.src)
+	if len(rows) < old {
+		t.rebuildAll(rows)
+		return
+	}
+	for _, row := range rows[old:] {
+		for c := range t.Schema {
+			if t.Mixed[c] || c >= len(row) {
+				continue
+			}
+			v := row[c]
+			if !v.IsNull() && v.Kind() != t.Schema[c].Type {
+				t.Mixed[c] = true
+				t.rebuildAll(rows)
+				return
+			}
+		}
+	}
+	t.src = rows
+	// Appending may have moved the backing array; re-alias every sealed
+	// segment's row window so Aligned and row-path fallbacks keep seeing
+	// the live tuples.
+	if n := len(t.Segs); n > 0 && t.Segs[n-1].N < t.SegSize {
+		t.Segs = t.Segs[:n-1] // open tail: rebuilt below with the suffix
+	}
+	for _, seg := range t.Segs {
+		seg.Rows = rows[seg.Base : seg.Base+seg.N]
+	}
+	base := 0
+	if n := len(t.Segs); n > 0 {
+		last := t.Segs[n-1]
+		base = last.Base + last.N
+	}
+	for ; base < len(rows); base += t.SegSize {
+		hi := base + t.SegSize
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		t.Segs = append(t.Segs, t.buildSegment(rows[base:hi], base))
+	}
+}
+
+// rebuildAll re-encodes from scratch, preserving the (already bumped)
+// version. The fresh dictionaries may assign different codes than the
+// incremental path would have; the version bump is what forces every
+// cached kernel to resolve its constants again.
+func (t *Table) rebuildAll(rows []types.Row) {
+	v := t.version
+	*t = *Build(t.Schema, rows, t.SegSize)
+	t.version = v
 }
 
 // NumRows returns the number of encoded rows.

@@ -1,0 +1,201 @@
+package colstore
+
+import (
+	"math/rand"
+	"testing"
+
+	"fluodb/internal/types"
+)
+
+// bankPtr returns an identity witness for a segment column's typed bank
+// (nil when the bank is empty). Incremental updates must never rebuild
+// sealed segments, which this pins by pointer, not by value.
+func bankPtr(col *Col) any {
+	switch {
+	case len(col.Ints) > 0:
+		return &col.Ints[0]
+	case len(col.Floats) > 0:
+		return &col.Floats[0]
+	case len(col.Codes) > 0:
+		return &col.Codes[0]
+	}
+	return nil
+}
+
+func checkRoundTrip(t *testing.T, ct *Table, rows []types.Row) {
+	t.Helper()
+	if ct.NumRows() != len(rows) {
+		t.Fatalf("NumRows=%d want %d", ct.NumRows(), len(rows))
+	}
+	var buf types.Row
+	for g := range rows {
+		buf = ct.Row(g, buf)
+		for c := range ct.Schema {
+			orig, got := rows[g][c], buf[c]
+			if orig.IsNull() != got.IsNull() || (!orig.IsNull() && !types.Equal(orig, got)) {
+				t.Fatalf("row %d col %d: got %v want %v", g, c, got, orig)
+			}
+		}
+	}
+}
+
+// TestColstoreUpdateIncremental: growing the source rows re-encodes only
+// the open tail; sealed segment banks keep their backing arrays, rows
+// re-alias the (possibly moved) source array, and the whole table still
+// round-trips.
+func TestColstoreUpdateIncremental(t *testing.T) {
+	schema := types.NewSchema("a", types.KindInt, "f", types.KindFloat, "s", types.KindString)
+	rng := rand.New(rand.NewSource(42))
+	mk := func(i int) types.Row {
+		return types.Row{
+			types.NewInt(int64(i % 13)),
+			types.NewFloat(rng.Float64() * 10),
+			types.NewString([]string{"x", "y", "z"}[i%3]),
+		}
+	}
+	rows := make([]types.Row, 0, 40)
+	for i := 0; i < 40; i++ {
+		rows = append(rows, mk(i))
+	}
+	ct := Build(schema, rows, 16) // 2 sealed + open tail of 8
+	if len(ct.Segs) != 3 {
+		t.Fatalf("want 3 segments, got %d", len(ct.Segs))
+	}
+	v0 := ct.Version()
+	sealed := make([][]any, 2)
+	for s := 0; s < 2; s++ {
+		for c := range schema {
+			sealed[s] = append(sealed[s], bankPtr(&ct.Segs[s].Cols[c]))
+		}
+	}
+	// Force the backing array to move so the re-aliasing path is real.
+	grown := make([]types.Row, 0, 200)
+	grown = append(grown, rows...)
+	for i := 40; i < 100; i++ {
+		grown = append(grown, mk(i))
+	}
+	ct.Update(grown)
+
+	if ct.Version() <= v0 {
+		t.Fatalf("version must advance: %d -> %d", v0, ct.Version())
+	}
+	if len(ct.Segs) != 7 { // 100/16 -> 6 sealed + tail of 4
+		t.Fatalf("want 7 segments, got %d", len(ct.Segs))
+	}
+	for s := 0; s < 2; s++ {
+		for c := range schema {
+			if got := bankPtr(&ct.Segs[s].Cols[c]); got != sealed[s][c] {
+				t.Fatalf("sealed segment %d col %d bank was rebuilt", s, c)
+			}
+		}
+	}
+	for _, seg := range ct.Segs {
+		if !ct.Aligned(seg.Rows, seg.Base) {
+			t.Fatalf("segment at base %d does not alias the live rows", seg.Base)
+		}
+	}
+	checkRoundTrip(t, ct, grown)
+}
+
+// TestColstoreUpdateSealsFullTail: a tail that is exactly full counts as
+// sealed — a later Update must not rebuild it.
+func TestColstoreUpdateSealsFullTail(t *testing.T) {
+	schema := types.NewSchema("a", types.KindInt)
+	rows := make([]types.Row, 0, 64)
+	for i := 0; i < 32; i++ {
+		rows = append(rows, types.Row{types.NewInt(int64(i))})
+	}
+	ct := Build(schema, rows, 16) // two exactly-full segments
+	p0 := bankPtr(&ct.Segs[0].Cols[0])
+	p1 := bankPtr(&ct.Segs[1].Cols[0])
+	rows = append(rows, types.Row{types.NewInt(99)})
+	ct.Update(rows)
+	if bankPtr(&ct.Segs[0].Cols[0]) != p0 || bankPtr(&ct.Segs[1].Cols[0]) != p1 {
+		t.Fatal("full tail segment was rebuilt on append")
+	}
+	if len(ct.Segs) != 3 || ct.Segs[2].N != 1 {
+		t.Fatalf("want new 1-row tail, got %d segs (last N=%d)",
+			len(ct.Segs), ct.Segs[len(ct.Segs)-1].N)
+	}
+	checkRoundTrip(t, ct, rows)
+}
+
+// TestColstoreUpdateDictStable: incremental updates keep existing
+// dictionary codes and assign new strings the same codes a full rebuild
+// would (suffix scan order = full scan order for fresh strings).
+func TestColstoreUpdateDictStable(t *testing.T) {
+	schema := types.NewSchema("s", types.KindString)
+	words := []string{"x", "y", "z"}
+	rows := make([]types.Row, 0, 50)
+	for i := 0; i < 20; i++ {
+		rows = append(rows, types.Row{types.NewString(words[i%3])})
+	}
+	ct := Build(schema, rows, 8)
+	before := map[string]uint32{}
+	for s, w := range ct.Dicts[0].Vals {
+		before[w] = uint32(s)
+	}
+	for i := 20; i < 50; i++ {
+		w := words[i%3]
+		if i%7 == 0 {
+			w = "fresh-" + words[i%3]
+		}
+		rows = append(rows, types.Row{types.NewString(w)})
+	}
+	ct.Update(rows)
+	for w, c := range before {
+		if got, ok := ct.Dicts[0].Code(w); !ok || got != c {
+			t.Fatalf("code of %q moved: %d -> %d (ok=%v)", w, c, got, ok)
+		}
+	}
+	ref := Build(schema, rows, 8)
+	if len(ref.Dicts[0].Vals) != len(ct.Dicts[0].Vals) {
+		t.Fatalf("dict size %d, full rebuild gives %d",
+			len(ct.Dicts[0].Vals), len(ref.Dicts[0].Vals))
+	}
+	for s, w := range ref.Dicts[0].Vals {
+		if ct.Dicts[0].Vals[s] != w {
+			t.Fatalf("code %d: %q vs full rebuild %q", s, ct.Dicts[0].Vals[s], w)
+		}
+	}
+	checkRoundTrip(t, ct, rows)
+}
+
+// TestColstoreUpdateMixedFlip: a suffix value of the wrong kind flips
+// the column to Mixed, which forces a full rebuild (banks must be absent
+// table-wide) — and the table still round-trips through the row
+// fallback.
+func TestColstoreUpdateMixedFlip(t *testing.T) {
+	schema := types.NewSchema("a", types.KindInt)
+	rows := make([]types.Row, 0, 40)
+	for i := 0; i < 30; i++ {
+		rows = append(rows, types.Row{types.NewInt(int64(i))})
+	}
+	ct := Build(schema, rows, 16)
+	v0 := ct.Version()
+	rows = append(rows, types.Row{types.NewString("stray")})
+	ct.Update(rows)
+	if !ct.Mixed[0] {
+		t.Fatal("column must be flagged Mixed after wrong-kind append")
+	}
+	if ct.Version() <= v0 {
+		t.Fatal("version must advance across a mixed-flip rebuild")
+	}
+	checkRoundTrip(t, ct, rows)
+}
+
+// TestColstoreUpdateShrink: a shorter source (truncation) falls back to
+// a full rebuild.
+func TestColstoreUpdateShrink(t *testing.T) {
+	schema := types.NewSchema("a", types.KindInt)
+	rows := make([]types.Row, 0, 40)
+	for i := 0; i < 40; i++ {
+		rows = append(rows, types.Row{types.NewInt(int64(i))})
+	}
+	ct := Build(schema, rows, 16)
+	ct.Update(rows[:10])
+	if len(ct.Segs) != 1 || ct.Segs[0].N != 10 {
+		t.Fatalf("want one 10-row segment, got %d segs", len(ct.Segs))
+	}
+	checkRoundTrip(t, ct, rows[:10])
+}

@@ -54,6 +54,66 @@ func TestChaosAllFaultKinds(t *testing.T) {
 	compareSnapshots(t, "mixed-chaos", clean, faulty)
 }
 
+// TestChaosSegSealDrop injects columnar segment-cache drops on the
+// incremental seal seam: the sealed segments are released mid-query,
+// the plan revalidation re-encodes them (recompiling the kernels
+// against the fresh encoding), and the run stays bit-identical to a
+// fault-free run with the columnar path still engaged at the end.
+func TestChaosSegSealDrop(t *testing.T) {
+	cat := columnarCatalog(6*2048, 319)
+	sql := `SELECT a, COUNT(x), SUM(x), AVG(x) FROM facts
+		WHERE x < (SELECT 0.8 * AVG(x) FROM facts) GROUP BY a`
+	o := Options{Batches: 6, Trials: 32, Seed: 411,
+		Parallelism: 2, ParallelThreshold: 128}
+	clean := runSnapshots(t, cat, sql, o)
+
+	inj := chaos.New(chaos.Config{Seed: 5, SegSealDropProb: 0.5})
+	tr := NewTracer(0)
+	of := o
+	of.Chaos = inj
+	of.Tracer = tr
+	q, err := plan.Compile(sql, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(q, cat, of)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	var faulty []*Snapshot
+	for !eng.Done() {
+		s, err := eng.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		faulty = append(faulty, s)
+	}
+	if inj.Counts()[chaos.KindSegSeal] == 0 {
+		t.Fatal("injector never dropped a segment cache; test exercised nothing")
+	}
+	compareSnapshots(t, "segseal-chaos", clean, faulty)
+	r := eng.runners[len(eng.runners)-1]
+	if !r.colPl.ok || r.colPl.ct == nil {
+		t.Fatal("columnar plan did not re-engage after a segment-cache drop")
+	}
+	segFaults, colPlans := 0, 0
+	for _, ev := range tr.Events() {
+		if ev.Kind == EvFault && ev.Key == "segseal" {
+			segFaults++
+		}
+		if ev.Kind == EvColPlan && ev.Block == r.b.ID && ev.Note == "columnar:fused" {
+			colPlans++
+		}
+	}
+	if colPlans != 1 {
+		t.Fatalf("EvColPlan(columnar:fused) events for root = %d, want 1", colPlans)
+	}
+	if segFaults == 0 {
+		t.Fatal("segseal drops fired but no EvFault(segseal) events traced")
+	}
+}
+
 // TestPoolSubmitAfterStop pins the satellite fix: submission to a
 // stopped pool returns the typed sentinel instead of panicking on a
 // closed channel.

@@ -10,31 +10,54 @@ import (
 )
 
 // The columnar fold path. When a block's mini-batch hot loop is shaped
-// right — no dimension joins, banked (all-CLT) aggregates, plain-column
-// group keys and aggregate arguments, a vectorizable certain WHERE —
-// each shard sweeps whole colstore segments instead of walking boxed
-// rows: the predicate runs as a compiled kernel into a tri-state vector,
-// the selection feeds the banked accumulators straight from the typed
-// banks, and group keys resolve through a word-code memo that touches
-// the canonical (hash + KeyEqual) path once per distinct key per sweep.
+// right — banked (all-CLT) aggregates over fact columns, plain-column
+// group keys, dimension joins keyed on plain fact columns, a
+// vectorizable certain WHERE, and (when present) an uncertain WHERE
+// whose tri-state classification compiles — each shard sweeps whole
+// colstore segments instead of walking boxed rows: the certain
+// predicate runs as a compiled kernel, the uncertain predicate as a
+// compiled tri-state kernel under the batch's injected variation
+// ranges, and the surviving rows split into certainly-in / uncertain
+// runs. Certainly-in rows feed the banked accumulators straight from
+// the typed banks; group keys resolve through a word-code memo that
+// touches the canonical (hash + KeyEqual) path once per distinct key
+// per sweep, and dimension fan-out resolves through a persistent join
+// memo keyed by the same word codes (dimension tables are read once and
+// never change mid-query, so the (key → joined rows) expansion is a
+// pure function of the key words).
 //
 // The path is strictly an execution strategy, never a semantics change:
 // every accumulator cell receives the same float additions in the same
 // ascending-row order as the row path, groups are created at the same
 // first-occurrence positions, bootstrap weights/subsample membership are
-// the same pure counter hashes, and uncertain rows alias the same source
-// tuples — so snapshots, CIs and uncertain sets are bit-identical
-// (pinned by TestColumnarBitIdentical across seeds and parallelism).
-// Anything outside the shape falls back per batch (or per block) to the
-// row path; Options.RowPath forces the fallback globally.
+// the same pure counter hashes, and uncertain rows carry the same
+// joined lineage — so snapshots, CIs and uncertain sets are
+// bit-identical (pinned by TestColumnarBitIdentical across seeds and
+// parallelism). Anything outside the shape falls back per batch (or per
+// block, with the disqualifying reason recorded on the plan) to the row
+// path; Options.RowPath forces the fallback globally.
 
 // colPlan is a block's columnar eligibility decision plus the resolved
 // column layout, built once on the controller and shared read-only by
 // all workers.
 type colPlan struct {
 	ok bool
-	ct *colstore.Table
-	// gbCols is the fact-schema column of each GROUP BY expression.
+	// reason records the eligibility verdict: the disqualifying shape
+	// when !ok, the engaged flavor when ok (see verdict()).
+	reason string
+	ct     *colstore.Table
+	// hasDims marks a block with dimension joins: group entries resolve
+	// per joined row through the join memo (colEntries), and fusing is
+	// off.
+	hasDims bool
+	// memoCols are the deduplicated fact columns whose word codes key
+	// both the group memo and the join memo for dims blocks: every dim
+	// join key plus every fact-side group-by column. Rows equal on these
+	// words have identical join fan-out, dim-side key values and
+	// fact-side key values — so they fold into the same entry list.
+	memoCols []int
+	// gbCols is the joined-schema column of each GROUP BY expression
+	// (fact-schema when the block has no dims).
 	gbCols []int
 	// aggCols is the fact-schema column of each aggregate argument, -1
 	// for constant arguments; aggFloats flags float banks (else int).
@@ -65,6 +88,17 @@ type colPlan struct {
 	fusePrimV int
 }
 
+// verdict renders the plan's eligibility for traces and reports.
+func (p *colPlan) verdict() string {
+	if p == nil {
+		return "unplanned"
+	}
+	if p.ok {
+		return p.reason
+	}
+	return "rowpath:" + p.reason
+}
+
 // ensureColPlan builds the block's columnar plan on first use. Must run
 // on the controller goroutine before workers are submitted (workers
 // share the runner shallowly and read the plan pointer).
@@ -75,32 +109,105 @@ func (r *blockRunner) ensureColPlan() {
 	r.colPl = r.buildColPlan()
 }
 
+// revalidateColPlan re-acquires the columnar encoding after a fault
+// dropped it mid-query (chaos segment-seal faults null the plan's table
+// but leave the plan valid). Controller-only, between feeds. The
+// re-acquired encoding derives its dictionaries from the same rows in
+// the same order, so word codes match the dropped one; per-sweeper
+// kernels recompile through the identity/version gate in colFeed. The
+// memory-budget ladder instead clears ok, which this never resurrects.
+func (r *blockRunner) revalidateColPlan() {
+	p := r.colPl
+	if p == nil || !p.ok || p.ct != nil {
+		return
+	}
+	if tbl, ok := r.eng.cat.Get(r.b.Input.Fact); ok {
+		p.ct = tbl.Columnar()
+	}
+}
+
 func (r *blockRunner) buildColPlan() *colPlan {
 	p := &colPlan{}
 	e := r.eng
 	b := r.b
-	if e.opt.RowPath || len(b.Dims) > 0 || !r.tab.banked || len(b.Aggs) == 0 {
+	switch {
+	case e.opt.RowPath:
+		p.reason = "forced"
+		return p
+	case len(b.Aggs) == 0:
+		p.reason = "agg:none"
+		return p
+	case !r.tab.banked:
+		p.reason = "agg:not-estimable"
 		return p
 	}
 	tbl, ok := e.cat.Get(b.Input.Fact)
 	if !ok {
+		p.reason = "input:no-fact-table"
 		return p
 	}
 	ct := tbl.Columnar()
+	factW := len(ct.Schema)
 	clean := func(idx int) bool {
-		return idx >= 0 && idx < len(ct.Schema) && !ct.Mixed[idx]
+		return idx >= 0 && idx < factW && !ct.Mixed[idx]
 	}
-	for _, g := range b.GroupBy {
-		c, isCol := g.(*expr.Col)
-		if !isCol || !clean(c.Idx) {
+	// Dimension joins: every join key must be a plain clean fact column,
+	// so the (key, dim) expansion is a pure function of the key word
+	// codes and memoizable per distinct combination (colEntries).
+	// Chained keys (reading an earlier dim's columns) stay on the row
+	// path.
+	p.hasDims = len(b.Dims) > 0
+	inMemo := map[int]bool{}
+	for _, d := range b.Dims {
+		c, isCol := d.LeftKey.(*expr.Col)
+		if !isCol {
+			p.reason = "join:expr-key"
 			return p
 		}
+		if c.Idx < 0 || c.Idx >= factW {
+			p.reason = "join:chained"
+			return p
+		}
+		if !clean(c.Idx) {
+			p.reason = "join:mixed-column"
+			return p
+		}
+		if !inMemo[c.Idx] {
+			inMemo[c.Idx] = true
+			p.memoCols = append(p.memoCols, c.Idx)
+		}
+	}
+	width := len(b.Input.Schema)
+	for _, g := range b.GroupBy {
+		c, isCol := g.(*expr.Col)
+		if !isCol || c.Idx < 0 || c.Idx >= width {
+			p.reason = "group:expr-key"
+			return p
+		}
+		if c.Idx < factW {
+			if !clean(c.Idx) {
+				p.reason = "group:mixed-column"
+				return p
+			}
+			if p.hasDims && !inMemo[c.Idx] {
+				inMemo[c.Idx] = true
+				p.memoCols = append(p.memoCols, c.Idx)
+			}
+		}
+		// Dim-side keys need no gate of their own: they are read from the
+		// memoized joined rows, whose dim part is a pure function of the
+		// memo key columns.
 		p.gbCols = append(p.gbCols, c.Idx)
 	}
 	for i := range b.Aggs {
 		switch a := b.Aggs[i].Arg.(type) {
 		case *expr.Col:
+			if a.Idx >= factW {
+				p.reason = "agg:dim-column"
+				return p
+			}
 			if !clean(a.Idx) {
+				p.reason = "agg:mixed-column"
 				return p
 			}
 			k := ct.Schema[a.Idx].Type
@@ -108,6 +215,7 @@ func (r *blockRunner) buildColPlan() *colPlan {
 			// need a numeric/bool bank (strings would never fold anyway, but
 			// keeping them on the row path avoids a do-nothing special case).
 			if r.cltKinds[i] != cltCount && k != types.KindInt && k != types.KindFloat && k != types.KindBool {
+				p.reason = "agg:non-numeric"
 				return p
 			}
 			p.aggCols = append(p.aggCols, a.Idx)
@@ -123,10 +231,21 @@ func (r *blockRunner) buildColPlan() *colPlan {
 			p.aggConstF = append(p.aggConstF, f)
 			p.aggConstOK = append(p.aggConstOK, fok)
 		default:
+			p.reason = "agg:expr-arg"
 			return p
 		}
 	}
 	if r.certainWhere != nil && expr.CompileKernel(r.certainWhere, ct) == nil {
+		p.reason = "where:uncompilable"
+		return p
+	}
+	// Without dims, an uncompilable uncertain predicate degrades to the
+	// per-row classification inside the sweep (variant B in colFeed);
+	// with dims the sweep classifies fact rows before joining, which is
+	// only sound through the (fact-column-only, by construction)
+	// tri-state kernel.
+	if p.hasDims && r.uncertainWhere != nil && expr.CompileTriKernel(r.uncertainWhere, ct) == nil {
+		p.reason = "uncertain:uncompilable"
 		return p
 	}
 	p.ct = ct
@@ -166,8 +285,9 @@ func (r *blockRunner) buildColPlan() *colPlan {
 	r.tab.bankOfV = p.aliasV
 
 	// Fused-kernel eligibility: one shared plain column means one W
-	// stream (owned by aggregate 0) and at most one V stream.
-	p.fuse = true
+	// stream (owned by aggregate 0) and at most one V stream. Dims
+	// blocks fold once per joined row, so they keep the generic loop.
+	p.fuse = !p.hasDims
 	p.fuseCol = p.aggCols[0]
 	p.fusePrimV = -1
 	for i, c := range p.aggCols {
@@ -179,46 +299,104 @@ func (r *blockRunner) buildColPlan() *colPlan {
 			p.fusePrimV = i
 		}
 	}
+	switch {
+	case p.fuse:
+		p.reason = "columnar:fused"
+	case p.hasDims:
+		p.reason = "columnar:dims"
+	default:
+		p.reason = "columnar"
+	}
 	return p
 }
 
 // colScratch is one sweeper's (serial runner or worker shard) reusable
-// columnar state: the compiled kernel (per-sweeper — kernels own scratch
-// and are not goroutine-safe), tri/selection vectors, weight scratch,
-// and the group-key word memo.
+// columnar state: the compiled kernels (per-sweeper — kernels own
+// scratch and are not goroutine-safe), tri/selection vectors, weight
+// scratch, the group-key word memo, and the persistent join memo.
 type colScratch struct {
-	kernel     *expr.Kernel
-	kernelInit bool
-	tri        []uint8
-	sel        []int32
-	wf         []float64
-	wbuf       []uint8
+	// kernel/triK are recompiled whenever the columnar encoding they
+	// were lowered against changes identity or version: incremental
+	// appends grow dictionaries (a previously-absent string constant may
+	// now have a code), and chaos/budget faults swap the table. The gate
+	// compares (kernelCT, kernelVer) against the plan's table in colFeed.
+	kernel    *expr.Kernel
+	triK      *expr.TriKernel
+	kernelCT  *colstore.Table
+	kernelVer uint64
+	tri       []uint8
+	triU      []uint8
+	sel       []int32
+	selU      []int32
+	wf        []float64
+	wbuf      []uint8
 	// Group memo: open-addressed map from the key's word codes (one
-	// 64-bit physical code per group-by column plus a null-bit word) to
-	// the resolved table entry. Word codes are equal for identical stored
-	// values but may differ for values that merely compare equal (-0.0
-	// vs 0.0), so a memo miss resolves through the canonical
-	// entryCurrent path — the memo is pure memoization, never identity.
-	memoKeys    []uint64 // stride = len(gbCols)+1
-	memoSlots   []int32  // 1-based into memoEntries/memoKeys rows
+	// 64-bit physical code per memo column plus a null-bit word) to the
+	// resolved table entry (no-dims: memoEntries) or entry list (dims:
+	// entArena[memoOff:memoOff+memoCnt]). Word codes are equal for
+	// identical stored values but may differ for values that merely
+	// compare equal (-0.0 vs 0.0), so a memo miss resolves through the
+	// canonical entryCurrent path — the memo is pure memoization, never
+	// identity. Reset per sweep: entries are recycled between batches.
+	memoKeys    []uint64 // stride = len(memo key columns)+1
+	memoSlots   []int32  // 1-based into memo rows
 	memoMask    uint64
 	memoEntries []*onlineEntry
-	sole        *onlineEntry // cached sole entry of scalar blocks
+	memoOff     []int32
+	memoCnt     []int32
+	entArena    []*onlineEntry
+	// Join memo: word codes → retained joined rows (jRows[jOff:jOff+jCnt])
+	// for dims blocks. Dimension hash tables are built once per query and
+	// never change, so the expansion of a fact key combination is stable:
+	// this memo persists across sweeps and batches, cleared only with the
+	// kernels (its keys are dictionary codes). Only memo-key columns and
+	// the dim extensions of a retained row are ever read — the rest of
+	// its fact part belongs to the first-occurrence row and may differ
+	// from the current row's.
+	jKeys  []uint64
+	jSlots []int32
+	jMask  uint64
+	jOff   []int32
+	jCnt   []int32
+	jRows  []types.Row
+	sole   *onlineEntry // cached sole entry of scalar blocks
 	// sweeps counts columnar segment sweeps (observability for tests and
 	// the alloc gate: proves the fast path actually engaged).
 	sweeps int64
 }
 
-// memoReset clears the memo for a new sweep. Entries may be recycled by
-// shard tables between batches, so cached pointers never outlive the
-// colFeed call that resolved them.
+// memoReset clears the group memo for a new sweep. Entries may be
+// recycled by shard tables between batches, so cached pointers never
+// outlive the colFeed call that resolved them. The join memo is NOT
+// reset here: joined rows stay valid as long as the encoding does.
 func (cs *colScratch) memoReset() {
 	for i := range cs.memoSlots {
 		cs.memoSlots[i] = 0
 	}
 	cs.memoKeys = cs.memoKeys[:0]
 	cs.memoEntries = cs.memoEntries[:0]
+	cs.memoOff = cs.memoOff[:0]
+	cs.memoCnt = cs.memoCnt[:0]
+	for i := range cs.entArena {
+		cs.entArena[i] = nil
+	}
+	cs.entArena = cs.entArena[:0]
 	cs.sole = nil
+}
+
+// jreset clears the join memo (the encoding changed: dictionary codes
+// may have moved, so the cached words are meaningless).
+func (cs *colScratch) jreset() {
+	for i := range cs.jSlots {
+		cs.jSlots[i] = 0
+	}
+	cs.jKeys = cs.jKeys[:0]
+	cs.jOff = cs.jOff[:0]
+	cs.jCnt = cs.jCnt[:0]
+	for i := range cs.jRows {
+		cs.jRows[i] = nil
+	}
+	cs.jRows = cs.jRows[:0]
 }
 
 func (cs *colScratch) memoGrow(stride int) {
@@ -235,13 +413,39 @@ func (cs *colScratch) memoGrow(stride int) {
 		cs.memoSlots = make([]int32, n)
 	}
 	cs.memoMask = uint64(n - 1)
-	for e := 0; e < len(cs.memoEntries); e++ {
+	rows := len(cs.memoKeys) / stride
+	for e := 0; e < rows; e++ {
 		h := memoHash(cs.memoKeys[e*stride : (e+1)*stride])
 		i := h & cs.memoMask
 		for cs.memoSlots[i] != 0 {
 			i = (i + 1) & cs.memoMask
 		}
 		cs.memoSlots[i] = int32(e + 1)
+	}
+}
+
+func (cs *colScratch) jGrow(stride int) {
+	n := len(cs.jSlots) * 2
+	if n < 64 {
+		n = 64
+	}
+	if cap(cs.jSlots) >= n {
+		cs.jSlots = cs.jSlots[:n]
+		for i := range cs.jSlots {
+			cs.jSlots[i] = 0
+		}
+	} else {
+		cs.jSlots = make([]int32, n)
+	}
+	cs.jMask = uint64(n - 1)
+	rows := len(cs.jKeys) / stride
+	for e := 0; e < rows; e++ {
+		h := memoHash(cs.jKeys[e*stride : (e+1)*stride])
+		i := h & cs.jMask
+		for cs.jSlots[i] != 0 {
+			i = (i + 1) & cs.jMask
+		}
+		cs.jSlots[i] = int32(e + 1)
 	}
 }
 
@@ -256,21 +460,40 @@ func memoHash(words []uint64) uint64 {
 // colFeed sweeps rows[0:len) (= global rows baseIdx..) through the
 // columnar classify+fold path into the given targets. It returns false
 // — having touched nothing — when the batch is not aligned with the
-// columnar cache, letting the caller fall back to the row loop.
+// columnar cache (or the kernels no longer compile against it), letting
+// the caller fall back to the row loop.
 func (r *blockRunner) colFeed(rows []types.Row, baseIdx int, ts *tableStream, te *triEnv, tab *onlineTable, uncertain *[]uncertainRow, arena *weightArena, folds *int64, acc *phaseAcc, cs *colScratch, pf *weightPrefetch) bool {
 	p := r.colPl
 	if p == nil || !p.ok || cs == nil {
 		return false
 	}
 	ct := p.ct
-	if !ct.Aligned(rows, baseIdx) {
+	if ct == nil || !ct.Aligned(rows, baseIdx) {
 		return false
 	}
-	if r.certainWhere != nil && !cs.kernelInit {
-		cs.kernel = expr.CompileKernel(r.certainWhere, ct)
-		cs.kernelInit = true
+	// (Re)compile the kernels when the encoding changed identity or
+	// version: incremental appends grow dictionaries (constants that had
+	// no code may have one now; compiled code tables are sized to the
+	// old dictionary), and fault recovery swaps the table wholesale. The
+	// join memo keys by dictionary codes, so it resets with the kernels.
+	if cs.kernelCT != ct || cs.kernelVer != ct.Version() {
+		cs.kernel, cs.triK = nil, nil
+		if r.certainWhere != nil {
+			cs.kernel = expr.CompileKernel(r.certainWhere, ct)
+		}
+		if r.uncertainWhere != nil {
+			cs.triK = expr.CompileTriKernel(r.uncertainWhere, ct)
+		}
+		cs.jreset()
+		cs.kernelCT, cs.kernelVer = ct, ct.Version()
 	}
 	if r.certainWhere != nil && cs.kernel == nil {
+		return false
+	}
+	// Tri-state kernels replicate evalTri only under row-free parameter
+	// ranges; set-block HAVING classification (rowRanges) stays per-row.
+	useTri := cs.triK != nil && te.rowRanges == nil
+	if p.hasDims && r.uncertainWhere != nil && !useTri {
 		return false
 	}
 	if len(rows) == 0 {
@@ -283,6 +506,9 @@ func (r *blockRunner) colFeed(rows []types.Row, baseIdx int, ts *tableStream, te
 	if cap(cs.tri) < ct.SegSize {
 		cs.tri = make([]uint8, ct.SegSize)
 	}
+	if useTri && cap(cs.triU) < ct.SegSize {
+		cs.triU = make([]uint8, ct.SegSize)
+	}
 	if cap(cs.wf) < trials {
 		cs.wf = make([]float64, trials)
 	}
@@ -291,24 +517,27 @@ func (r *blockRunner) colFeed(rows []types.Row, baseIdx int, ts *tableStream, te
 	}
 	cs.memoReset()
 	tab.initKeyScratch(r.b)
+	if useTri {
+		// Inject the batch's variation ranges for the row-free parameter
+		// sides of the uncertain predicate (constant within a batch).
+		for s, pe := range cs.triK.Slots() {
+			pr := te.evalRange(pe, nil)
+			cs.triK.SetRange(s, pr.r.Lo, pr.r.Hi, uint8(pr.status))
+		}
+	}
 
-	// Direct float-weight generation (skipping the uint8 round trip) is
-	// only safe when nothing can retain uint8 weights: an uncertain
-	// classification must hold the exact byte vector.
-	directWeights := r.uncertainWhere == nil && pf == nil
 	// wlut maps a Poisson(1) multiplicity (≤ 8; 16 slots so the masked
 	// index elides bounds checks) to its pre-scaled float weight — the
 	// identical float64(k)·repW product the row path computes per draw.
+	// Every certainly-folded row consumes its weights only as these
+	// floats, so the uint8 round trip survives solely for rows that stay
+	// uncertain (their byte vectors are retained) and for prefetched
+	// batches — the direct path re-qualifies per row, not per plan.
 	var wlut [16]float64
-	if directWeights {
-		for k := range wlut {
-			wlut[k] = float64(k) * ts.invP
-		}
+	for k := range wlut {
+		wlut[k] = float64(k) * ts.invP
 	}
-	// The fused kernel folds weight generation into the bank loop; the
-	// profiled path keeps the split loops so phase attribution (weights
-	// vs fold) stays meaningful.
-	fused := p.fuse && directWeights && !prof
+	fused := p.fuse && pf == nil && !prof && (r.uncertainWhere == nil || useTri)
 
 	g := baseIdx
 	end := baseIdx + len(rows)
@@ -325,11 +554,32 @@ func (r *blockRunner) colFeed(rows []types.Row, baseIdx int, ts *tableStream, te
 		if prof {
 			t0 = time.Now()
 		}
-		// Classify the whole segment range in one kernel pass; the
-		// selection preserves ascending row order, which is what keeps
-		// accumulator addition sequences identical to the row loop.
+		// Classify the whole segment range in one pass per kernel; the
+		// selections preserve ascending row order, which is what keeps
+		// accumulator addition sequences, group creation order and the
+		// uncertain cache identical to the row loop. Rows failing the
+		// certain filter are gone; survivors split into certainly-in
+		// (sel) and uncertain (selU) runs.
 		sel := cs.sel[:0]
-		if cs.kernel != nil {
+		selU := cs.selU[:0]
+		switch {
+		case cs.kernel != nil && useTri:
+			tri := cs.tri[:seg.N]
+			cs.kernel.EvalInto(tri, seg, lo, hi)
+			tu := cs.triU[:seg.N]
+			cs.triK.EvalInto(tu, seg, lo, hi)
+			for i := lo; i < hi; i++ {
+				if tri[i] != expr.TriTrue {
+					continue
+				}
+				switch tu[i] {
+				case expr.TriTrue:
+					sel = append(sel, int32(i))
+				case expr.TriNull:
+					selU = append(selU, int32(i))
+				}
+			}
+		case cs.kernel != nil:
 			tri := cs.tri[:seg.N]
 			cs.kernel.EvalInto(tri, seg, lo, hi)
 			for i := lo; i < hi; i++ {
@@ -337,18 +587,31 @@ func (r *blockRunner) colFeed(rows []types.Row, baseIdx int, ts *tableStream, te
 					sel = append(sel, int32(i))
 				}
 			}
-		} else {
+		case useTri:
+			tu := cs.triU[:seg.N]
+			cs.triK.EvalInto(tu, seg, lo, hi)
+			for i := lo; i < hi; i++ {
+				switch tu[i] {
+				case expr.TriTrue:
+					sel = append(sel, int32(i))
+				case expr.TriNull:
+					selU = append(selU, int32(i))
+				}
+			}
+		default:
 			for i := lo; i < hi; i++ {
 				sel = append(sel, int32(i))
 			}
 		}
-		cs.sel = sel
+		cs.sel, cs.selU = sel, selU
 		if prof {
 			t1 := time.Now()
 			acc.ns[phaseClassify] += int64(t1.Sub(t0))
 		}
 
 		if fused {
+			// The uncertain run (selU) still executes below: fusing only
+			// collapses the certainly-in folds.
 			for _, si := range sel {
 				i := int(si)
 				gi := seg.Base + i
@@ -357,65 +620,58 @@ func (r *blockRunner) colFeed(rows []types.Row, baseIdx int, ts *tableStream, te
 					ts.weightBase+uint64(gi)*uint64(trials), &wlut)
 				*folds++
 			}
-			continue
-		}
-
-		for _, si := range sel {
-			i := int(si)
-			gi := seg.Base + i
-			if prof {
-				t0 = time.Now()
-			}
-			// Subsample membership + per-trial weights: the same pure
-			// counter hashes as the row path, computed only for rows that
-			// survived the certain filter (they are per-row pure, so
-			// skipping filtered rows changes nothing).
-			var weights []uint8
-			var wf []float64
-			repW := 0.0
-			if pf != nil {
-				if ri := gi - pf.start; pf.sampled[ri] {
-					weights = pf.weights[ri*trials : (ri+1)*trials]
-					repW = ts.invP
+		} else if r.uncertainWhere != nil && !useTri {
+			// Variant B: the uncertain predicate did not compile, so each
+			// certain-filtered row classifies through the interpreted
+			// evalTri — decided BEFORE weight materialization (both are
+			// pure per-row functions, so the reorder changes no value):
+			// certainly-out rows skip weight generation entirely, and
+			// certainly-in rows take the direct float path.
+			for _, si := range sel {
+				i := int(si)
+				gi := seg.Base + i
+				if prof {
+					t0 = time.Now()
 				}
-			} else if e.sampled(ts, gi) {
-				repW = ts.invP
-				if directWeights {
-					// Fold-only consumption: prescale straight to floats via
-					// the lut. float64(uint8(p)) == float64(p) for the Poisson
-					// range, so the accumulator additions are bit-identical.
-					wf = cs.wf[:trials]
-					base := ts.weightBase + uint64(gi)*uint64(trials)
-					for j := range wf {
-						wf[j] = wlut[bootstrap.PoissonAt(base+uint64(j))&15]
-					}
-				} else {
-					cs.wbuf = e.weightsInto(cs.wbuf, ts, gi)
-					weights = cs.wbuf
+				d := te.evalTri(r.uncertainWhere, seg.Rows[i])
+				if prof {
+					t1 := time.Now()
+					acc.ns[phaseClassify] += int64(t1.Sub(t0))
+					t0 = t1
 				}
-			}
-			if repW > 0 && wf == nil && len(weights) > 0 {
-				wf = cs.wf[:len(weights)]
-				for j, w := range weights {
-					wf[j] = float64(w) * repW
-				}
-			}
-			if prof {
-				t1 := time.Now()
-				acc.ns[phaseWeights] += int64(t1.Sub(t0))
-				t0 = t1
-			}
-
-			if r.uncertainWhere != nil {
-				switch te.evalTri(r.uncertainWhere, seg.Rows[i]) {
-				case triTrue:
-					// fall through to fold below
-				case triFalse:
-					if prof {
-						acc.ns[phaseClassify] += int64(time.Since(t0))
-					}
+				if d == triFalse {
 					continue
-				default:
+				}
+				repW := 0.0
+				var weights []uint8
+				var wf []float64
+				if pf != nil {
+					if ri := gi - pf.start; pf.sampled[ri] {
+						weights = pf.weights[ri*trials : (ri+1)*trials]
+						repW = ts.invP
+					}
+				} else if e.sampled(ts, gi) {
+					repW = ts.invP
+					if d == triTrue {
+						// Fold-only consumption: prescale straight to floats via
+						// the lut. float64(uint8(p)) == float64(p) for the Poisson
+						// range, so the accumulator additions are bit-identical.
+						wf = cs.wf[:trials]
+						base := ts.weightBase + uint64(gi)*uint64(trials)
+						for j := range wf {
+							wf[j] = wlut[bootstrap.PoissonAt(base+uint64(j))&15]
+						}
+					} else {
+						cs.wbuf = e.weightsInto(cs.wbuf, ts, gi)
+						weights = cs.wbuf
+					}
+				}
+				if prof {
+					t1 := time.Now()
+					acc.ns[phaseWeights] += int64(t1.Sub(t0))
+					t0 = t1
+				}
+				if d != triTrue {
 					*uncertain = append(*uncertain, uncertainRow{
 						row: seg.Rows[i], weights: arena.hold(weights), repW: repW})
 					r.sampledIdxValid = false
@@ -424,18 +680,109 @@ func (r *blockRunner) colFeed(rows []types.Row, baseIdx int, ts *tableStream, te
 					}
 					continue
 				}
+				if repW > 0 && wf == nil && len(weights) > 0 {
+					wf = cs.wf[:len(weights)]
+					for j, w := range weights {
+						wf[j] = float64(w) * repW
+					}
+				}
+				en := r.colEntry(tab, cs, ct, seg, i)
+				r.colFold(tab, p, en, ct, seg, i, wf, repW)
+				*folds++
 				if prof {
-					t1 := time.Now()
-					acc.ns[phaseClassify] += int64(t1.Sub(t0))
-					t0 = t1
+					acc.ns[phaseFold] += int64(time.Since(t0))
 				}
 			}
-
-			en := r.colEntry(tab, cs, ct, seg, i)
-			r.colFold(tab, p, en, ct, seg, i, wf, repW)
-			*folds++
+		} else {
+			// Certainly-in run: fold straight from the banks with direct
+			// float weights (uint8 only for prefetched batches).
+			for _, si := range sel {
+				i := int(si)
+				gi := seg.Base + i
+				if prof {
+					t0 = time.Now()
+				}
+				repW := 0.0
+				var wf []float64
+				if pf != nil {
+					if ri := gi - pf.start; pf.sampled[ri] {
+						ws := pf.weights[ri*trials : (ri+1)*trials]
+						repW = ts.invP
+						wf = cs.wf[:trials]
+						for j, w := range ws {
+							wf[j] = float64(w) * repW
+						}
+					}
+				} else if e.sampled(ts, gi) {
+					repW = ts.invP
+					wf = cs.wf[:trials]
+					base := ts.weightBase + uint64(gi)*uint64(trials)
+					for j := range wf {
+						wf[j] = wlut[bootstrap.PoissonAt(base+uint64(j))&15]
+					}
+				}
+				if prof {
+					t1 := time.Now()
+					acc.ns[phaseWeights] += int64(t1.Sub(t0))
+					t0 = t1
+				}
+				if p.hasDims {
+					for _, en := range r.colEntries(tab, cs, ct, seg, i) {
+						r.colFold(tab, p, en, ct, seg, i, wf, repW)
+						*folds++
+					}
+				} else {
+					en := r.colEntry(tab, cs, ct, seg, i)
+					r.colFold(tab, p, en, ct, seg, i, wf, repW)
+					*folds++
+				}
+				if prof {
+					acc.ns[phaseFold] += int64(time.Since(t0))
+				}
+			}
+		}
+		// Uncertain run: these rows retain their byte weight vectors and
+		// cache their joined lineage, exactly as the row path would.
+		// (Empty unless the tri kernel classified — variant B caches its
+		// uncertain rows inline.)
+		for _, si := range selU {
+			i := int(si)
+			gi := seg.Base + i
 			if prof {
-				acc.ns[phaseFold] += int64(time.Since(t0))
+				t0 = time.Now()
+			}
+			repW := 0.0
+			var weights []uint8
+			if pf != nil {
+				if ri := gi - pf.start; pf.sampled[ri] {
+					weights = pf.weights[ri*trials : (ri+1)*trials]
+					repW = ts.invP
+				}
+			} else if e.sampled(ts, gi) {
+				cs.wbuf = e.weightsInto(cs.wbuf, ts, gi)
+				weights = cs.wbuf
+				repW = ts.invP
+			}
+			if prof {
+				t1 := time.Now()
+				acc.ns[phaseWeights] += int64(t1.Sub(t0))
+				t0 = t1
+			}
+			if p.hasDims {
+				// Uncertain rows need this row's own joined lineage (the
+				// join memo retains the first-occurrence fact part, which
+				// may differ outside the memo columns): run the real join.
+				for _, jrow := range r.joiner.Join(seg.Rows[i]) {
+					*uncertain = append(*uncertain, uncertainRow{
+						row: jrow, weights: arena.hold(weights), repW: repW})
+				}
+			} else {
+				*uncertain = append(*uncertain, uncertainRow{
+					row: seg.Rows[i], weights: arena.hold(weights), repW: repW})
+			}
+			r.sampledIdxValid = false
+			if prof {
+				acc.ns[phaseClassify] += int64(time.Since(t0))
 			}
 		}
 	}
@@ -515,6 +862,137 @@ func (r *blockRunner) colEntry(tab *onlineTable, cs *colScratch, ct *colstore.Ta
 	}
 	cs.memoSlots[j] = idx
 	return en
+}
+
+// colEntries resolves the group entries of segment-local row i for a
+// dims block: one entry per joined row, in join order — exactly the
+// entries (and, on first occurrence, the creation order) the row path
+// would produce by folding each joined row. The group memo caches the
+// entry list per distinct memo-key word combination for the current
+// sweep; the underlying join fan-out comes from the persistent join
+// memo (joinRows).
+func (r *blockRunner) colEntries(tab *onlineTable, cs *colScratch, ct *colstore.Table, seg *colstore.Segment, i int) []*onlineEntry {
+	p := r.colPl
+	stride := len(p.memoCols) + 1
+	n := len(cs.memoKeys)
+	if cap(cs.memoKeys) < n+stride {
+		grown := make([]uint64, n, (n+stride)*2+stride)
+		copy(grown, cs.memoKeys)
+		cs.memoKeys = grown
+	}
+	words := cs.memoKeys[n : n+stride]
+	var nulls uint64
+	for k, c := range p.memoCols {
+		w, null := ct.KeyWord(seg, c, i)
+		if null {
+			nulls |= 1 << uint(k)
+			w = 0
+		}
+		words[k] = w
+	}
+	words[stride-1] = nulls
+	h := memoHash(words)
+	if cs.memoSlots != nil {
+		j := h & cs.memoMask
+		for {
+			s := cs.memoSlots[j]
+			if s == 0 {
+				break
+			}
+			cand := cs.memoKeys[int(s-1)*stride : int(s)*stride]
+			match := true
+			for x := 0; x < stride; x++ {
+				if cand[x] != words[x] {
+					match = false
+					break
+				}
+			}
+			if match {
+				off := cs.memoOff[s-1]
+				return cs.entArena[off : off+cs.memoCnt[s-1]]
+			}
+			j = (j + 1) & cs.memoMask
+		}
+	}
+	// Miss: expand the join (memoized across sweeps) and resolve each
+	// joined row's entry canonically, in join order.
+	jlo, jcnt := cs.joinRows(r, words, h, seg.Rows[i])
+	elo := int32(len(cs.entArena))
+	for _, jrow := range cs.jRows[jlo : jlo+jcnt] {
+		for k, c := range p.gbCols {
+			tab.keyRow[k] = jrow[c]
+		}
+		cs.entArena = append(cs.entArena, tab.entryCurrent(r.b))
+	}
+	if (len(cs.memoOff)+1)*8 > len(cs.memoSlots)*7 {
+		cs.memoGrow(stride)
+	}
+	cs.memoKeys = cs.memoKeys[:n+stride]
+	cs.memoOff = append(cs.memoOff, elo)
+	cs.memoCnt = append(cs.memoCnt, int32(len(cs.entArena))-elo)
+	idx := int32(len(cs.memoOff))
+	j := h & cs.memoMask
+	for cs.memoSlots[j] != 0 {
+		j = (j + 1) & cs.memoMask
+	}
+	cs.memoSlots[j] = idx
+	return cs.entArena[elo:]
+}
+
+// joinRows returns the (offset, count) into cs.jRows of the joined rows
+// for the given memo-key words, running (and retaining) the real join
+// on first occurrence. The retained rows are fresh allocations from the
+// joiner (dims blocks never reuse join scratch), so holding them across
+// batches is safe; the steady state joins each distinct key combination
+// exactly once per query.
+func (cs *colScratch) joinRows(r *blockRunner, words []uint64, h uint64, fact types.Row) (int32, int32) {
+	stride := len(words)
+	if cs.jSlots != nil {
+		j := h & cs.jMask
+		for {
+			s := cs.jSlots[j]
+			if s == 0 {
+				break
+			}
+			cand := cs.jKeys[int(s-1)*stride : int(s)*stride]
+			match := true
+			for x := 0; x < stride; x++ {
+				if cand[x] != words[x] {
+					match = false
+					break
+				}
+			}
+			if match {
+				return cs.jOff[s-1], cs.jCnt[s-1]
+			}
+			j = (j + 1) & cs.jMask
+		}
+	}
+	rows := r.joiner.Join(fact)
+	off := int32(len(cs.jRows))
+	cs.jRows = append(cs.jRows, rows...)
+	n := len(cs.jKeys)
+	if cap(cs.jKeys) < n+stride {
+		grown := make([]uint64, n, (n+stride)*2+stride)
+		copy(grown, cs.jKeys)
+		cs.jKeys = grown
+	}
+	copy(cs.jKeys[n:n+stride], words)
+	if (len(cs.jOff)+1)*8 > len(cs.jSlots)*7 {
+		cs.jKeys = cs.jKeys[:n+stride]
+		cs.jGrow(stride)
+	} else {
+		cs.jKeys = cs.jKeys[:n+stride]
+	}
+	cs.jOff = append(cs.jOff, off)
+	cs.jCnt = append(cs.jCnt, int32(len(rows)))
+	idx := int32(len(cs.jOff))
+	j := h & cs.jMask
+	for cs.jSlots[j] != 0 {
+		j = (j + 1) & cs.jMask
+	}
+	cs.jSlots[j] = idx
+	return off, int32(len(rows))
 }
 
 // colFold adds segment-local row i into the entry's banked accumulators

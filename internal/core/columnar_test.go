@@ -59,6 +59,35 @@ func columnarCatalog(n int, seed uint64) *storage.Catalog {
 		_ = t.Append(row)
 	}
 	cat.Put(t)
+	// Dimension tables for the dims-grouped columnar path. bdim covers
+	// only b∈[0,12): b=12..15 and NULL b miss the inner join, and keys 3
+	// and 7 are duplicated so one fact key expands to two joined rows
+	// (memoCnt > 1 in the join memo).
+	bd := storage.NewTable("bdim", types.NewSchema(
+		"bkey", types.KindInt, "cat", types.KindString))
+	for k := 0; k < 12; k++ {
+		_ = bd.Append(types.Row{
+			types.NewInt(int64(k)),
+			types.NewString([]string{"lo", "mid", "hi"}[k%3]),
+		})
+		if k == 3 || k == 7 {
+			_ = bd.Append(types.Row{
+				types.NewInt(int64(k)), types.NewString("dup"),
+			})
+		}
+	}
+	cat.Put(bd)
+	// adim joins the dictionary string key; "hh" is missing so the
+	// string-keyed join also filters.
+	ad := storage.NewTable("adim", types.NewSchema(
+		"akey", types.KindString, "region", types.KindString))
+	for i, a := range as[:7] {
+		_ = ad.Append(types.Row{
+			types.NewString(a),
+			types.NewString([]string{"north", "south"}[i%2]),
+		})
+	}
+	cat.Put(ad)
 	return cat
 }
 
@@ -77,6 +106,17 @@ var columnarQueries = []struct {
 	{"scalar", `SELECT COUNT(x), SUM(x), AVG(x) FROM facts WHERE b < 12`},
 	{"uncertain", `SELECT a, COUNT(x), SUM(x) FROM facts
 		WHERE b >= 2 AND x < (SELECT 0.9 * AVG(x) FROM facts) GROUP BY a`},
+	{"dims-join", `SELECT cat, COUNT(x), SUM(x), AVG(x) FROM facts f
+		JOIN bdim d ON f.b = d.bkey GROUP BY cat`},
+	{"dims-chain", `SELECT region, cat, COUNT(x), SUM(x) FROM facts f
+		JOIN bdim d ON f.b = d.bkey
+		JOIN adim e ON f.a = e.akey
+		WHERE x < 700 GROUP BY region, cat`},
+	{"dims-mixed-keys", `SELECT a, cat, COUNT(x), SUM(x), AVG(x) FROM facts f
+		JOIN bdim d ON f.b = d.bkey GROUP BY a, cat`},
+	{"dims-uncertain", `SELECT cat, COUNT(x), SUM(x) FROM facts f
+		JOIN bdim d ON f.b = d.bkey
+		WHERE x < (SELECT 0.9 * AVG(x) FROM facts) GROUP BY cat`},
 }
 
 func columnarOptions(seed uint64, parallelism int, rowPath bool) Options {
@@ -153,20 +193,101 @@ func TestColumnarPlanEligibility(t *testing.T) {
 		t.Cleanup(eng.Close)
 		return eng.runners[len(eng.runners)-1]
 	}
-	if r := build(`SELECT a, SUM(x) FROM facts GROUP BY a`, false); !r.colPl.ok {
-		t.Fatal("plain fold shape must be columnar-eligible")
+	verdict := func(sql string, rowPath bool) string {
+		return build(sql, rowPath).colPl.verdict()
 	}
-	if r := build(`SELECT a, SUM(x) FROM facts GROUP BY a`, true); r.colPl.ok {
-		t.Fatal("RowPath must disable the columnar plan")
+	// The verdict strings are API: Metrics/Report and the EvColPlan trace
+	// event surface them verbatim, so pin them exactly.
+	for _, tc := range []struct {
+		sql     string
+		rowPath bool
+		want    string
+	}{
+		{`SELECT a, SUM(x) FROM facts GROUP BY a`, false, "columnar:fused"},
+		{`SELECT a, b, SUM(x), COUNT(s) FROM facts GROUP BY a, b`, false, "columnar"},
+		{`SELECT a, SUM(x) FROM facts GROUP BY a`, true, "rowpath:forced"},
+		{`SELECT b + 1, SUM(x) FROM facts GROUP BY b + 1`, false, "rowpath:group:expr-key"},
+		{`SELECT a, MIN(x) FROM facts GROUP BY a`, false, "rowpath:agg:not-estimable"},
+		{`SELECT a, SUM(x + 1) FROM facts GROUP BY a`, false, "rowpath:agg:expr-arg"},
+		{`SELECT cat, SUM(x) FROM facts f JOIN bdim d ON f.b = d.bkey GROUP BY cat`,
+			false, "columnar:dims"},
+		{`SELECT region, cat, SUM(x) FROM facts f
+			JOIN bdim d ON f.b = d.bkey
+			JOIN adim e ON f.a = e.akey GROUP BY region, cat`,
+			false, "columnar:dims"},
+		{`SELECT cat, SUM(x) FROM facts f JOIN bdim d ON f.b + 1 = d.bkey GROUP BY cat`,
+			false, "rowpath:join:expr-key"},
+		{`SELECT cat, SUM(bkey) FROM facts f JOIN bdim d ON f.b = d.bkey GROUP BY cat`,
+			false, "rowpath:agg:dim-column"},
+	} {
+		if got := verdict(tc.sql, tc.rowPath); got != tc.want {
+			t.Errorf("verdict(%q) = %q, want %q", tc.sql, got, tc.want)
+		}
 	}
-	if r := build(`SELECT b + 1, SUM(x) FROM facts GROUP BY b + 1`, false); r.colPl.ok {
-		t.Fatal("expression group keys must fall back to the row path")
+}
+
+// TestColumnarDimsFoldAllocs pins the dims-grouped columnar sweep to
+// zero steady-state allocations: once the join memo has seen every
+// distinct fact key combination, re-feeding the same rows resolves
+// groups entirely through the word-code memos.
+func TestColumnarDimsFoldAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
 	}
-	if r := build(`SELECT a, MIN(x) FROM facts GROUP BY a`, false); r.colPl.ok {
-		t.Fatal("non-CLT aggregates must fall back to the row path")
-	}
-	if r := build(`SELECT a, SUM(x + 1) FROM facts GROUP BY a`, false); r.colPl.ok {
-		t.Fatal("expression aggregate arguments must fall back to the row path")
+	cat := columnarCatalog(20000, 71)
+	for _, tc := range []struct {
+		name string
+		sql  string
+	}{
+		{"dim-key", `SELECT cat, SUM(x), AVG(x) FROM facts f
+			JOIN bdim d ON f.b = d.bkey GROUP BY cat`},
+		{"mixed-keys", `SELECT a, cat, SUM(x), AVG(x) FROM facts f
+			JOIN bdim d ON f.b = d.bkey GROUP BY a, cat`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			q, err := plan.Compile(tc.sql, cat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, err := New(q, cat, Options{Batches: 10, Trials: 100, Seed: 72, Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+			if _, err := eng.Step(); err != nil {
+				t.Fatal(err)
+			}
+			r := eng.runners[len(eng.runners)-1]
+			if got := r.colPl.verdict(); got != "columnar:dims" {
+				t.Fatalf("plan verdict = %q, want columnar:dims", got)
+			}
+			ts := eng.tables["facts"]
+			te := eng.triEnv()
+			rows := ts.batches[1]
+			base := ts.starts[1]
+			const chunk = 512
+			// Warm the full batch so the join memo holds every key combo
+			// the alloc loop can encounter.
+			r.feedBatchSerial(rows, base, ts, te, nil)
+			sweeps := r.cs.sweeps
+			if sweeps == 0 {
+				t.Fatal("columnar dims path did not engage")
+			}
+			off := 0
+			allocs := testing.AllocsPerRun(40, func() {
+				if off+chunk > len(rows) {
+					off = 0
+				}
+				r.feedBatchSerial(rows[off:off+chunk], base+off, ts, te, nil)
+				off += chunk
+			})
+			if allocs != 0 {
+				t.Fatalf("dims columnar fold allocates %.1f allocs/chunk, want 0", allocs)
+			}
+			if r.cs.sweeps == sweeps {
+				t.Fatal("alloc loop never swept a segment")
+			}
+		})
 	}
 }
 

@@ -536,6 +536,7 @@ func (e *Engine) Metrics() Metrics {
 			Table:     r.b.Input.Fact,
 			Groups:    len(r.tab.order),
 			Uncertain: len(r.uncertain),
+			Columnar:  r.colPl.verdict(),
 			Phases:    e.blockAcc[i].times(),
 		}
 	}
@@ -635,6 +636,15 @@ func (e *Engine) StepContext(ctx context.Context) (*Snapshot, error) {
 		e.spanQuery = e.sctl.Begin("query", 0, -1, -1)
 		e.spanTop = e.spanQuery
 	}
+	if e.batch == 0 {
+		// Columnar plans are built at construction, before the tracer is
+		// attached; surface each block's eligibility verdict on the first
+		// step so -trace users see why a block did or didn't vectorize.
+		for _, r := range e.runners {
+			e.trace.Emit(Event{Kind: EvColPlan, Block: r.b.ID,
+				Key: r.b.Input.Fact, Note: r.colPl.verdict()})
+		}
+	}
 	start := time.Now()
 	ok, perr := e.processBatch(e.batch)
 	if perr != nil {
@@ -693,6 +703,10 @@ func (e *Engine) StepContext(ctx context.Context) (*Snapshot, error) {
 	e.observeResources(snap)
 	if e.Done() {
 		e.sctl.End(e.spanQuery)
+		// Clear the handles: spans begun after completion (a final
+		// Checkpoint, say) must become roots, not children of a span
+		// that already ended.
+		e.spanQuery, e.spanTop = 0, 0
 	}
 	e.lastSnap = snap
 	return snap, nil
@@ -802,6 +816,19 @@ func (e *Engine) processBatch(bi int) (bool, error) {
 		}
 		ts := e.tables[r.b.Input.Fact]
 		if bi < len(ts.batches) {
+			if r.colPl != nil && r.colPl.ok && r.colPl.ct != nil &&
+				e.opt.Chaos.SegSealDrop(r.b.Input.Fact, bi) {
+				// Injected fault on the segment-seal seam: release the
+				// sealed segments mid-query. revalidateColPlan re-acquires
+				// the encoding (an incremental re-encode) before the feed,
+				// so the fold stays columnar and bit-identical.
+				if tbl, ok := e.cat.Get(r.b.Input.Fact); ok {
+					tbl.DropColumnar()
+				}
+				r.colPl.ct = nil
+				e.traceFault("segseal", r.b.Input.Fact, -1,
+					"columnar segment cache dropped")
+			}
 			rows := ts.batches[bi]
 			if r.b == e.q.Root {
 				e.metrics.RowsProcessed += int64(len(rows))

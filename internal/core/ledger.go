@@ -50,9 +50,16 @@ func (cs *colScratch) memBytes() int64 {
 	if cs == nil {
 		return 0
 	}
-	return int64(cap(cs.tri)) + 4*int64(cap(cs.sel)) + 8*int64(cap(cs.wf)) +
-		int64(cap(cs.wbuf)) + 8*int64(cap(cs.memoKeys)) +
-		4*int64(cap(cs.memoSlots)) + 8*int64(cap(cs.memoEntries))
+	return int64(cap(cs.tri)) + int64(cap(cs.triU)) +
+		4*int64(cap(cs.sel)) + 4*int64(cap(cs.selU)) +
+		8*int64(cap(cs.wf)) + int64(cap(cs.wbuf)) +
+		8*int64(cap(cs.memoKeys)) + 4*int64(cap(cs.memoSlots)) +
+		8*int64(cap(cs.memoEntries)) +
+		4*int64(cap(cs.memoOff)) + 4*int64(cap(cs.memoCnt)) +
+		8*int64(cap(cs.entArena)) +
+		8*int64(cap(cs.jKeys)) + 4*int64(cap(cs.jSlots)) +
+		4*int64(cap(cs.jOff)) + 4*int64(cap(cs.jCnt)) +
+		24*int64(cap(cs.jRows))
 }
 
 // collectResidency folds every charge counter into the ledger. Runs on

@@ -89,6 +89,7 @@ func (r *blockRunner) feedShard(rows []types.Row, baseIdx int, ts *tableStream, 
 // batch through colFeed instead (bit-identical, see columnar.go).
 func (r *blockRunner) feedBatchSerial(rows []types.Row, baseIdx int, ts *tableStream, te *triEnv, pf *weightPrefetch) {
 	r.ensureColPlan()
+	r.revalidateColPlan()
 	if r.colPl.ok {
 		if r.cs == nil {
 			r.cs = &colScratch{}
@@ -150,8 +151,10 @@ func panicNote(v any) string {
 func (r *blockRunner) feedBatchParallel(rows []types.Row, baseIdx int, ts *tableStream, te *triEnv, pf *weightPrefetch) error {
 	e := r.eng
 	// Build the columnar plan on the controller before any worker can
-	// race to it (workers share the runner shallowly).
+	// race to it (workers share the runner shallowly); re-acquire the
+	// encoding here too if a fault dropped it.
 	r.ensureColPlan()
+	r.revalidateColPlan()
 	workers := e.opt.Parallelism
 	thr := e.opt.ParallelThreshold
 	if workers <= 1 || len(rows) < 2*thr {

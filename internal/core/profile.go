@@ -160,6 +160,7 @@ type BlockPhaseStat struct {
 	Table     string // streamed fact table
 	Groups    int    // live groups in the block's aggregate state
 	Uncertain int    // cached uncertain tuples
+	Columnar  string // eligibility verdict: "columnar[:flavor]" or "rowpath:<reason>"
 	Phases    PhaseTimes
 }
 
@@ -247,8 +248,8 @@ func (e *Engine) Report() string {
 		}
 	}
 	for _, bp := range m.BlockPhases {
-		fmt.Fprintf(&b, "block %d [%s] table=%s groups=%d uncertain=%d\n  %s\n",
-			bp.Block, bp.Kind, bp.Table, bp.Groups, bp.Uncertain, bp.Phases)
+		fmt.Fprintf(&b, "block %d [%s] table=%s groups=%d uncertain=%d plan=%s\n  %s\n",
+			bp.Block, bp.Kind, bp.Table, bp.Groups, bp.Uncertain, bp.Columnar, bp.Phases)
 		if bp.Label != "" {
 			fmt.Fprintf(&b, "  %s\n", strings.ReplaceAll(bp.Label, "\n", " "))
 		}

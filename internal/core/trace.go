@@ -61,6 +61,11 @@ const (
 	// EvCheckpoint / EvResume: engine state was serialized / restored.
 	EvCheckpoint = "checkpoint"
 	EvResume     = "resume"
+	// EvColPlan: a block's columnar-eligibility verdict, emitted once on
+	// the first batch. Note carries the verdict — the engaged flavor
+	// ("columnar", "columnar:fused", "columnar:dims") or the
+	// disqualifying reason ("rowpath:group:mixed-column", ...).
+	EvColPlan = "columnar-plan"
 )
 
 // Event is one traced engine decision. Numeric fields are meaningful

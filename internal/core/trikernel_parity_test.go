@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"fluodb/internal/bootstrap"
+	"fluodb/internal/colstore"
+	"fluodb/internal/expr"
+	"fluodb/internal/sqlparser"
+	"fluodb/internal/types"
+)
+
+// The tri-state classification kernel (expr.CompileTriKernel) must be
+// decision-identical to the engine's per-row evalTri for every row of
+// every segment — including NULLs in measure and key columns, string
+// columns on a comparison side, Kleene AND/OR/NOT combinations,
+// param-free collapsed subtrees, and NULL/unknown injected parameter
+// ranges. The property test below sweeps that matrix over generated
+// catalogs with open-tail segments.
+
+// triParityExprs enumerates the compilable predicate shapes. Columns:
+// a string(0), b int-with-NULLs(1), x float-with-NULLs(2), s string(3).
+func triParityExprs() []struct {
+	name  string
+	slots int
+	e     expr.Expr
+} {
+	xcol := &expr.Col{Idx: 2, Name: "x", Typ: types.KindFloat}
+	bcol := &expr.Col{Idx: 1, Name: "b", Typ: types.KindInt}
+	scol := &expr.Col{Idx: 3, Name: "s", Typ: types.KindString}
+	p0 := &expr.ScalarParam{Idx: 0}
+	p1 := &expr.ScalarParam{Idx: 1}
+	scaled := &expr.Binary{Op: sqlparser.OpMul,
+		L: &expr.Const{V: types.NewFloat(0.9)}, R: p0}
+	cmp := func(op sqlparser.BinaryOp, l, r expr.Expr) expr.Expr {
+		return &expr.Binary{Op: op, L: l, R: r}
+	}
+	return []struct {
+		name  string
+		slots int
+		e     expr.Expr
+	}{
+		{"x<0.9p", 1, cmp(sqlparser.OpLt, xcol, scaled)},
+		{"x<=p", 1, cmp(sqlparser.OpLe, xcol, p0)},
+		{"x>p", 1, cmp(sqlparser.OpGt, xcol, p0)},
+		{"x>=p", 1, cmp(sqlparser.OpGe, xcol, p0)},
+		{"x=p", 1, cmp(sqlparser.OpEq, xcol, p0)},
+		{"x!=p", 1, cmp(sqlparser.OpNe, xcol, p0)},
+		{"b>=p", 1, cmp(sqlparser.OpGe, bcol, p0)},
+		// String column on a comparison side: non-NULL is range-unknown
+		// (the row path's AsFloat failure), NULL is SQL false.
+		{"s<p", 1, cmp(sqlparser.OpLt, scol, p0)},
+		// Kleene combinations, including a two-slot conjunction.
+		{"and", 2, &expr.Binary{Op: sqlparser.OpAnd,
+			L: cmp(sqlparser.OpLt, xcol, p0), R: cmp(sqlparser.OpGt, bcol, p1)}},
+		{"or-not", 2, &expr.Binary{Op: sqlparser.OpOr,
+			L: &expr.Not{X: cmp(sqlparser.OpGe, xcol, p0)},
+			R: cmp(sqlparser.OpEq, bcol, p1)}},
+		// Param-free subtree collapsed through the certain kernel
+		// (dictionary string equality), AND-ed with an interval compare.
+		{"collapse-and", 1, &expr.Binary{Op: sqlparser.OpAnd,
+			L: cmp(sqlparser.OpEq, scol, &expr.Const{V: types.NewString("alpha")}),
+			R: cmp(sqlparser.OpLt, xcol, scaled)}},
+		// Param-bearing node outside the compilable comparisons: the row
+		// path answers triUnknown row-independently; the kernel must too.
+		{"bare-param", 1, p0},
+		{"param-arith", 1, &expr.Binary{Op: sqlparser.OpAdd, L: p0,
+			R: &expr.Const{V: types.NewFloat(1)}}},
+	}
+}
+
+// triParityRanges are the injected slot-range regimes, combined
+// pairwise for two-slot expressions.
+var triParityRanges = []struct {
+	name string
+	pr   paramRange
+}{
+	{"wide", paramRange{r: bootstrap.Range{Lo: 450, Hi: 520}, status: rsOK}},
+	{"point", paramRange{r: bootstrap.Range{Lo: 500, Hi: 500}, status: rsOK}},
+	{"low", paramRange{r: bootstrap.Range{Lo: 2, Hi: 9}, status: rsOK}},
+	{"null", paramRange{status: rsNull}},
+	{"unknown", paramRange{status: rsUnknown}},
+}
+
+// TestTriKernelParity pins kernel-vs-evalTri decision identity across
+// the expression × range matrix, on a catalog sized so the last segment
+// is an open (partially filled) tail.
+func TestTriKernelParity(t *testing.T) {
+	for _, seed := range []uint64{1, 9} {
+		// 2000 and 3100 are not multiples of the segment size, so the
+		// sweep always crosses an open-tail segment.
+		cat := columnarCatalog(2000+int(seed)*100, seed)
+		tbl, _ := cat.Get("facts")
+		ct := tbl.Columnar()
+		for _, tc := range triParityExprs() {
+			k := expr.CompileTriKernel(tc.e, ct)
+			if k == nil {
+				t.Fatalf("%s: kernel should compile", tc.name)
+			}
+			for _, r0 := range triParityRanges {
+				ranges := []paramRange{r0.pr, {r: bootstrap.Range{Lo: 4, Hi: 7}, status: rsOK}}
+				rname := r0.name
+				if tc.slots == 2 {
+					// Two-slot expressions additionally sweep the second
+					// slot through the regimes.
+					for _, r1 := range triParityRanges {
+						ranges2 := []paramRange{r0.pr, r1.pr}
+						runTriParity(t, fmt.Sprintf("%s/%s+%s", tc.name, r0.name, r1.name),
+							tc.e, k, ct, ranges2)
+					}
+					continue
+				}
+				runTriParity(t, tc.name+"/"+rname, tc.e, k, ct, ranges)
+			}
+		}
+	}
+}
+
+func runTriParity(t *testing.T, name string, e expr.Expr, k *expr.TriKernel,
+	ct *colstore.Table, ranges []paramRange) {
+	t.Helper()
+	te := &triEnv{pointCtx: &expr.Ctx{}, scalarRanges: ranges}
+	for s, pe := range k.Slots() {
+		pr := te.evalRange(pe, nil)
+		k.SetRange(s, pr.r.Lo, pr.r.Hi, uint8(pr.status))
+	}
+	out := make([]uint8, ct.SegSize)
+	for _, seg := range ct.Segs {
+		k.EvalInto(out, seg, 0, seg.N)
+		for i := 0; i < seg.N; i++ {
+			want := te.evalTri(e, seg.Rows[i])
+			if int(out[i]) != int(want) {
+				t.Fatalf("%s: seg base %d row %d: kernel %d want %d (row %v)",
+					name, seg.Base, i, out[i], want, seg.Rows[i])
+			}
+		}
+	}
+}
+
+// TestTriKernelRefusals pins the shapes that must stay on the per-row
+// path: a parameter side that reads the row cannot become an injected
+// slot.
+func TestTriKernelRefusals(t *testing.T) {
+	cat := columnarCatalog(1024, 3)
+	tbl, _ := cat.Get("facts")
+	ct := tbl.Columnar()
+	xcol := &expr.Col{Idx: 2, Name: "x", Typ: types.KindFloat}
+	bcol := &expr.Col{Idx: 1, Name: "b", Typ: types.KindInt}
+	rowParam := &expr.Binary{Op: sqlparser.OpAdd, L: &expr.ScalarParam{Idx: 0}, R: bcol}
+	if k := expr.CompileTriKernel(&expr.Binary{Op: sqlparser.OpLt, L: xcol, R: rowParam}, ct); k != nil {
+		t.Fatal("row-dependent param side must refuse compilation")
+	}
+	groupParam := &expr.Binary{Op: sqlparser.OpLt, L: xcol, R: &expr.GroupParam{Idx: 0}}
+	if k := expr.CompileTriKernel(groupParam, ct); k != nil {
+		t.Fatal("group param side must refuse compilation")
+	}
+}

@@ -1,0 +1,339 @@
+// Tri-state classification kernels: the vectorized counterpart of the
+// engine's interval-semantics predicate evaluation (core's evalTri).
+// Where Kernel answers certain predicates, TriKernel answers predicates
+// that reference still-converging nested aggregates: each row's byte is
+// TriTrue when the predicate holds for every value the uncertain
+// parameters may still take, TriFalse when it fails for every value,
+// and TriNull ("uncertain") otherwise — byte-for-byte the engine's
+// triTrue/triFalse/triUnknown encoding.
+//
+// The parameter sides of comparisons are row-free by construction
+// (Slots): the caller evaluates each slot expression's variation range
+// once per mini-batch and injects it via SetRange, so the per-row loop
+// touches only typed banks. The compilable subset mirrors evalTri
+// exactly:
+//
+//   - a param-free subtree collapses to its point truth (NULL → false),
+//     lowered through compileVec;
+//   - AND/OR/NOT combine with the same Kleene tables (Unknown and NULL
+//     share byte 2, and the tables coincide);
+//   - comparisons evaluate interval sides: a constant folds at compile,
+//     a clean column is a per-row point (NULL → range-NULL; a string
+//     column is range-unknown when non-NULL, matching the row path's
+//     AsFloat failure), and a param side becomes an injected slot;
+//   - any other param-bearing node the row path answers with a
+//     row-independent triUnknown compiles to a constant; SetParam and
+//     row-dependent param sides refuse compilation (nil) and the caller
+//     stays on the per-row path.
+package expr
+
+import (
+	"fluodb/internal/colstore"
+	"fluodb/internal/sqlparser"
+	"fluodb/internal/types"
+)
+
+// Slot range statuses, mirroring the engine's rangeStatus values.
+const (
+	RangeOK      uint8 = 0 // [Lo, Hi] is a meaningful bound
+	RangeNull    uint8 = 1 // the value is SQL NULL (comparisons are false)
+	RangeUnknown uint8 = 2 // unbounded → comparison outcome is uncertain
+)
+
+// slotRange is one injected variation range.
+type slotRange struct {
+	lo, hi float64
+	status uint8
+}
+
+// triState carries the per-batch injected slot ranges, shared by
+// reference with every compiled comparison node.
+type triState struct{ ranges []slotRange }
+
+// TriKernel is a compiled segment-at-a-time tri-state classifier. Like
+// Kernel it owns scratch and injected state, so compile one per worker.
+type TriKernel struct {
+	root  vecNode
+	slots []Expr
+	st    *triState
+}
+
+// CompileTriKernel lowers e into a tri-state kernel over ct's layout, or
+// returns nil if any part of e falls outside the compilable subset.
+func CompileTriKernel(e Expr, ct *colstore.Table) *TriKernel {
+	if ct == nil {
+		return nil
+	}
+	k := &TriKernel{st: &triState{}}
+	n := k.compileTri(e, ct)
+	if n == nil {
+		return nil
+	}
+	k.root = n
+	return k
+}
+
+// Slots returns the row-free parameter-side expressions whose variation
+// ranges the caller must inject (SetRange, same index) before EvalInto.
+// Slot expressions contain no column reads, so evaluating their ranges
+// needs no row.
+func (k *TriKernel) Slots() []Expr { return k.slots }
+
+// SetRange injects slot's variation range for the current mini-batch.
+func (k *TriKernel) SetRange(slot int, lo, hi float64, status uint8) {
+	k.st.ranges[slot] = slotRange{lo: lo, hi: hi, status: status}
+}
+
+// EvalInto fills out[lo:hi] (segment-local indexes) with the tri-state
+// classification of each row of seg under the injected slot ranges.
+func (k *TriKernel) EvalInto(out []uint8, seg *colstore.Segment, lo, hi int) {
+	k.root.eval(out, seg, lo, hi)
+}
+
+func (k *TriKernel) compileTri(e Expr, ct *colstore.Table) vecNode {
+	if !HasParams(e) {
+		// Param-free subtree: the row path evaluates it pointwise and
+		// maps NULL to false (triFromBool of Truthy).
+		inner := compileVec(e, ct)
+		if inner == nil {
+			return nil
+		}
+		return &triCollapse{x: inner}
+	}
+	switch x := e.(type) {
+	case *Binary:
+		switch x.Op {
+		case sqlparser.OpAnd, sqlparser.OpOr:
+			l := k.compileTri(x.L, ct)
+			if l == nil {
+				return nil
+			}
+			r := k.compileTri(x.R, ct)
+			if r == nil {
+				return nil
+			}
+			// The Kleene tables with Unknown on byte 2 are exactly
+			// evalTri's And/Or combination; evaluating both sides is
+			// observationally identical because operands are pure.
+			tmp := make([]uint8, ct.SegSize)
+			if x.Op == sqlparser.OpAnd {
+				return &vecLogic{l: l, r: r, tmp: tmp, table: &kleeneAnd}
+			}
+			return &vecLogic{l: l, r: r, tmp: tmp, table: &kleeneOr}
+		case sqlparser.OpEq, sqlparser.OpNe, sqlparser.OpLt, sqlparser.OpLe,
+			sqlparser.OpGt, sqlparser.OpGe:
+			return k.compileTriCmp(x, ct)
+		default:
+			// Param-bearing arithmetic/LIKE as a predicate: the row path
+			// answers triUnknown for every row.
+			return vecConst{tri: TriNull}
+		}
+	case *Not:
+		inner := k.compileTri(x.X, ct)
+		if inner == nil {
+			return nil
+		}
+		return &vecNot{x: inner} // notTable keeps Unknown unknown
+	case *SetParam:
+		// Row-dependent membership (NULL subject → false, else a per-key
+		// lookup): stays on the per-row path.
+		return nil
+	default:
+		// Any other param-bearing node (bare ScalarParam, IN-list or
+		// CASE with params, ...): evalTri's default is triUnknown,
+		// row-independently.
+		return vecConst{tri: TriNull}
+	}
+}
+
+// Comparison side kinds. A side is evaluated to a variation range per
+// row (columns), per batch (slots), or once at compile (constants).
+const (
+	sideConst  uint8 = iota // fixed range, precomputed
+	sideSlot                // injected via SetRange
+	sideIntCol              // int/bool bank point; NULL → RangeNull
+	sideFltCol              // float bank point; NULL → RangeNull
+	sideStrCol              // NULL → RangeNull, else RangeUnknown
+)
+
+type cmpSide struct {
+	kind   uint8
+	col    int
+	slot   int
+	lo, hi float64
+	status uint8
+}
+
+// rangeAt evaluates the side for segment-local row i.
+func (s *cmpSide) rangeAt(seg *colstore.Segment, i int, st *triState) (lo, hi float64, status uint8) {
+	switch s.kind {
+	case sideConst:
+		return s.lo, s.hi, s.status
+	case sideSlot:
+		r := &st.ranges[s.slot]
+		return r.lo, r.hi, r.status
+	case sideIntCol:
+		c := &seg.Cols[s.col]
+		if c.Null(i) {
+			return 0, 0, RangeNull
+		}
+		v := float64(c.Ints[i])
+		return v, v, RangeOK
+	case sideFltCol:
+		c := &seg.Cols[s.col]
+		if c.Null(i) {
+			return 0, 0, RangeNull
+		}
+		v := c.Floats[i]
+		return v, v, RangeOK
+	default: // sideStrCol
+		if seg.Cols[s.col].Null(i) {
+			return 0, 0, RangeNull
+		}
+		return 0, 0, RangeUnknown
+	}
+}
+
+func (k *TriKernel) compileTriCmp(b *Binary, ct *colstore.Table) vecNode {
+	l, ok := k.makeSide(b.L, ct)
+	if !ok {
+		return nil
+	}
+	r, ok := k.makeSide(b.R, ct)
+	if !ok {
+		return nil
+	}
+	return &triCmp{op: b.Op, l: l, r: r, st: k.st}
+}
+
+// makeSide lowers one comparison operand. Param-free operands must be
+// plain constants or clean columns (the row path evaluates them
+// pointwise; anything wider stays on the per-row path); param-bearing
+// operands must be row-free and become injected slots.
+func (k *TriKernel) makeSide(e Expr, ct *colstore.Table) (cmpSide, bool) {
+	if !HasParams(e) {
+		switch x := e.(type) {
+		case *Const:
+			if x.V.IsNull() {
+				return cmpSide{kind: sideConst, status: RangeNull}, true
+			}
+			if f, ok := x.V.AsFloat(); ok {
+				return cmpSide{kind: sideConst, lo: f, hi: f, status: RangeOK}, true
+			}
+			return cmpSide{kind: sideConst, status: RangeUnknown}, true
+		case *Col:
+			if !cleanCol(ct, x.Idx) {
+				return cmpSide{}, false
+			}
+			switch ct.Schema[x.Idx].Type {
+			case types.KindInt, types.KindBool:
+				return cmpSide{kind: sideIntCol, col: x.Idx}, true
+			case types.KindFloat:
+				return cmpSide{kind: sideFltCol, col: x.Idx}, true
+			case types.KindString:
+				return cmpSide{kind: sideStrCol, col: x.Idx}, true
+			default:
+				// Declared-NULL column: every stored value is NULL.
+				return cmpSide{kind: sideConst, status: RangeNull}, true
+			}
+		default:
+			return cmpSide{}, false
+		}
+	}
+	// Param side: row-free means its variation range is constant across
+	// the batch (columns and group params read the row).
+	rowFree := true
+	Walk(e, func(n Expr) bool {
+		switch n.(type) {
+		case *Col, *GroupParam:
+			rowFree = false
+		}
+		return rowFree
+	})
+	if !rowFree {
+		return cmpSide{}, false
+	}
+	slot := len(k.slots)
+	k.slots = append(k.slots, e)
+	k.st.ranges = append(k.st.ranges, slotRange{status: RangeUnknown})
+	return cmpSide{kind: sideSlot, slot: slot}, true
+}
+
+// triCmp compares two variation ranges per row, replicating the
+// engine's evalCompareTri decision table: a NULL side is false (SQL),
+// an unbounded side is uncertain, and each operator commits true/false
+// only when the ranges cannot overlap the other outcome.
+type triCmp struct {
+	op   sqlparser.BinaryOp
+	l, r cmpSide
+	st   *triState
+}
+
+func (n *triCmp) eval(out []uint8, seg *colstore.Segment, lo, hi int) {
+	st := n.st
+	for i := lo; i < hi; i++ {
+		alo, ahi, ast := n.l.rangeAt(seg, i, st)
+		blo, bhi, bst := n.r.rangeAt(seg, i, st)
+		if ast == RangeNull || bst == RangeNull {
+			out[i] = TriFalse
+			continue
+		}
+		if ast != RangeOK || bst != RangeOK {
+			out[i] = TriNull
+			continue
+		}
+		v := TriNull
+		switch n.op {
+		case sqlparser.OpGt:
+			if alo > bhi {
+				v = TriTrue
+			} else if ahi <= blo {
+				v = TriFalse
+			}
+		case sqlparser.OpGe:
+			if alo >= bhi {
+				v = TriTrue
+			} else if ahi < blo {
+				v = TriFalse
+			}
+		case sqlparser.OpLt:
+			if ahi < blo {
+				v = TriTrue
+			} else if alo >= bhi {
+				v = TriFalse
+			}
+		case sqlparser.OpLe:
+			if ahi <= blo {
+				v = TriTrue
+			} else if alo > bhi {
+				v = TriFalse
+			}
+		case sqlparser.OpEq:
+			if !(alo <= bhi && blo <= ahi) {
+				v = TriFalse
+			} else if alo == ahi && blo == bhi && alo == blo {
+				v = TriTrue
+			}
+		case sqlparser.OpNe:
+			if !(alo <= bhi && blo <= ahi) {
+				v = TriTrue
+			} else if alo == ahi && blo == bhi && alo == blo {
+				v = TriFalse
+			}
+		}
+		out[i] = v
+	}
+}
+
+// triCollapse maps a param-free subtree's NULL to false: the row path
+// evaluates such subtrees pointwise as triFromBool(Truthy()).
+type triCollapse struct{ x vecNode }
+
+func (n *triCollapse) eval(out []uint8, seg *colstore.Segment, lo, hi int) {
+	n.x.eval(out, seg, lo, hi)
+	for i := lo; i < hi; i++ {
+		if out[i] == TriNull {
+			out[i] = TriFalse
+		}
+	}
+}

@@ -10,9 +10,17 @@
 // TriFalse otherwise). AND/OR evaluate both sides instead of
 // short-circuiting, which is observationally identical here because
 // compilable subtrees are pure. Anything outside the compilable subset —
-// params, arithmetic inside comparisons, CASE, IN-lists, mixed-kind
-// columns — makes CompileKernel return nil and the caller stays on the
-// per-row path.
+// params, arithmetic inside comparisons, CASE, IN-lists over non-string
+// columns, mixed-kind columns — makes CompileKernel return nil and the
+// caller stays on the per-row path.
+//
+// String predicates run over dictionary codes, never string bytes:
+// `=`/`!=` against a string constant resolve the constant to its
+// table-wide code once at compile (a string absent from the dictionary
+// is stored nowhere, so the comparison folds to a constant vector with
+// NULLs preserved), and IN-lists/LIKE/ordered compares precompute a
+// per-code tri table by running the row evaluator once per distinct
+// string.
 package expr
 
 import (
@@ -117,6 +125,28 @@ func compileVec(e Expr, ct *colstore.Table) vecNode {
 		default:
 			return compileCmp(x, ct)
 		}
+	case *InList:
+		// IN over a dictionary column with an all-constant list: a
+		// per-code tri table probed through the row evaluator inherits
+		// the exact IN semantics (found → !Negated, any NULL element →
+		// NULL, else Negated; NULL subject → NULL via the bitmap branch).
+		c, ok := x.X.(*Col)
+		if !ok || !cleanCol(ct, c.Idx) || ct.Schema[c.Idx].Type != types.KindString {
+			return nil
+		}
+		for _, it := range x.List {
+			if _, isConst := it.(*Const); !isConst {
+				return nil
+			}
+		}
+		dict := ct.Dicts[c.Idx]
+		table := make([]uint8, len(dict.Vals))
+		ctx := &Ctx{}
+		for code, s := range dict.Vals {
+			probe := &InList{X: &Const{V: types.NewString(s)}, List: x.List, Negated: x.Negated}
+			table[code] = triOf(probe.Eval(ctx))
+		}
+		return &vecStrTable{col: c.Idx, table: table}
 	}
 	return nil
 }
@@ -184,6 +214,24 @@ func compileCmp(b *Binary, ct *colstore.Table) vecNode {
 		return vecConst{tri: TriNull}
 	}
 
+	// Dictionary equality fast path: string `=`/`!=` string constant
+	// compares codes, not bytes — the constant resolves to its table-wide
+	// code once at compile, and code equality is string equality because
+	// codes are unique per distinct string. A constant absent from the
+	// dictionary can match no stored row, so the comparison folds to a
+	// constant vector (NULL rows still yield NULL).
+	if b.Op == sqlparser.OpEq || b.Op == sqlparser.OpNe {
+		neg := b.Op == sqlparser.OpNe
+		if lIsCol && rIsConst && cleanCol(ct, lc.Idx) &&
+			ct.Schema[lc.Idx].Type == types.KindString && rk.V.Kind() == types.KindString {
+			return codeEqNode(ct, lc.Idx, rk.V.Str(), neg)
+		}
+		if rIsCol && lIsConst && cleanCol(ct, rc.Idx) &&
+			ct.Schema[rc.Idx].Type == types.KindString && lk.V.Kind() == types.KindString {
+			return codeEqNode(ct, rc.Idx, lk.V.Str(), neg)
+		}
+	}
+
 	// A clean dictionary-encoded string column against a constant: build
 	// a per-code truth table by running the row evaluator once per
 	// distinct string. This inherits every corner of the row semantics —
@@ -241,6 +289,20 @@ func compileCmp(b *Binary, ct *colstore.Table) vecNode {
 		}
 	}
 	return nil
+}
+
+// codeEqNode lowers string `=`/`!=` against a string constant into a
+// direct dictionary-code compare (see compileCmp).
+func codeEqNode(ct *colstore.Table, col int, s string, negate bool) vecNode {
+	code, ok := ct.Dicts[col].Code(s)
+	if !ok {
+		miss := TriFalse
+		if negate {
+			miss = TriTrue
+		}
+		return &vecCodeConst{col: col, tri: miss}
+	}
+	return &vecCodeEq{col: col, code: code, negate: negate}
 }
 
 // strTableNode builds the per-dictionary-code tri table for `col op
@@ -562,6 +624,64 @@ func (n *vecStrTable) eval(out []uint8, seg *colstore.Segment, lo, hi int) {
 			out[i] = TriNull
 		} else {
 			out[i] = n.table[c.Codes[i]]
+		}
+	}
+}
+
+// vecCodeEq: dictionary-encoded column `=`/`!=` one resolved code.
+type vecCodeEq struct {
+	col    int
+	code   uint32
+	negate bool
+}
+
+func (n *vecCodeEq) eval(out []uint8, seg *colstore.Segment, lo, hi int) {
+	c := &seg.Cols[n.col]
+	t, f := TriTrue, TriFalse
+	if n.negate {
+		t, f = f, t
+	}
+	if !c.HasNulls() {
+		for i := lo; i < hi; i++ {
+			if c.Codes[i] == n.code {
+				out[i] = t
+			} else {
+				out[i] = f
+			}
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		if c.Null(i) {
+			out[i] = TriNull
+		} else if c.Codes[i] == n.code {
+			out[i] = t
+		} else {
+			out[i] = f
+		}
+	}
+}
+
+// vecCodeConst: the constant string is absent from the dictionary —
+// every non-NULL row gets the folded answer, NULL rows stay NULL.
+type vecCodeConst struct {
+	col int
+	tri uint8
+}
+
+func (n *vecCodeConst) eval(out []uint8, seg *colstore.Segment, lo, hi int) {
+	c := &seg.Cols[n.col]
+	if !c.HasNulls() {
+		for i := lo; i < hi; i++ {
+			out[i] = n.tri
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		if c.Null(i) {
+			out[i] = TriNull
+		} else {
+			out[i] = n.tri
 		}
 	}
 }

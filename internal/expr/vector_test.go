@@ -65,7 +65,7 @@ func randCompilable(rng *rand.Rand, e *vtEnv, depth int) Expr {
 		sqlparser.OpLe, sqlparser.OpGt, sqlparser.OpGe,
 	}
 	if depth <= 0 || rng.Intn(3) == 0 {
-		switch rng.Intn(7) {
+		switch rng.Intn(8) {
 		case 0: // numeric col vs const
 			c := e.col(rng.Intn(3))
 			var k types.Value
@@ -111,6 +111,17 @@ func randCompilable(rng *rand.Rand, e *vtEnv, depth int) Expr {
 			return e.col(rng.Intn(5))
 		case 5:
 			return &Const{V: types.NewBool(rng.Intn(2) == 1)}
+		case 6: // string IN-list over the dictionary column
+			pool := []types.Value{
+				types.NewString("beta"), types.NewString("gamma"),
+				types.NewString("nope"), types.NewString(""), types.Null,
+			}
+			n := 1 + rng.Intn(3)
+			list := make([]Expr, 0, n)
+			for j := 0; j < n; j++ {
+				list = append(list, &Const{V: pool[rng.Intn(len(pool))]})
+			}
+			return &InList{X: e.col(3), List: list, Negated: rng.Intn(2) == 1}
 		default: // const vs const
 			return &Binary{Op: cmps[rng.Intn(len(cmps))],
 				L: &Const{V: types.NewInt(rng.Int63n(4))},
@@ -155,6 +166,59 @@ func TestKernelParity(t *testing.T) {
 					if out[i] != want {
 						t.Fatalf("seed %d trial %d seg %d row %d: kernel %d want %d for %s on %v",
 							seed, trial, si, i, out[i], want, ex, seg.Rows[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKernelParityAfterUpdate: kernels compiled against an incrementally
+// updated encoding (grown dictionaries, fresh open tail) must still
+// agree with the row evaluator on every row — including constants that
+// were absent before the update and present after it.
+func TestKernelParityAfterUpdate(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		env := vtBuild(seed, 150)
+		rng := rand.New(rand.NewSource(seed * 131))
+		// Grow the table: old strings, plus "nope" (absent pre-update) so
+		// a recompiled = 'nope' kernel flips from constant-fold to a real
+		// code compare.
+		rows := env.rows
+		for i := 0; i < 90; i++ {
+			w := []string{"alpha", "nope", "épo"}[rng.Intn(3)]
+			rows = append(rows, types.Row{
+				types.NewBool(i%2 == 0), types.NewInt(int64(i % 7)),
+				types.NewFloat(float64(i) / 3), types.NewString(w),
+				types.NewInt(int64(-i)),
+			})
+		}
+		env.ct.Update(rows)
+		env.rows = rows
+		exprs := []Expr{
+			&Binary{Op: sqlparser.OpEq, L: env.col(3), R: &Const{V: types.NewString("nope")}},
+			&Binary{Op: sqlparser.OpNe, L: env.col(3), R: &Const{V: types.NewString("still-absent")}},
+			&InList{X: env.col(3), List: []Expr{
+				&Const{V: types.NewString("nope")}, &Const{V: types.NewString("beta")}}},
+		}
+		for trial := 0; trial < 40; trial++ {
+			exprs = append(exprs, randCompilable(rng, env, 3))
+		}
+		out := make([]uint8, env.ct.SegSize)
+		ctx := &Ctx{}
+		for n, ex := range exprs {
+			k := CompileKernel(ex, env.ct)
+			if k == nil {
+				t.Fatalf("seed %d expr %d: %s should compile", seed, n, ex)
+			}
+			for si, seg := range env.ct.Segs {
+				k.EvalInto(out, seg, 0, seg.N)
+				for i := 0; i < seg.N; i++ {
+					ctx.Row = seg.Rows[i]
+					want := triOf(ex.Eval(ctx))
+					if out[i] != want {
+						t.Fatalf("seed %d expr %d seg %d row %d: kernel %d want %d for %s",
+							seed, n, si, i, out[i], want, ex)
 					}
 				}
 			}

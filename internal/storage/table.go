@@ -71,16 +71,21 @@ func (t *Table) AppendAll(rows []types.Row) error {
 }
 
 // Columnar returns the table's columnar encoding, building it on first
-// use and rebuilding after the row count changes (Append/AppendAll are
-// the only mutators; they always change the count). The encoding aliases
-// the current backing rows, and consumers re-verify per batch with
-// colstore.Table.Aligned before trusting it, so a stale cache can cause
-// a slow row-path batch but never a wrong answer.
+// use and updating it incrementally after the row count changes
+// (Append/AppendAll are the only mutators; they always change the
+// count). Growth re-encodes only the open tail segment plus the
+// appended suffix — sealed segments and dictionary codes are untouched
+// (colstore.Table.Update). The encoding aliases the current backing
+// rows, and consumers re-verify per batch with colstore.Table.Aligned
+// before trusting it, so a stale cache can cause a slow row-path batch
+// but never a wrong answer.
 func (t *Table) Columnar() *colstore.Table {
 	t.colMu.Lock()
 	defer t.colMu.Unlock()
-	if t.col == nil || t.col.NumRows() != len(t.rows) {
+	if t.col == nil {
 		t.col = colstore.Build(t.schema, t.rows, 0)
+	} else if t.col.NumRows() != len(t.rows) {
+		t.col.Update(t.rows)
 	}
 	return t.col
 }

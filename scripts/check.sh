@@ -66,11 +66,25 @@ echo "== columnar fold alloc gate (go test ./internal/core -run TestColumnarFold
 # and the group memo are all reused across batches).
 go test ./internal/core -run TestColumnarFoldAllocs -count=1
 
+echo "== dims-grouped columnar alloc gate (go test ./internal/core -run TestColumnarDimsFoldAllocs)"
+# The dims-grouped sweep must also stay at zero allocations once the
+# join memo has seen every distinct fact key combination (joined-row
+# expansion and group resolution both run through word-code memos).
+go test ./internal/core -run TestColumnarDimsFoldAllocs -count=1
+
 echo "== columnar bit-identity under -race (go test -race ./internal/core -run TestColumnarBitIdentical)"
-# A small race-instrumented slice of the columnar/row equivalence sweep:
+# A small race-instrumented slice of the columnar/row equivalence sweep
+# (including the dims-grouped and tri-kernel uncertain-where queries):
 # shard-parallel segment sweeps share plan and colstore state read-only,
 # and the race detector holds them to it.
 go test -race ./internal/core -run 'TestColumnarBitIdentical|TestColumnarSubsampleBitIdentical' -count=1
+
+echo "== tri-kernel parity + segseal chaos (go test ./internal/core)"
+# The vectorized tri-state classifier must match per-row evalTri
+# decision-for-decision across the expression × range matrix, and
+# injected segment-cache drops on the incremental seal seam must
+# re-encode and re-engage without perturbing bit-identity.
+go test ./internal/core -run 'TestTriKernelParity|TestTriKernelRefusals|TestChaosSegSealDrop' -count=1
 
 echo "== resource ledger gates (ground truth, 0-alloc collection, budget bit-identity)"
 # The group-table charge counter must agree with an independent walk of

@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"fluodb/internal/bootstrap"
+	"fluodb/internal/core"
+	"fluodb/internal/plan"
+	"fluodb/internal/storage"
+	"fluodb/internal/types"
+)
+
+// Sharded-execution benchmark: fold throughput through the coordinator
+// at topology widths N∈{1,2,4,8} with per-shard parallelism pinned to
+// 1, against the unsharded engine as baseline. Every sharded run is
+// also checked bit-identical to the unsharded trajectory: the catalog
+// uses integer-valued measures, so every fold — certain sums and
+// bootstrap trial sums alike — is exact float arithmetic and the
+// merge order cannot perturb a single bit (the same construction as
+// core's shard determinism fixtures).
+
+// ShardPoint is one (scenario, N) measurement of the shard sweep.
+type ShardPoint struct {
+	Scenario     string  `json:"scenario"`
+	Shards       int     `json:"shards"` // 0 = unsharded baseline
+	Parallelism  int     `json:"parallelism"`
+	Rows         int     `json:"rows"`
+	NsPerRow     float64 `json:"ns_per_row"`
+	RowsPerSec   float64 `json:"rows_per_sec"`
+	BitIdentical bool    `json:"bit_identical"` // vs the unsharded run (true for the baseline itself)
+}
+
+// shardBenchCatalog is foldBenchCatalog with an integer-valued measure:
+// all certain and trial sums stay far below 2^53, so float addition is
+// exact and associative, and any shard×worker partition of a batch
+// folds to byte-identical statistics.
+func shardBenchCatalog(n int, seed uint64) *storage.Catalog {
+	cat := storage.NewCatalog()
+	t := storage.NewTable("facts", types.NewSchema(
+		"a", types.KindString,
+		"b", types.KindInt,
+		"x", types.KindFloat,
+	))
+	as := []string{"aa", "bb", "cc", "dd", "ee", "ff", "gg", "hh"}
+	rng := bootstrap.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		_ = t.Append(types.Row{
+			types.NewString(as[rng.Intn(len(as))]),
+			types.NewInt(int64(rng.Intn(16))),
+			types.NewFloat(float64(rng.Intn(1000))),
+		})
+	}
+	cat.Put(t)
+	return cat
+}
+
+// ShardBench sweeps the coordinator across topology widths and verifies
+// each sharded trajectory against the unsharded run.
+func ShardBench(cfg Config) ([]ShardPoint, error) {
+	cfg = cfg.WithDefaults()
+	scenarios := []struct {
+		name string
+		sql  string
+	}{
+		{"single-key/sampled-all", `SELECT a, COUNT(x), SUM(x), AVG(x) FROM facts GROUP BY a`},
+		{"multi-key/sampled-all", `SELECT a, b, COUNT(x), SUM(x), AVG(x) FROM facts GROUP BY a, b`},
+	}
+	cat := shardBenchCatalog(cfg.Rows, cfg.EngineSeed())
+	var out []ShardPoint
+	for _, sc := range scenarios {
+		q, err := plan.Compile(sc.sql, cat)
+		if err != nil {
+			return nil, fmt.Errorf("bench shard %s: %w", sc.name, err)
+		}
+		base := core.Options{
+			Batches: cfg.Batches, Trials: cfg.Trials, Seed: cfg.EngineSeed(),
+			BootstrapSampleCap: -1, Parallelism: 1,
+			// Low threshold so shard slices still engage the fold path's
+			// clamps at bench batch sizes.
+			ParallelThreshold: 512,
+		}
+		ref, err := runAll(q, cat, base)
+		if err != nil {
+			return nil, fmt.Errorf("bench shard %s baseline: %w", sc.name, err)
+		}
+		for _, n := range []int{0, 1, 2, 4, 8} {
+			opt := base
+			opt.Shards = n
+			bit := true
+			if n > 0 {
+				got, err := runAll(q, cat, opt)
+				if err != nil {
+					return nil, fmt.Errorf("bench shard %s N=%d: %w", sc.name, n, err)
+				}
+				bit = snapsEqual(ref, got) == nil
+			}
+			best := time.Duration(0)
+			for rep := 0; rep < FoldReps; rep++ {
+				q, err := plan.Compile(sc.sql, cat)
+				if err != nil {
+					return nil, err
+				}
+				eng, err := core.New(q, cat, opt)
+				if err != nil {
+					return nil, err
+				}
+				t0 := time.Now()
+				_, err = eng.Run(nil)
+				d := time.Since(t0)
+				eng.Close()
+				if err != nil {
+					return nil, err
+				}
+				if best == 0 || d < best {
+					best = d
+				}
+			}
+			ns := float64(best.Nanoseconds()) / float64(cfg.Rows)
+			out = append(out, ShardPoint{
+				Scenario: sc.name, Shards: n, Parallelism: 1,
+				Rows: cfg.Rows, NsPerRow: ns, RowsPerSec: 1e9 / ns,
+				BitIdentical: bit,
+			})
+		}
+	}
+	return out, nil
+}
+
+// FormatShard renders the shard sweep as an aligned table with each
+// topology's cost relative to the unsharded baseline.
+func FormatShard(points []ShardPoint) string {
+	s := "Sharded execution (per-shard P=1, best of reps, vs unsharded baseline)\n"
+	s += fmt.Sprintf("%-26s %7s %12s %14s %10s %14s\n",
+		"scenario", "shards", "ns/row", "rows/sec", "vs base", "bit-identical")
+	base := map[string]float64{}
+	for _, p := range points {
+		if p.Shards == 0 {
+			base[p.Scenario] = p.NsPerRow
+		}
+	}
+	for _, p := range points {
+		rel, bit := "-", "yes"
+		if p.Shards > 0 {
+			if b, ok := base[p.Scenario]; ok && p.NsPerRow > 0 {
+				rel = fmt.Sprintf("%+.1f%%", 100*(p.NsPerRow-b)/b)
+			}
+			if !p.BitIdentical {
+				bit = "NO"
+			}
+		}
+		shards := "none"
+		if p.Shards > 0 {
+			shards = fmt.Sprintf("%d", p.Shards)
+		}
+		s += fmt.Sprintf("%-26s %7s %12.1f %14.0f %10s %14s\n",
+			p.Scenario, shards, p.NsPerRow, p.RowsPerSec, rel, bit)
+	}
+	return s
+}

@@ -5,12 +5,14 @@ import (
 	"fmt"
 )
 
-// Typed runtime errors. Callers branch on Kind (via errors.As) rather
-// than string matching: a worker panic that exhausts its retries, a
-// deadline interruption, and an invalid option all surface as
-// *QueryError with distinct kinds.
+// Typed runtime errors. Callers branch on Kind — either through
+// errors.As on *QueryError, or directly with errors.Is against a kind
+// constant: every ErrorKind is itself an error value, and QueryError
+// implements Is so `errors.Is(err, ErrKindCheckpoint)` matches any
+// QueryError of that kind anywhere in a wrap chain.
 
-// ErrorKind classifies a QueryError.
+// ErrorKind classifies a QueryError. Each kind constant doubles as the
+// errors.Is sentinel for that kind.
 type ErrorKind string
 
 const (
@@ -27,7 +29,14 @@ const (
 	ErrKindInterrupted ErrorKind = "interrupted"
 	// ErrKindCheckpoint reports a malformed or mismatched checkpoint.
 	ErrKindCheckpoint ErrorKind = "checkpoint"
+	// ErrKindShardLost reports a shard engine whose death exhausted the
+	// coordinator's recovery ladder (re-dispatch to replacement shards,
+	// then checkpoint restore): the query cannot make progress.
+	ErrKindShardLost ErrorKind = "shard-lost"
 )
+
+// Error makes a kind usable as an errors.Is target.
+func (k ErrorKind) Error() string { return "core: " + string(k) }
 
 // QueryError is the runtime's typed error. Batch and Worker are -1 when
 // not applicable.
@@ -58,6 +67,13 @@ func (e *QueryError) Error() string {
 }
 
 func (e *QueryError) Unwrap() error { return e.Err }
+
+// Is matches the error's kind sentinel, so
+// errors.Is(err, ErrKindInterrupted) works on wrapped QueryErrors.
+func (e *QueryError) Is(target error) bool {
+	k, ok := target.(ErrorKind)
+	return ok && k == e.Kind
+}
 
 // queryErr builds a QueryError without positional context.
 func queryErr(kind ErrorKind, note string) *QueryError {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"fluodb/internal/chaos"
+	"fluodb/internal/retry"
 	"fluodb/internal/types"
 )
 
@@ -269,25 +270,19 @@ func (r *blockRunner) feedBatchParallel(rows []types.Row, baseIdx int, ts *table
 const maxShardRetries = 3
 
 // retrySerialShards redoes a failed parallel batch on the controller's
-// goroutine with capped exponential backoff. Each attempt folds the
-// exact shard partition of the failed pass into fresh staging tables
-// and merges them in worker order — float addition is non-associative,
-// so replaying the same shard plan (rather than one flat serial fold)
-// is what makes the retry bit-identical to a clean parallel pass. Chaos
-// injection never fires here (faults are keyed to pool workers), so an
-// injected schedule cannot livelock the redo.
+// goroutine under the shared bounded-backoff policy (internal/retry;
+// Seed 0 keeps the historical nominal ladder 1ms→2ms→4ms, cap 8ms).
+// Each attempt folds the exact shard partition of the failed pass into
+// fresh staging tables and merges them in worker order — float addition
+// is non-associative, so replaying the same shard plan (rather than one
+// flat serial fold) is what makes the retry bit-identical to a clean
+// parallel pass. Chaos injection never fires here (faults are keyed to
+// pool workers), so an injected schedule cannot livelock the redo.
 func (r *blockRunner) retrySerialShards(rows []types.Row, baseIdx int, ts *tableStream, te *triEnv, pf *weightPrefetch, workers, size int) error {
 	e := r.eng
-	backoff := time.Millisecond
 	var lastPanic any
-	for attempt := 1; attempt <= maxShardRetries; attempt++ {
-		if attempt > 1 {
-			time.Sleep(backoff)
-			backoff *= 2
-			if backoff > 8*time.Millisecond {
-				backoff = 8 * time.Millisecond
-			}
-		}
+	pol := retry.Policy{Attempts: maxShardRetries, Base: time.Millisecond, Cap: 8 * time.Millisecond}
+	err := pol.Do(uint64(baseIdx), func(attempt int) error {
 		e.trace.Emit(Event{Kind: EvSerialRetry, Key: ts.name, Kept: attempt})
 		ssp := e.sctl.Begin("serial-retry", e.spanFeed, e.spanBatchNo, r.b.ID)
 		ok, pv := r.serialShardPass(rows, baseIdx, ts, te, pf, workers, size)
@@ -296,6 +291,10 @@ func (r *blockRunner) retrySerialShards(rows []types.Row, baseIdx int, ts *table
 			return nil
 		}
 		lastPanic = pv
+		return fmt.Errorf("attempt %d panicked", attempt)
+	})
+	if err == nil {
+		return nil
 	}
 	return &QueryError{Kind: ErrKindWorkerPanic, Batch: e.batch, Worker: -1,
 		Note: fmt.Sprintf("parallel batch failed and %d serial retries panicked: %s", maxShardRetries, panicNote(lastPanic))}

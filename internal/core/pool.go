@@ -289,5 +289,8 @@ func (e *Engine) Close() {
 		e.pool.stop()
 		e.pool = nil
 	}
+	if e.coord != nil {
+		e.coord.stop()
+	}
 	runtime.SetFinalizer(e, nil)
 }

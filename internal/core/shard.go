@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"fluodb/internal/chaos"
+	"fluodb/internal/types"
+)
+
+// Sharded execution (DESIGN.md §17). A shard engine is one partition
+// executor behind the coordinator: it receives a contiguous slice of a
+// mini-batch for one lineage block and folds it into a private staging
+// delta — aggregate table, uncertain-set additions, adopted weight
+// chunks, fold count and phase times — which the coordinator merges in
+// shard order. Shards hold no cross-batch aggregate state of their own
+// (the engine's runner tables stay authoritative), which is what makes
+// a shard death recoverable: a replacement shard redoing the same slice
+// from the same committed state produces the same delta.
+//
+// localShard is the goroutine-local implementation. The loop must not
+// retain engine references between requests (the request carries them),
+// so an abandoned engine stays finalizable and its Close backstop can
+// shut the shard goroutines down — the same discipline the worker pool
+// follows (pool.go).
+
+// ShardEngine is the execution interface between the coordinator and
+// one shard. The goroutine-local implementation runs in-process;
+// process separation later means marshalling ShardTask slices and
+// deltas over a transport behind this same interface (the deterministic
+// hash partitioner in internal/storage is the placement half of that
+// stage).
+type ShardEngine interface {
+	// ID is the shard's slot in the coordinator's topology.
+	ID() int
+	// Incarnation distinguishes a replacement shard from the dead one it
+	// replaced; chaos decisions key on it.
+	Incarnation() int
+	// Step folds one dispatched slice and returns its staging delta. A
+	// non-nil error means the shard produced nothing usable (killed,
+	// panicked); a killed shard must not accept further Steps.
+	Step(t *ShardTask) (*ShardDelta, error)
+	// Close shuts the shard down (idempotent; safe after death).
+	Close()
+}
+
+// ShardTask is one dispatch unit: fold rows (a contiguous slice of one
+// mini-batch, starting at global row index baseIdx) of runner r's fact
+// table, with up to workers-way intra-shard parallelism.
+type ShardTask struct {
+	r       *blockRunner
+	rows    []types.Row
+	baseIdx int
+	ts      *tableStream
+	pf      *weightPrefetch
+	workers int
+	thr     int
+}
+
+// ShardDelta is the staged result of one ShardTask, mergeable into the
+// runner exactly like a pool worker's shard state (parallel.go).
+type ShardDelta struct {
+	tab       *onlineTable
+	uncertain []uncertainRow
+	arena     weightArena
+	folds     int64
+	acc       phaseAcc
+}
+
+// debugShardPanics, when set by a test, re-raises contained shard
+// panics so their stacks surface.
+var debugShardPanics bool
+
+// shardCall pairs a task with its reply channel.
+type shardCall struct {
+	task *ShardTask
+	resp chan shardResult
+}
+
+type shardResult struct {
+	delta *ShardDelta
+	err   error
+}
+
+// localShard is a goroutine-local ShardEngine: one persistent goroutine
+// consuming tasks from a channel. It deliberately holds no *Engine —
+// only the chaos injector (engine-independent) and its coordinates.
+type localShard struct {
+	id    int
+	inc   int
+	inj   *chaos.Injector
+	calls chan shardCall
+	done  chan struct{}
+}
+
+func newLocalShard(id, inc int, inj *chaos.Injector) *localShard {
+	s := &localShard{id: id, inc: inc, inj: inj,
+		calls: make(chan shardCall), done: make(chan struct{})}
+	go s.loop()
+	return s
+}
+
+func (s *localShard) ID() int          { return s.id }
+func (s *localShard) Incarnation() int { return s.inc }
+
+// Step dispatches one task and waits for the delta. If the shard died
+// handling it (injected kill or loop exit), the error reports it.
+func (s *localShard) Step(t *ShardTask) (*ShardDelta, error) {
+	call := shardCall{task: t, resp: make(chan shardResult, 1)}
+	select {
+	case s.calls <- call:
+	case <-s.done:
+		return nil, fmt.Errorf("shard %d (incarnation %d): dead", s.id, s.inc)
+	}
+	res := <-call.resp
+	return res.delta, res.err
+}
+
+// Close shuts the shard goroutine down and waits for it to exit.
+func (s *localShard) Close() {
+	select {
+	case <-s.done: // already dead (killed or closed)
+	default:
+		close(s.calls)
+		<-s.done
+	}
+}
+
+// loop is the shard goroutine: take a task, decide injected faults,
+// fold, reply. A kill makes the goroutine exit after replying — the
+// shard is then dead and the coordinator must spawn a replacement.
+func (s *localShard) loop() {
+	defer close(s.done)
+	for call := range s.calls {
+		t := call.task
+		if s.inj.ShardKill(t.ts.name, t.baseIdx, s.id, s.inc) {
+			t.r.eng.traceFault("shard-kill", t.ts.name, s.id,
+				fmt.Sprintf("injected shard death (incarnation %d)", s.inc))
+			call.resp <- shardResult{err: fmt.Errorf(
+				"shard %d (incarnation %d): killed at %s[%d]", s.id, s.inc, t.ts.name, t.baseIdx)}
+			return
+		}
+		if s.inj.ShardStraggler(t.ts.name, t.baseIdx, s.id, s.inc) {
+			t.r.eng.traceFault("shard-straggler", t.ts.name, s.id,
+				fmt.Sprintf("injected shard delay (incarnation %d)", s.inc))
+			s.inj.Sleep()
+		}
+		delta, err := s.step(t)
+		call.resp <- shardResult{delta: delta, err: err}
+	}
+}
+
+// step folds the task's slice, splitting it across up to t.workers
+// sub-slices. Sub-slice deltas merge left-to-right, so the shard's
+// delta has the same group order as a serial fold of the whole slice —
+// and the coordinator's shard-order merge then reproduces the global
+// serial order (contiguous slices compose; see DESIGN.md §17). A panic
+// anywhere in the fold is contained into an error: the coordinator
+// treats it like a shard death and redoes the slice on a replacement.
+func (s *localShard) step(t *ShardTask) (delta *ShardDelta, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			if debugShardPanics {
+				panic(v)
+			}
+			delta, err = nil, fmt.Errorf("shard %d (incarnation %d): contained panic: %s",
+				s.id, s.inc, panicNote(v))
+		}
+	}()
+	n := len(t.rows)
+	workers := t.workers
+	if workers <= 1 || n < 2*t.thr {
+		workers = 1
+	} else if max := n / t.thr; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		return s.foldSlice(t, t.rows, t.baseIdx), nil
+	}
+	subs := make([]*ShardDelta, workers)
+	panics := make([]any, workers)
+	var wg sync.WaitGroup
+	size := n / workers
+	for w := 0; w < workers; w++ {
+		lo := w * size
+		hi := lo + size
+		if w == workers-1 {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					panics[w] = v
+				}
+			}()
+			subs[w] = s.foldSlice(t, t.rows[lo:hi], t.baseIdx+lo)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for w := range panics {
+		if panics[w] != nil {
+			return nil, fmt.Errorf("shard %d (incarnation %d): contained panic: %s",
+				s.id, s.inc, panicNote(panics[w]))
+		}
+	}
+	out := subs[0]
+	for w := 1; w < workers; w++ {
+		out.tab.merge(subs[w].tab)
+		out.uncertain = append(out.uncertain, subs[w].uncertain...)
+		out.arena.adopt(&subs[w].arena)
+		out.folds += subs[w].folds
+		out.acc.merge(&subs[w].acc)
+	}
+	return out, nil
+}
+
+// foldSlice folds one sub-slice into a fresh staging delta through the
+// shared feedShard primitive (columnar when the block's plan applies,
+// prefetched weights when the buffer covers the batch). The joiner
+// clone and classification environment are per-goroutine, exactly as in
+// the per-batch-spawn runtime.
+func (s *localShard) foldSlice(t *ShardTask, rows []types.Row, baseIdx int) *ShardDelta {
+	r := t.r
+	e := r.eng
+	d := &ShardDelta{tab: newShardTable(e.opt.Trials)}
+	d.tab.configure(r.cltKinds)
+	wr := *r // shallow: shares block/engine/plan, swaps per-goroutine scratch
+	wr.joiner = r.joiner.CloneForWorker()
+	wte := e.triEnv()
+	wr.feedShard(rows, baseIdx, t.ts, wte, d.tab, &d.uncertain, &d.arena,
+		&d.folds, &d.acc, nil, t.pf, &colScratch{})
+	return d
+}

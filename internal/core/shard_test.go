@@ -1,0 +1,195 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"fluodb/internal/chaos"
+	"fluodb/internal/plan"
+	"fluodb/internal/testutil"
+)
+
+// Sharded execution must be a pure implementation detail, like the
+// worker pool: the N-shard trajectory is bit-identical to the
+// single-engine run for any topology width and per-shard parallelism,
+// and stays so across injected shard deaths recovered by the
+// coordinator's ladder. The fixtures reuse the exact-float catalog of
+// parallel_determinism_test.go, so "identical" means byte-for-byte.
+
+// TestShardFoldBitIdentical sweeps N∈{1,2,4,8} × per-shard P∈{1,4}
+// against the unsharded serial reference.
+func TestShardFoldBitIdentical(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 23} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cat := determinismCatalog(3*8192, seed)
+			serial := runSnapshots(t, cat, determinismSQL, determinismOptions(seed))
+			for _, n := range []int{1, 2, 4, 8} {
+				for _, p := range []int{1, 4} {
+					o := determinismOptions(seed)
+					o.Shards = n
+					o.Parallelism = p
+					compareSnapshots(t, fmt.Sprintf("shards N=%d P=%d", n, p),
+						serial, runSnapshots(t, cat, determinismSQL, o))
+				}
+			}
+		})
+	}
+}
+
+// runShardMetrics runs a sharded query to completion and returns its
+// snapshots plus final metrics (runSnapshots drops the engine).
+func runShardMetrics(t *testing.T, o Options, seed uint64) ([]*Snapshot, Metrics) {
+	t.Helper()
+	cat := determinismCatalog(3*8192, seed)
+	q, err := plan.Compile(determinismSQL, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(q, cat, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	var snaps []*Snapshot
+	for {
+		snap, err := eng.Step()
+		if err == ErrDone {
+			return snaps, eng.Metrics()
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, snap)
+	}
+}
+
+// TestShardKillRecovery injects moderate-probability shard deaths and
+// asserts recovery rung 1 (replacement re-dispatch) keeps the
+// trajectory bit-identical to an undisturbed unsharded run.
+func TestShardKillRecovery(t *testing.T) {
+	const seed = 7
+	baseline := testutil.GoroutineBaseline()
+	cat := determinismCatalog(3*8192, seed)
+	serial := runSnapshots(t, cat, determinismSQL, determinismOptions(seed))
+
+	o := determinismOptions(seed)
+	o.Shards = 4
+	o.Chaos = chaos.New(chaos.Config{Seed: 0xC0FFEE, ShardKillProb: 0.3})
+	snaps, m := runShardMetrics(t, o, seed)
+	compareSnapshots(t, "kill-recovered N=4", serial, snaps)
+	if m.ShardKills == 0 {
+		t.Fatal("fixture chosen to kill shards reported ShardKills = 0")
+	}
+	if m.ShardRespawns == 0 {
+		t.Fatal("shard kills recovered without any respawn")
+	}
+	testutil.VerifyNoLeaks(t, baseline)
+}
+
+// TestShardStragglerBitIdentical injects shard delays (benign for
+// correctness — merge order is fixed by shard slot) and checks
+// bit-identity plus fault accounting.
+func TestShardStragglerBitIdentical(t *testing.T) {
+	const seed = 1
+	cat := determinismCatalog(3*8192, seed)
+	serial := runSnapshots(t, cat, determinismSQL, determinismOptions(seed))
+
+	o := determinismOptions(seed)
+	o.Shards = 4
+	inj := chaos.New(chaos.Config{Seed: 0xBEEF, ShardStragglerProb: 0.5})
+	o.Chaos = inj
+	compareSnapshots(t, "straggler N=4", serial, runSnapshots(t, cat, determinismSQL, o))
+	if inj.Counts()[chaos.KindShardStraggler] == 0 {
+		t.Fatal("fixture chosen to delay shards reported no shard-straggler faults")
+	}
+}
+
+// TestShardCheckpointRestoreMidRun raises the kill probability until
+// rung 1 (three replacement incarnations per slice) is exhausted at
+// least once, forcing a rung-2 checkpoint restore mid-run — and asserts
+// the restored trajectory is still bit-identical to the unsharded
+// reference. The (seed, prob) pair is pinned: chaos decisions are pure
+// functions of them, so the schedule is stable.
+func TestShardCheckpointRestoreMidRun(t *testing.T) {
+	const seed = 23
+	baseline := testutil.GoroutineBaseline()
+	cat := determinismCatalog(3*8192, seed)
+	serial := runSnapshots(t, cat, determinismSQL, determinismOptions(seed))
+
+	o := determinismOptions(seed)
+	o.Shards = 4
+	o.Chaos = chaos.New(chaos.Config{Seed: 2, ShardKillProb: 0.62})
+	snaps, m := runShardMetrics(t, o, seed)
+	compareSnapshots(t, "restore-recovered N=4", serial, snaps)
+	if m.ShardRestores == 0 {
+		t.Fatal("fixture chosen to exhaust rung 1 reported ShardRestores = 0")
+	}
+	testutil.VerifyNoLeaks(t, baseline)
+}
+
+// TestShardLostError drives the whole ladder to exhaustion (kill
+// probability 1 fires for every incarnation at every site) and asserts
+// the typed shard-lost error surfaces, the engine latches it, and no
+// shard goroutines leak after Close.
+func TestShardLostError(t *testing.T) {
+	const seed = 7
+	baseline := testutil.GoroutineBaseline()
+	cat := determinismCatalog(8192, seed)
+	q, err := plan.Compile(determinismSQL, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := determinismOptions(seed)
+	o.Shards = 2
+	o.Chaos = chaos.New(chaos.Config{Seed: 9, ShardKillProb: 1})
+	eng, err := New(q, cat, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, serr := eng.Step()
+	if serr == nil {
+		t.Fatal("kill-everything schedule did not fail the step")
+	}
+	if !errors.Is(serr, ErrKindShardLost) {
+		t.Fatalf("want shard-lost, got %v", serr)
+	}
+	var qe *QueryError
+	if !errors.As(serr, &qe) || qe.Worker < 0 {
+		t.Fatalf("shard-lost error must carry the shard slot, got %+v", serr)
+	}
+	if _, again := eng.Step(); !errors.Is(again, ErrKindShardLost) {
+		t.Fatalf("engine must latch the fatal error, got %v", again)
+	}
+	eng.Close()
+	testutil.VerifyNoLeaks(t, baseline)
+}
+
+// TestShardSnapshotProgress checks Snapshot.Shards: every slot reports
+// rows and steps, and their total matches the rows processed.
+func TestShardSnapshotProgress(t *testing.T) {
+	const seed = 1
+	o := determinismOptions(seed)
+	o.Shards = 4
+	snaps, m := runShardMetrics(t, o, seed)
+	if m.Shards != 4 {
+		t.Fatalf("Metrics.Shards = %d, want 4", m.Shards)
+	}
+	last := snaps[len(snaps)-1]
+	if len(last.Shards) != 4 {
+		t.Fatalf("Snapshot.Shards has %d slots, want 4", len(last.Shards))
+	}
+	var rows int64
+	for i, st := range last.Shards {
+		if st.ID != i {
+			t.Fatalf("slot %d reports ID %d", i, st.ID)
+		}
+		if st.Rows == 0 || st.Steps == 0 {
+			t.Fatalf("slot %d idle: %+v", i, st)
+		}
+		rows += st.Rows
+	}
+	if rows != m.RowsProcessed {
+		t.Fatalf("shard rows %d != RowsProcessed %d", rows, m.RowsProcessed)
+	}
+}

@@ -556,15 +556,20 @@ func (t *onlineTable) merge(o *onlineTable) {
 	for k, oe := range o.entries {
 		e := t.find(oe.hash, oe.key, cols)
 		if e == nil {
-			if oe.skey == "" && len(oe.key) > 0 {
-				// Shard tables skip the string key; compute it once, at
-				// adoption. (A scalar block's sole group legitimately has
-				// skey "", and recomputing it would yield "" again.)
-				oe.skey = oe.key.KeyString(cols)
-			}
 			t.insert(oe)
-			t.m[oe.skey] = oe
-			t.order = append(t.order, oe.skey)
+			if t.m != nil {
+				if oe.skey == "" && len(oe.key) > 0 {
+					// Shard tables skip the string key; compute it once, at
+					// adoption. (A scalar block's sole group legitimately has
+					// skey "", and recomputing it would yield "" again.)
+					oe.skey = oe.key.KeyString(cols)
+				}
+				t.m[oe.skey] = oe
+				t.order = append(t.order, oe.skey)
+			}
+			// A keyless destination (a shard table adopting another
+			// shard's sub-delta inside a shard engine) keeps deferring
+			// the string key to its own adoption into the runner table.
 			o.entries[k] = nil
 			continue
 		}

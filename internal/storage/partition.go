@@ -1,0 +1,54 @@
+package storage
+
+// Deterministic partitioning primitives for sharded execution. The
+// coordinator (core/coordinator.go) splits every mini-batch into
+// contiguous per-shard row ranges with SliceRanges: contiguity is what
+// keeps the N-shard trajectory bit-identical to the single-engine run —
+// merging contiguous slices in slice order reproduces the serial group
+// insertion order exactly, for any N. HashShard is the content-keyed
+// placement function for the process-separable stage of the shard arc,
+// where rows are routed by key instead of position; it is deterministic
+// in (key, parts) so a re-planned or recovered topology routes every
+// row identically.
+
+// SliceRange is one shard's contiguous [Lo, Hi) row range.
+type SliceRange struct {
+	Lo, Hi int
+}
+
+// SliceRanges partitions [0, n) into parts contiguous ranges, the last
+// absorbing the remainder (the same split rule the intra-batch worker
+// sharding uses, so shard and worker boundaries compose). parts ≤ 1 or
+// n ≤ 0 yield a single range covering everything.
+func SliceRanges(n, parts int) []SliceRange {
+	if parts < 1 {
+		parts = 1
+	}
+	if n < 0 {
+		n = 0
+	}
+	out := make([]SliceRange, parts)
+	size := n / parts
+	for p := 0; p < parts; p++ {
+		lo := p * size
+		hi := lo + size
+		if p == parts-1 {
+			hi = n
+		}
+		out[p] = SliceRange{Lo: lo, Hi: hi}
+	}
+	return out
+}
+
+// HashShard maps a 64-bit row or key hash onto [0, parts) with a
+// multiply-shift over the high bits (uniform for hash-distributed keys,
+// no modulo bias). Deterministic: the same key always lands on the same
+// shard for a given parts count.
+func HashShard(key uint64, parts int) int {
+	if parts <= 1 {
+		return 0
+	}
+	// Fibonacci scramble, then scale the high 32 bits into [0, parts).
+	h := key * 0x9E3779B97F4A7C15
+	return int((h >> 32) * uint64(parts) >> 32)
+}

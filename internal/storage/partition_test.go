@@ -1,0 +1,54 @@
+package storage
+
+import "testing"
+
+// TestSliceRanges checks the contiguous cover property for every
+// (n, parts) in a small grid: ranges tile [0, n) exactly, in order.
+func TestSliceRanges(t *testing.T) {
+	for n := 0; n <= 67; n++ {
+		for parts := 1; parts <= 9; parts++ {
+			rs := SliceRanges(n, parts)
+			if len(rs) != parts {
+				t.Fatalf("n=%d parts=%d: %d ranges", n, parts, len(rs))
+			}
+			pos := 0
+			for i, r := range rs {
+				if r.Lo != pos || r.Hi < r.Lo {
+					t.Fatalf("n=%d parts=%d range %d: [%d,%d) after pos %d", n, parts, i, r.Lo, r.Hi, pos)
+				}
+				pos = r.Hi
+			}
+			if pos != n {
+				t.Fatalf("n=%d parts=%d: ranges cover %d rows", n, parts, pos)
+			}
+		}
+	}
+	if rs := SliceRanges(10, 0); len(rs) != 1 || rs[0] != (SliceRange{0, 10}) {
+		t.Fatalf("parts=0 must collapse to one full range, got %v", rs)
+	}
+}
+
+// TestHashShard checks determinism, range, and rough uniformity.
+func TestHashShard(t *testing.T) {
+	const parts = 8
+	var counts [parts]int
+	for i := uint64(0); i < 8000; i++ {
+		key := i * 0x243F6A8885A308D3 // arbitrary spread of key hashes
+		s := HashShard(key, parts)
+		if s != HashShard(key, parts) {
+			t.Fatal("HashShard not deterministic")
+		}
+		if s < 0 || s >= parts {
+			t.Fatalf("HashShard(%d) = %d out of range", key, s)
+		}
+		counts[s]++
+	}
+	for s, c := range counts {
+		if c < 500 || c > 1500 { // 1000 expected per shard
+			t.Fatalf("shard %d got %d of 8000 keys (poor uniformity)", s, c)
+		}
+	}
+	if HashShard(12345, 1) != 0 || HashShard(12345, 0) != 0 {
+		t.Fatal("parts<=1 must map to shard 0")
+	}
+}

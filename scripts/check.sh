@@ -17,6 +17,10 @@
 #   chaos gate       short seeded fault soak under -race: bit-identical
 #                    answers under injected panics/stragglers/corruption,
 #                    checkpoint round-trips, zero leaked goroutines
+#   shard gates      N-shard × per-shard-P bit-identity matrix under
+#                    -race, plus a shard-kill/straggler chaos slice with
+#                    coordinator recovery (replacement incarnations and
+#                    rolling-checkpoint restores)
 #   benchdiff        advisory fold ns/row diff vs BENCH_fold.json
 set -eu
 cd "$(dirname "$0")/.."
@@ -116,6 +120,20 @@ echo "== chaos gate (go test -race ./internal/bench -run TestChaosGate)"
 # round-trip byte-identical, and runtime.NumGoroutine must return to its
 # pre-soak level. The full soak is `make chaos` (1000+ schedules).
 go test -race ./internal/bench -run TestChaosGate -count=1
+
+echo "== shard bit-identity matrix under -race (go test -race ./internal/core -run TestShardFoldBitIdentical)"
+# The coordinator must be a pure implementation detail: N∈{1,2,4,8}
+# shard engines × per-shard P∈{1,4} all reproduce the unsharded serial
+# trajectory byte-for-byte, with shard goroutines and the merge path
+# race-instrumented.
+go test -race ./internal/core -run 'TestShardFoldBitIdentical|TestShardKillRecovery|TestShardCheckpointRestoreMidRun' -count=1
+
+echo "== shard chaos gate (go test -race ./internal/bench -run TestShardChaosGate)"
+# 60 seeded shard-fault schedules: injected shard deaths and stragglers
+# across plain/cancel/checkpoint modes, every run bit-identical to its
+# fault-free same-topology reference, recovery absorbed by the ladder
+# (re-dispatch → rolling-checkpoint restore), zero leaked goroutines.
+go test -race ./internal/bench -run TestShardChaosGate -count=1
 
 echo "== benchdiff (advisory, never fails the gate)"
 sh scripts/benchdiff.sh || true
